@@ -1,0 +1,111 @@
+// Command paperrepro regenerates every table and figure from the paper's
+// evaluation section on the simulated platforms, writing each experiment's
+// output under -out and echoing it to stdout.
+//
+// Usage:
+//
+//	paperrepro [-exp T1,F6,...|all] [-sizes 4096,8192] [-large] [-steps 2] [-out results]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"partree/internal/harness"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (T1,T2,F6..F15,S15) or 'all'")
+		sizes    = flag.String("sizes", "", "comma-separated body counts (default 4096,8192,16384)")
+		large    = flag.Bool("large", false, "extend the sweep to 32k/64k/128k bodies (slow)")
+		steps    = flag.Int("steps", 2, "measured time steps per run")
+		seed     = flag.Int64("seed", 1998, "random seed for the Plummer model")
+		leafCap  = flag.Int("leafcap", 8, "bodies per leaf (k)")
+		outDir   = flag.String("out", "results", "directory for per-experiment output files")
+		csvOut   = flag.Bool("csv", true, "also write every computed outcome to <out>/outcomes.csv")
+		listOnly = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := harness.DefaultOptions()
+	opts.Large = *large
+	opts.MeasuredSteps = *steps
+	opts.Seed = *seed
+	opts.LeafCap = *leafCap
+	if *sizes != "" {
+		opts.Sizes = nil
+		for _, f := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "paperrepro: bad size %q\n", f)
+				os.Exit(2)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+
+	var exps []harness.Experiment
+	if *expFlag == "all" {
+		exps = harness.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := harness.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+		os.Exit(1)
+	}
+
+	session := harness.NewSession(opts)
+	for _, e := range exps {
+		start := time.Now()
+		path := filepath.Join(*outDir, e.ID+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		w := io.MultiWriter(os.Stdout, f)
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(w, "expected shape: %s\n\n", e.Shape)
+		e.Run(session, w)
+		fmt.Fprintf(w, "\n[regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		f.Close()
+	}
+
+	if *csvOut {
+		path := filepath.Join(*outDir, "outcomes.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		if err := session.DumpCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+}

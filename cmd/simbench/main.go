@@ -1,0 +1,103 @@
+// Command simbench runs one whole-application configuration on a simulated
+// platform and prints the detailed breakdown: per-phase simulated time,
+// speedup over the platform's sequential baseline, per-processor lock
+// counts, and coherence-protocol counters.
+//
+// Usage:
+//
+//	simbench [-platform typhoon-hlrc] [-alg SPACE] [-n 16384] [-p 16] [-steps 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partree/internal/core"
+	"partree/internal/memsim"
+	"partree/internal/phys"
+	"partree/internal/simalg"
+	"partree/internal/stats"
+)
+
+func platformByName(name string, p int) (memsim.Platform, bool) {
+	switch name {
+	case "challenge":
+		return memsim.Challenge(), true
+	case "origin":
+		return memsim.Origin2000(p), true
+	case "paragon":
+		return memsim.Paragon(), true
+	case "typhoon-hlrc":
+		return memsim.TyphoonHLRC(), true
+	case "typhoon-sc":
+		return memsim.TyphoonSC(), true
+	}
+	return memsim.Platform{}, false
+}
+
+func main() {
+	var (
+		platName = flag.String("platform", "typhoon-hlrc", "challenge, origin, paragon, typhoon-hlrc, typhoon-sc")
+		algName  = flag.String("alg", "SPACE", "ORIG, LOCAL, UPDATE, PARTREE, SPACE")
+		n        = flag.Int("n", 16384, "number of bodies")
+		p        = flag.Int("p", 16, "simulated processors")
+		steps    = flag.Int("steps", 2, "measured time steps")
+		leafCap  = flag.Int("leafcap", 8, "bodies per leaf (k)")
+		seed     = flag.Int64("seed", 1998, "random seed")
+		noSeq    = flag.Bool("noseq", false, "skip the sequential baseline (faster)")
+	)
+	flag.Parse()
+
+	pl, ok := platformByName(*platName, *p)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simbench: unknown platform %q\n", *platName)
+		os.Exit(2)
+	}
+	alg, ok := core.ParseAlgorithm(*algName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simbench: unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+
+	bodies := phys.Generate(phys.ModelPlummer, *n, *seed)
+	cfg := simalg.Config{Platform: pl, P: *p, LeafCap: *leafCap, MeasuredSteps: *steps}
+	o := simalg.Run(alg, bodies, cfg)
+
+	fmt.Printf("%v on %s: %d bodies, %d processors, %d measured steps\n\n",
+		alg, pl.Name, *n, *p, *steps)
+	t := stats.NewTable("phase", "simulated time", "share")
+	total := o.TotalNs()
+	for _, row := range []struct {
+		name string
+		ns   float64
+	}{
+		{"tree build", o.TreeNs},
+		{"partition", o.PartNs},
+		{"force calc", o.ForceNs},
+		{"update", o.UpdateNs},
+		{"total", total},
+	} {
+		t.Row(row.name, stats.Seconds(row.ns), fmt.Sprintf("%.1f%%", 100*row.ns/total))
+	}
+	t.Write(os.Stdout)
+
+	if !*noSeq {
+		seq := simalg.Run(core.LOCAL, bodies, simalg.Config{
+			Platform: pl, P: 1, LeafCap: *leafCap, MeasuredSteps: *steps, Sequential: true,
+		})
+		fmt.Printf("\nsequential baseline: %s  ->  speedup %.2fx\n",
+			stats.Seconds(seq.TotalNs()), seq.TotalNs()/total)
+	}
+
+	locks := stats.Summarize(o.LocksPerProc)
+	fmt.Printf("\ntree-build locks/processor: mean %.0f [%.0f..%.0f], total %d\n",
+		locks.Mean, locks.Min, locks.Max, o.TotalLocks())
+	fmt.Printf("mean barrier time/processor: %s\n", stats.Seconds(o.MeanBarrierNs()))
+	pr := o.Protocol
+	fmt.Printf("protocol: accesses=%d hits=%d cold=%d coher=%d local=%d remote=%d dirty=%d inval=%d\n",
+		pr.Accesses, pr.Hits, pr.ColdMisses, pr.CoherenceMiss, pr.LocalMisses, pr.RemoteMisses, pr.DirtyMisses, pr.Invalidations)
+	fmt.Printf("          faults=%d twins=%d diffs=%d notices=%d contention=%s\n",
+		pr.PageFaults, pr.Twins, pr.Diffs, pr.WriteNotices, stats.Seconds(pr.ContentionNs))
+	fmt.Printf("interactions: %d\n", o.Interactions)
+}

@@ -1,0 +1,93 @@
+// Command treebench benchmarks the five native tree builders on this
+// machine: wall-clock per build, lock counts, and tree statistics across
+// algorithms and processor counts.
+//
+// Usage:
+//
+//	treebench [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8] [-model plummer]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/octree"
+	"partree/internal/phys"
+	"partree/internal/stats"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 65536, "number of bodies")
+		procs   = flag.String("p", "1,2,4,8", "comma-separated processor counts")
+		reps    = flag.Int("reps", 5, "builds per configuration (best time reported)")
+		leafCap = flag.Int("leafcap", 8, "bodies per leaf (k)")
+		model   = flag.String("model", "plummer", "mass model")
+		seed    = flag.Int64("seed", 1, "random seed")
+		spatial = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
+	)
+	flag.Parse()
+
+	m, ok := phys.ParseModel(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "treebench: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	var ps []int
+	for _, f := range strings.Split(*procs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "treebench: bad processor count %q\n", f)
+			os.Exit(2)
+		}
+		ps = append(ps, v)
+	}
+
+	bodies := phys.Generate(m, *n, *seed)
+	fmt.Printf("treebench: %d bodies (%s), k=%d, best of %d builds\n\n", *n, m, *leafCap, *reps)
+
+	header := []string{"algorithm"}
+	for _, p := range ps {
+		header = append(header, fmt.Sprintf("%dp", p))
+	}
+	header = append(header, "locks(8p)", "tree")
+	t := stats.NewTable(header...)
+
+	for _, alg := range core.Algorithms() {
+		row := []any{alg.String()}
+		var locks int64
+		var treeDesc string
+		for _, p := range ps {
+			bld := core.New(alg, core.Config{P: p, LeafCap: *leafCap})
+			assign := core.EvenAssign(*n, p)
+			if *spatial {
+				assign = core.SpatialAssign(bodies, p)
+			}
+			in := &core.Input{Bodies: bodies, Assign: assign}
+			best := time.Duration(1 << 62)
+			for r := 0; r < *reps; r++ {
+				in.Step = r
+				start := time.Now()
+				tree, metrics := bld.Build(in)
+				el := time.Since(start)
+				if el < best {
+					best = el
+				}
+				if p == 8 || (p == ps[len(ps)-1] && locks == 0) {
+					locks = metrics.TotalLocks()
+					st := octree.CollectStats(tree)
+					treeDesc = fmt.Sprintf("%dc/%dl d%d", st.Cells, st.Leaves, st.MaxDepth)
+				}
+			}
+			row = append(row, best.Round(10*time.Microsecond).String())
+		}
+		row = append(row, locks, treeDesc)
+		t.Row(row...)
+	}
+	t.Write(os.Stdout)
+}

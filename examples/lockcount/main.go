@@ -1,0 +1,51 @@
+// Lockcount reproduces the paper's Figure 15 analysis natively: run each
+// tree-building algorithm over the same bodies on this machine and chart
+// the per-processor lock acquisitions in the build phase. Run:
+//
+//	go run ./examples/lockcount [-n 65536] [-p 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partree/internal/core"
+	"partree/internal/phys"
+	"partree/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 65536, "bodies")
+	p := flag.Int("p", 8, "processors")
+	flag.Parse()
+
+	bodies := phys.Generate(phys.ModelPlummer, *n, 42)
+	assign := core.SpatialAssign(bodies, *p)
+
+	fmt.Printf("tree-build lock acquisitions, %d bodies, %d processors:\n\n", *n, *p)
+	labels := make([]string, 0, core.NumAlgorithms)
+	values := make([]float64, 0, core.NumAlgorithms)
+	for _, alg := range core.Algorithms() {
+		bld := core.New(alg, core.Config{P: *p, LeafCap: 8})
+		// Two steps, as in the paper's measurement; UPDATE's second step
+		// is the interesting (incremental) one.
+		var total int64
+		var perProc []int64
+		for step := 0; step < 2; step++ {
+			_, m := bld.Build(&core.Input{Bodies: bodies, Assign: assign, Step: step})
+			total += m.TotalLocks()
+			perProc = m.LocksPerProc()
+		}
+		labels = append(labels, alg.String())
+		values = append(values, float64(total))
+		s := stats.Summarize(perProc)
+		fmt.Printf("%-8s final-step per-processor locks: mean %.0f [%.0f..%.0f]\n",
+			alg, s.Mean, s.Min, s.Max)
+	}
+	fmt.Println()
+	stats.Bars(os.Stdout, "total lock acquisitions over two steps:", labels, values, "")
+	fmt.Println("\nThe ordering ORIG >= LOCAL > UPDATE > PARTREE > SPACE(=0) is the design")
+	fmt.Println("strategy of the algorithm sequence: each successive algorithm trades a")
+	fmt.Println("little locality or load balance for much less synchronization.")
+}

@@ -1,0 +1,58 @@
+// Platformstudy reproduces the paper's central finding in one run: the
+// same application, with two different tree-building algorithms, on two
+// very different simulated machines. On the hardware-coherent Origin 2000
+// the choice barely matters; on the page-based software shared virtual
+// memory machine (Typhoon-0 running HLRC) the lock-based LOCAL algorithm
+// collapses while the lock-free SPACE algorithm keeps its speedup. Run:
+//
+//	go run ./examples/platformstudy [-n 8192]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partree/internal/core"
+	"partree/internal/memsim"
+	"partree/internal/phys"
+	"partree/internal/simalg"
+	"partree/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 8192, "bodies")
+	p := flag.Int("p", 16, "simulated processors")
+	flag.Parse()
+
+	bodies := phys.Generate(phys.ModelPlummer, *n, 1998)
+	platforms := []memsim.Platform{memsim.Origin2000(*p), memsim.TyphoonHLRC()}
+	algs := []core.Algorithm{core.LOCAL, core.SPACE}
+
+	fmt.Printf("%d bodies, %d simulated processors, 2 measured time steps\n\n", *n, *p)
+	t := stats.NewTable("platform", "algorithm", "total", "tree build", "tree share", "locks", "speedup")
+	for _, pl := range platforms {
+		seq := simalg.Run(core.LOCAL, bodies, simalg.Config{
+			Platform: pl, P: 1, Sequential: true,
+		})
+		for _, alg := range algs {
+			o := simalg.Run(alg, bodies, simalg.Config{Platform: pl, P: *p})
+			t.Row(pl.Name, alg.String(),
+				stats.Seconds(o.TotalNs()),
+				stats.Seconds(o.TreeNs),
+				fmt.Sprintf("%.1f%%", 100*o.TreeShare()),
+				o.TotalLocks(),
+				fmt.Sprintf("%.2fx", seq.TotalNs()/o.TotalNs()))
+		}
+	}
+	t.Write(os.Stdout)
+
+	fmt.Println(`
+Reading the table: tree building is <3% of a sequential run, and on the
+hardware-coherent machine the algorithms are near-equivalent. Under
+software page-based coherence every lock acquisition triggers protocol
+work (messages, write notices, diff flushes) and critical sections dilate
+with page faults — the locking algorithm's tree build swallows the run.
+SPACE partitions space separately for tree building so no lock is ever
+taken, which is why it ports across both machines.`)
+}

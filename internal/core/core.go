@@ -1,0 +1,275 @@
+// Package core implements the paper's contribution: five parallel
+// algorithms for building the Barnes-Hut octree on a shared address space
+// — ORIG, LOCAL (the paper's ORIG-LOCAL), UPDATE, PARTREE, and SPACE —
+// as real concurrent Go code over the internal/octree substrate.
+//
+// All five builders produce a tree over the same bodies; ORIG, LOCAL,
+// UPDATE, and PARTREE partition the *bodies* for tree building exactly as
+// they were partitioned for force calculation in the previous time step,
+// while SPACE partitions *space* anew, trading locality and load balance
+// for the complete elimination of locking. Each builder reports per-
+// processor synchronization and allocation counts so the experiments can
+// reproduce the paper's Figure 15 (dynamic lock counts).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"partree/internal/octree"
+	"partree/internal/phys"
+	"partree/internal/vec"
+)
+
+// Algorithm identifies one of the paper's five tree-building algorithms.
+type Algorithm int
+
+const (
+	// ORIG is the SPLASH-1 algorithm: concurrent insertion into a single
+	// shared tree, all nodes allocated from one global shared array.
+	ORIG Algorithm = iota
+	// LOCAL is the SPLASH-2 algorithm (the paper's ORIG-LOCAL): the same
+	// concurrent insertion, but with per-processor cell and leaf arrays,
+	// distinct internal/leaf node types and private counters.
+	LOCAL
+	// UPDATE incrementally repairs the previous step's tree instead of
+	// rebuilding: only bodies that crossed their old leaf's boundary move.
+	UPDATE
+	// PARTREE builds a private local tree per processor without any
+	// synchronization and then merges whole cells/subtrees into the
+	// shared global tree, greatly reducing the number of lock operations.
+	PARTREE
+	// SPACE repartitions space for the build: the domain is recursively
+	// subdivided until every subspace holds at most a threshold number of
+	// bodies (creating the top of the octree in the process), subspaces
+	// are assigned to processors, and each processor builds and attaches
+	// its subtrees with no locking at all.
+	SPACE
+
+	// NumAlgorithms is the number of tree-building algorithms.
+	NumAlgorithms = int(SPACE) + 1
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case ORIG:
+		return "ORIG"
+	case LOCAL:
+		return "LOCAL"
+	case UPDATE:
+		return "UPDATE"
+	case PARTREE:
+		return "PARTREE"
+	case SPACE:
+		return "SPACE"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a CLI name (case-sensitive, as printed by
+// String) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, bool) {
+	for a := Algorithm(0); int(a) < NumAlgorithms; a++ {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Algorithms lists all five in the paper's order.
+func Algorithms() []Algorithm {
+	return []Algorithm{ORIG, LOCAL, UPDATE, PARTREE, SPACE}
+}
+
+// Input is everything a builder needs for one time step.
+type Input struct {
+	Bodies *phys.Bodies
+	// Assign holds each processor's body list from the previous step's
+	// force-calculation partition (evenly split on the first step). The
+	// lists must cover every body exactly once.
+	Assign [][]int32
+	// Step is the time-step number (0-based); UPDATE rebuilds on step 0
+	// and repairs afterwards.
+	Step int
+}
+
+// P returns the processor count implied by the assignment.
+func (in *Input) P() int { return len(in.Assign) }
+
+// Builder is one tree-building algorithm. Builders may keep state between
+// steps (UPDATE keeps its whole tree; the others keep reusable stores).
+type Builder interface {
+	Algorithm() Algorithm
+	// Build constructs (or repairs) the octree for the step and computes
+	// moments. The returned tree remains owned by the builder: it is
+	// valid until the next Build call.
+	Build(in *Input) (*octree.Tree, *Metrics)
+}
+
+// Config carries the tuning parameters shared by the builders.
+type Config struct {
+	P       int // number of processors (goroutines)
+	LeafCap int // subdivision threshold k (bodies per leaf)
+	// SpaceThreshold is SPACE's subdivision threshold: a subspace with
+	// more bodies than this is split further. 0 selects the default
+	// max(LeafCap, N/(16·P)) at build time.
+	SpaceThreshold int
+	// Margin expands the root bounding cube (relative); all builders use
+	// the same value so trees stay comparable.
+	Margin float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.P <= 0 {
+		c.P = 1
+	}
+	if c.LeafCap <= 0 {
+		c.LeafCap = 8
+	}
+	if c.Margin <= 0 {
+		c.Margin = 1e-4
+	}
+	return c
+}
+
+// New creates a builder for the given algorithm.
+func New(a Algorithm, cfg Config) Builder {
+	cfg = cfg.withDefaults()
+	switch a {
+	case ORIG:
+		return newOrig(cfg)
+	case LOCAL:
+		return newLocal(cfg)
+	case UPDATE:
+		return newUpdate(cfg)
+	case PARTREE:
+		return newPartree(cfg)
+	case SPACE:
+		return newSpace(cfg)
+	}
+	panic("core: unknown algorithm")
+}
+
+// EvenAssign splits bodies 0..n-1 into p contiguous even chunks — the
+// paper's first-step assignment.
+func EvenAssign(n, p int) [][]int32 {
+	out := make([][]int32, p)
+	for w := 0; w < p; w++ {
+		lo, hi := n*w/p, n*(w+1)/p
+		chunk := make([]int32, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			chunk = append(chunk, int32(i))
+		}
+		out[w] = chunk
+	}
+	return out
+}
+
+// SpatialAssign splits the bodies into p spatially compact even chunks by
+// sorting on the Morton key — a stand-in for a settled costzones partition
+// when benchmarking a single build outside a full simulation. The paper's
+// ORIG/LOCAL/UPDATE/PARTREE builds all assume the body partition carries
+// physical locality ("if the partitioning incorporates physical locality,
+// this overhead should be small").
+func SpatialAssign(b *phys.Bodies, p int) [][]int32 {
+	n := b.N()
+	cube := b.Bounds(1e-4)
+	idx := make([]int32, n)
+	keys := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		idx[i] = int32(i)
+		keys[i] = cube.Morton(b.Pos[i])
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		if keys[idx[a]] != keys[idx[c]] {
+			return keys[idx[a]] < keys[idx[c]]
+		}
+		return idx[a] < idx[c]
+	})
+	out := make([][]int32, p)
+	for w := 0; w < p; w++ {
+		lo, hi := n*w/p, n*(w+1)/p
+		out[w] = append([]int32(nil), idx[lo:hi]...)
+	}
+	return out
+}
+
+// parallelBounds computes the root bounding cube with one goroutine per
+// processor's body list, mirroring how the real codes size the root.
+func parallelBounds(in *Input, margin float64) vec.Cube {
+	p := in.P()
+	mins := make([]vec.V3, p)
+	maxs := make([]vec.V3, p)
+	any := make([]bool, p)
+	parallelDo(p, func(w int) {
+		first := true
+		var lo, hi vec.V3
+		for _, b := range in.Assign[w] {
+			q := in.Bodies.Pos[b]
+			if first {
+				lo, hi = q, q
+				first = false
+			} else {
+				lo = lo.Min(q)
+				hi = hi.Max(q)
+			}
+		}
+		mins[w], maxs[w], any[w] = lo, hi, !first
+	})
+	first := true
+	var lo, hi vec.V3
+	for w := 0; w < p; w++ {
+		if !any[w] {
+			continue
+		}
+		if first {
+			lo, hi = mins[w], maxs[w]
+			first = false
+		} else {
+			lo = lo.Min(mins[w])
+			hi = hi.Max(maxs[w])
+		}
+	}
+	if first {
+		return vec.Cube{Size: 1}
+	}
+	size := hi.Sub(lo).MaxComponent() * (1 + margin)
+	if size <= 0 {
+		size = 1
+	}
+	return vec.Cube{Center: lo.Add(hi).Scale(0.5), Size: size}
+}
+
+// parallelDo runs fn(0..p-1) on p goroutines and waits. It is the "launch
+// the pieces, drain the channel" pattern from Effective Go; every phase of
+// every builder funnels through it so the fork/join structure of the
+// original programs is explicit.
+func parallelDo(p int, fn func(w int)) {
+	if p == 1 {
+		fn(0)
+		return
+	}
+	done := make(chan struct{}, p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			fn(w)
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < p; w++ {
+		<-done
+	}
+}
+
+// Timing records the builder's phase durations for the native benchmarks.
+type Timing struct {
+	Bounds  time.Duration // root sizing (and SPACE's counting/partitioning)
+	Insert  time.Duration // loading bodies / merging / attaching
+	Moments time.Duration // center-of-mass pass
+}
+
+// Total returns the summed build time.
+func (t Timing) Total() time.Duration { return t.Bounds + t.Insert + t.Moments }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+// loadBuilder is the shared skeleton of ORIG and LOCAL: every processor
+// loads its own bodies one by one into a single shared tree, locking cells
+// as it modifies them. The two algorithms differ only in their allocation
+// layout, captured by arenaFor.
+type loadBuilder struct {
+	cfg   Config
+	alg   Algorithm
+	store *octree.Store
+	// arenaFor maps a processor to the arena it allocates nodes from:
+	// ORIG returns 0 for everyone (the single shared global array with a
+	// shared allocation cursor); LOCAL returns the processor's own arena
+	// (per-processor cell and leaf arrays).
+	arenaFor func(proc int) int
+}
+
+func newOrig(cfg Config) Builder {
+	return &loadBuilder{
+		cfg:      cfg,
+		alg:      ORIG,
+		store:    octree.NewStore(1, cfg.LeafCap),
+		arenaFor: func(int) int { return 0 },
+	}
+}
+
+func newLocal(cfg Config) Builder {
+	return &loadBuilder{
+		cfg:      cfg,
+		alg:      LOCAL,
+		store:    octree.NewStore(cfg.P, cfg.LeafCap),
+		arenaFor: func(proc int) int { return proc },
+	}
+}
+
+func (lb *loadBuilder) Algorithm() Algorithm { return lb.alg }
+
+func (lb *loadBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
+	m := newMetrics(lb.alg, in.P())
+	tree := buildShared(lb.store, in, lb.cfg, m, lb.arenaFor, nil)
+	return tree, m
+}
+
+// buildShared runs the concurrent-load build: size the root, load all
+// bodies with locking, compute moments in parallel. UPDATE reuses it for
+// its first step with a bodyLeaf map to maintain.
+func buildShared(store *octree.Store, in *Input, cfg Config, m *Metrics,
+	arenaFor func(int) int, bodyLeaf []uint32) *octree.Tree {
+
+	p := in.P()
+	t0 := time.Now()
+	cube := parallelBounds(in, cfg.Margin)
+	store.Reset()
+	tree := octree.NewTree(store, arenaFor(0), 0, cube)
+	t1 := time.Now()
+
+	pos := in.Bodies.Pos
+	parallelDo(p, func(w int) {
+		ins := &inserter{
+			s:        store,
+			arena:    arenaFor(w),
+			proc:     w,
+			pc:       &m.PerP[w],
+			bodyLeaf: bodyLeaf,
+		}
+		for _, b := range in.Assign[w] {
+			ins.insert(tree.Root, 0, b, pos)
+		}
+		m.PerP[w].BodiesBuilt += int64(len(in.Assign[w]))
+	})
+	t2 := time.Now()
+
+	octree.ComputeMomentsParallel(tree, bodyData(in.Bodies), p)
+	t3 := time.Now()
+
+	m.Timing.Bounds += t1.Sub(t0)
+	m.Timing.Insert += t2.Sub(t1)
+	m.Timing.Moments += t3.Sub(t2)
+	return tree
+}
+
+func bodyData(b *phys.Bodies) octree.BodyData {
+	return octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+}

@@ -1,0 +1,91 @@
+package core
+
+import "fmt"
+
+// procCounters is one processor's event counts, padded so that counters
+// for different processors never share a cache line (the very false
+// sharing the LOCAL data-structure redesign removes — our *measurement*
+// must not suffer from it either).
+type procCounters struct {
+	Locks       int64 // lock acquisitions in the tree-build phase
+	Cells       int64 // cells allocated
+	Leaves      int64 // leaves allocated
+	Retries     int64 // descents restarted after losing a race
+	BodiesMoved int64 // UPDATE: bodies that crossed a leaf boundary
+	MergeOps    int64 // PARTREE: nodes processed while merging
+	Attached    int64 // PARTREE/SPACE: subtrees transplanted whole
+	BodiesBuilt int64 // bodies this processor loaded into the tree
+	_           [8]int64
+}
+
+// Metrics aggregates per-processor counters for one build.
+type Metrics struct {
+	Alg    Algorithm
+	PerP   []procCounters
+	Timing Timing
+}
+
+func newMetrics(a Algorithm, p int) *Metrics {
+	return &Metrics{Alg: a, PerP: make([]procCounters, p)}
+}
+
+// TotalLocks sums lock acquisitions across processors.
+func (m *Metrics) TotalLocks() int64 {
+	var t int64
+	for i := range m.PerP {
+		t += m.PerP[i].Locks
+	}
+	return t
+}
+
+// LocksPerProc returns the per-processor lock counts (Figure 15).
+func (m *Metrics) LocksPerProc() []int64 {
+	out := make([]int64, len(m.PerP))
+	for i := range m.PerP {
+		out[i] = m.PerP[i].Locks
+	}
+	return out
+}
+
+// TotalCells sums cells allocated across processors.
+func (m *Metrics) TotalCells() int64 {
+	var t int64
+	for i := range m.PerP {
+		t += m.PerP[i].Cells
+	}
+	return t
+}
+
+// TotalLeaves sums leaves allocated across processors.
+func (m *Metrics) TotalLeaves() int64 {
+	var t int64
+	for i := range m.PerP {
+		t += m.PerP[i].Leaves
+	}
+	return t
+}
+
+// TotalRetries sums lost-race descent restarts.
+func (m *Metrics) TotalRetries() int64 {
+	var t int64
+	for i := range m.PerP {
+		t += m.PerP[i].Retries
+	}
+	return t
+}
+
+// TotalBodiesMoved sums UPDATE's cross-boundary moves.
+func (m *Metrics) TotalBodiesMoved() int64 {
+	var t int64
+	for i := range m.PerP {
+		t += m.PerP[i].BodiesMoved
+	}
+	return t
+}
+
+// String summarizes the metrics in one line.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%s: locks=%d cells=%d leaves=%d retries=%d moved=%d build=%v",
+		m.Alg, m.TotalLocks(), m.TotalCells(), m.TotalLeaves(), m.TotalRetries(),
+		m.TotalBodiesMoved(), m.Timing.Total())
+}

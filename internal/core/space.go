@@ -1,0 +1,272 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"partree/internal/octree"
+	"partree/internal/vec"
+)
+
+// spaceBuilder implements SPACE, the paper's new algorithm. Tree building
+// gets its own *spatial* partition, different from the costzones body
+// partition used by every other phase:
+//
+//  1. The domain is recursively subdivided, counting bodies per subspace
+//     in parallel, until every subspace holds at most a threshold number
+//     of bodies. The cells created along the way are exactly the top of
+//     the final octree ("the UPPER part").
+//  2. The resulting subspaces are assigned to processors (balanced by
+//     body count).
+//  3. Each processor privately builds one subtree per assigned subspace
+//     and attaches it to the global tree without any locking: a given
+//     attachment slot belongs to exactly one processor.
+//
+// Locking in the tree-build phase is eliminated entirely, at the cost of
+// the counting passes, some load imbalance, and the loss of locality
+// between the build partition and the force partition.
+type spaceBuilder struct {
+	cfg   Config
+	store *octree.Store
+}
+
+func newSpace(cfg Config) Builder {
+	return &spaceBuilder{cfg: cfg, store: octree.NewStore(cfg.P, cfg.LeafCap)}
+}
+
+func (sb *spaceBuilder) Algorithm() Algorithm { return SPACE }
+
+// subspace is one finalized partition unit: an unfilled child slot of a
+// prefix cell, plus the bodies that belong in it.
+type subspace struct {
+	parent octree.Ref // prefix cell the subtree will attach to
+	oct    vec.Octant // slot within parent
+	cube   vec.Cube
+	depth  int // depth of the subspace node itself
+	count  int
+	owner  int
+	bodies []int32
+}
+
+func (sb *spaceBuilder) threshold(n, p int) int {
+	th := sb.cfg.SpaceThreshold
+	if th <= 0 {
+		th = n / (4 * p)
+	}
+	if th < sb.cfg.LeafCap {
+		th = sb.cfg.LeafCap
+	}
+	return th
+}
+
+func (sb *spaceBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
+	p := in.P()
+	m := newMetrics(SPACE, p)
+	s := sb.store
+	pos := in.Bodies.Pos
+
+	t0 := time.Now()
+	cube := parallelBounds(in, sb.cfg.Margin)
+	s.Reset()
+	tree := octree.NewTree(s, 0, 0, cube)
+	subs := sb.partition(tree, in, m)
+	assignSubspaces(tree.RootCube(), subs, p)
+	t1 := time.Now()
+
+	// Build and attach subtrees, one processor per subspace, no locks.
+	parallelDo(p, func(w int) {
+		ins := &inserter{s: s, arena: w, proc: w, pc: &m.PerP[w]}
+		for i := range subs {
+			ss := &subs[i]
+			if ss.owner != w {
+				continue
+			}
+			var node octree.Ref
+			if ss.count <= s.LeafCap || ss.depth >= s.MaxDepth {
+				lr, l := ins.allocLeaf(ss.cube, ss.parent)
+				l.Bodies = append(l.Bodies, ss.bodies...)
+				node = lr
+			} else {
+				cr, _ := ins.allocCell(ss.cube, ss.parent)
+				for _, b := range ss.bodies {
+					ins.insertPrivate(cr, ss.depth, b, pos)
+				}
+				node = cr
+			}
+			// Attach without locking: this slot is ours alone.
+			s.Cell(ss.parent).SetChild(ss.oct, node)
+			ins.pc.Attached++
+			m.PerP[w].BodiesBuilt += int64(ss.count)
+		}
+	})
+	t2 := time.Now()
+
+	octree.ComputeMomentsParallel(tree, bodyData(in.Bodies), p)
+	t3 := time.Now()
+
+	m.Timing.Bounds += t1.Sub(t0)
+	m.Timing.Insert += t2.Sub(t1)
+	m.Timing.Moments += t3.Sub(t2)
+	return tree, m
+}
+
+// partition runs the parallel counting/subdivision rounds. Each round,
+// every processor histograms its own bodies over the current frontier
+// cells' octants (no synchronization beyond the round barrier); frontier
+// children above the threshold become new prefix cells, the rest become
+// finalized subspaces with their body lists bucketed per processor.
+func (sb *spaceBuilder) partition(tree *octree.Tree, in *Input, m *Metrics) []subspace {
+	p := in.P()
+	s := sb.store
+	pos := in.Bodies.Pos
+	n := in.Bodies.N()
+	threshold := sb.threshold(n, p)
+
+	type frontierCell struct {
+		ref   octree.Ref
+		cube  vec.Cube
+		depth int
+	}
+	frontier := []frontierCell{{tree.Root, tree.RootCube(), 0}}
+
+	// Per-processor routing state: which frontier cell each of my bodies
+	// currently belongs to.
+	myBodies := make([][]int32, p)
+	myCell := make([][]int32, p) // frontier index per body
+	parallelDo(p, func(w int) {
+		myBodies[w] = append([]int32(nil), in.Assign[w]...)
+		myCell[w] = make([]int32, len(myBodies[w]))
+	})
+
+	var subs []subspace
+	counts := make([][]int64, p) // per proc: frontier×8 histogram
+	octs := make([][]uint8, p)   // per proc: octant of each body this round
+
+	for len(frontier) > 0 {
+		f := len(frontier)
+		// Count in parallel.
+		parallelDo(p, func(w int) {
+			if cap(counts[w]) < f*8 {
+				counts[w] = make([]int64, f*8)
+			} else {
+				counts[w] = counts[w][:f*8]
+				for i := range counts[w] {
+					counts[w][i] = 0
+				}
+			}
+			if cap(octs[w]) < len(myBodies[w]) {
+				octs[w] = make([]uint8, len(myBodies[w]))
+			} else {
+				octs[w] = octs[w][:len(myBodies[w])]
+			}
+			for i, b := range myBodies[w] {
+				fc := myCell[w][i]
+				o := frontier[fc].cube.OctantOf(pos[b])
+				octs[w][i] = uint8(o)
+				counts[w][int(fc)*8+int(o)]++
+			}
+		})
+
+		// Reduce and decide (cheap, serial: the frontier is tiny).
+		newIndex := make([]int32, f*8) // >=0: new frontier idx; -1: nil; -2-k: subspace k
+		var next []frontierCell
+		for fc := 0; fc < f; fc++ {
+			for o := vec.Octant(0); o < vec.NOctants; o++ {
+				var total int64
+				for w := 0; w < p; w++ {
+					total += counts[w][fc*8+int(o)]
+				}
+				slot := fc*8 + int(o)
+				switch {
+				case total == 0:
+					newIndex[slot] = -1
+				case int(total) > threshold && frontier[fc].depth+1 < s.MaxDepth:
+					cr, _ := s.AllocCell(0, frontier[fc].cube.Child(o), frontier[fc].ref, 0)
+					m.PerP[0].Cells++
+					s.Cell(frontier[fc].ref).SetChild(o, cr)
+					newIndex[slot] = int32(len(next))
+					next = append(next, frontierCell{cr, frontier[fc].cube.Child(o), frontier[fc].depth + 1})
+				default:
+					newIndex[slot] = int32(-2 - len(subs))
+					subs = append(subs, subspace{
+						parent: frontier[fc].ref,
+						oct:    o,
+						cube:   frontier[fc].cube.Child(o),
+						depth:  frontier[fc].depth + 1,
+						count:  int(total),
+					})
+				}
+			}
+		}
+
+		// Re-bucket bodies in parallel: keep the ones still in flight,
+		// stash the finalized ones per (processor, subspace).
+		final := make([][][]int32, p)
+		parallelDo(p, func(w int) {
+			final[w] = make([][]int32, len(subs))
+			keepB := myBodies[w][:0]
+			keepC := myCell[w][:0]
+			for i, b := range myBodies[w] {
+				slot := int(myCell[w][i])*8 + int(octs[w][i])
+				ni := newIndex[slot]
+				switch {
+				case ni >= 0:
+					keepB = append(keepB, b)
+					keepC = append(keepC, ni)
+				case ni <= -2:
+					k := int(-2 - ni)
+					final[w][k] = append(final[w][k], b)
+				default:
+					panic("core: body routed to an empty octant")
+				}
+			}
+			myBodies[w] = keepB
+			myCell[w] = keepC
+		})
+		// Concatenate per-processor buckets deterministically.
+		for k := range subs {
+			for w := 0; w < p; w++ {
+				if len(final[w]) > k && len(final[w][k]) > 0 {
+					subs[k].bodies = append(subs[k].bodies, final[w][k]...)
+				}
+			}
+		}
+
+		frontier = next
+	}
+	return subs
+}
+
+// assignSubspaces assigns subspaces to processors in spatially contiguous
+// groups of roughly equal body count: sorted by Morton key (octree
+// depth-first order) and cut into P cost zones, the grouping the paper's
+// Figure 5 draws. Contiguity limits the locality loss SPACE trades for
+// its zero locking.
+func assignSubspaces(root vec.Cube, subs []subspace, p int) {
+	order := make([]int, len(subs))
+	total := 0
+	for i := range order {
+		order[i] = i
+		total += subs[i].count
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka := root.Morton(subs[order[a]].cube.Center)
+		kb := root.Morton(subs[order[b]].cube.Center)
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	if total == 0 {
+		return
+	}
+	acc := 0
+	for _, i := range order {
+		w := acc * p / total
+		if w >= p {
+			w = p - 1
+		}
+		subs[i].owner = w
+		acc += subs[i].count
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"partree/internal/octree"
+	"partree/internal/vec"
+)
+
+// updateBuilder implements UPDATE: instead of rebuilding every step, it
+// keeps the previous step's tree and moves only the bodies that crossed
+// their old leaf's boundary. The tree's *shape* persists across steps
+// (cells keep their relative positions); only the root's dimensions — and
+// therefore every node's absolute bounds — are refreshed, which is why the
+// node structures store their bounds explicitly. A moved body walks up the
+// parent links until an enclosing cell is found and is reinserted from
+// there with the usual locking; leaves that empty out are reclaimed.
+type updateBuilder struct {
+	cfg      Config
+	store    *octree.Store
+	tree     *octree.Tree
+	bodyLeaf []uint32
+	// insPerProc persists so leaf free-lists survive across steps.
+	insPerProc []*inserter
+}
+
+func newUpdate(cfg Config) Builder {
+	return &updateBuilder{cfg: cfg, store: octree.NewStore(cfg.P, cfg.LeafCap)}
+}
+
+func (ub *updateBuilder) Algorithm() Algorithm { return UPDATE }
+
+func (ub *updateBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
+	p := in.P()
+	m := newMetrics(UPDATE, p)
+
+	fresh := ub.tree == nil || in.Step == 0 || len(ub.bodyLeaf) != in.Bodies.N()
+	if fresh {
+		ub.bodyLeaf = make([]uint32, in.Bodies.N())
+		ub.insPerProc = make([]*inserter, p)
+		ub.tree = buildShared(ub.store, in, ub.cfg, m, func(w int) int { return w }, ub.bodyLeaf)
+		return ub.tree, m
+	}
+
+	s := ub.store
+	tree := ub.tree
+	pos := in.Bodies.Pos
+
+	// Phase 1: refresh the root bounds and rescale every node's cube;
+	// the tree keeps its shape but the space it maps onto breathes.
+	t0 := time.Now()
+	cube := parallelBounds(in, ub.cfg.Margin)
+	rescale(tree, cube, p)
+	t1 := time.Now()
+
+	// Phase 2: move bodies that crossed their leaf boundary.
+	parallelDo(p, func(w int) {
+		ins := ub.insPerProc[w]
+		if ins == nil {
+			ins = &inserter{s: s, arena: w, proc: w, bodyLeaf: ub.bodyLeaf}
+			ub.insPerProc[w] = ins
+		}
+		ins.pc = &m.PerP[w]
+		ins.promoteFreed()
+		for _, b := range in.Assign[w] {
+			lr := ins.getBodyLeaf(b)
+			if s.Leaf(lr).Cube.Contains(pos[b]) {
+				continue // still home; the common case
+			}
+			ins.pc.BodiesMoved++
+			parent := ins.remove(b)
+			// Walk up until an enclosing cell is found (the root
+			// encloses everything by construction).
+			cur := parent
+			for {
+				c := s.Cell(cur)
+				if c.Cube.Contains(pos[b]) || c.Parent.IsNil() {
+					break
+				}
+				cur = c.Parent
+			}
+			ins.insert(cur, depthOf(tree, s.Cell(cur).Cube), b, pos)
+		}
+		m.PerP[w].BodiesBuilt += int64(len(in.Assign[w]))
+	})
+	t2 := time.Now()
+
+	octree.ComputeMomentsParallel(tree, bodyData(in.Bodies), p)
+	t3 := time.Now()
+
+	m.Timing.Bounds += t1.Sub(t0)
+	m.Timing.Insert += t2.Sub(t1)
+	m.Timing.Moments += t3.Sub(t2)
+	return tree, m
+}
+
+// depthOf recovers a node's depth from its cube size: cubes halve exactly
+// at every level, so the ratio to the root size is a power of two.
+func depthOf(t *octree.Tree, c vec.Cube) int {
+	root := t.RootCube()
+	return int(math.Round(math.Log2(root.Size / c.Size)))
+}
+
+// rescale rewrites every live node's cube after the root was resized:
+// proc 0 handles the top two levels, then the depth-2 subtrees are fanned
+// out across processors.
+func rescale(t *octree.Tree, root vec.Cube, p int) {
+	s := t.Store
+	rc := s.Cell(t.Root)
+	rc.Cube = root
+
+	type job struct {
+		ref  octree.Ref
+		cube vec.Cube
+	}
+	var jobs []job
+	for o := vec.Octant(0); o < vec.NOctants; o++ {
+		ch := rc.Child(o)
+		if ch.IsNil() {
+			continue
+		}
+		cc := root.Child(o)
+		if ch.IsLeaf() {
+			s.Leaf(ch).Cube = cc
+			continue
+		}
+		c := s.Cell(ch)
+		c.Cube = cc
+		for oo := vec.Octant(0); oo < vec.NOctants; oo++ {
+			if g := c.Child(oo); !g.IsNil() {
+				jobs = append(jobs, job{g, cc.Child(oo)})
+			}
+		}
+	}
+	parallelDo(p, func(w int) {
+		for i := w; i < len(jobs); i += p {
+			var rec func(r octree.Ref, cube vec.Cube)
+			rec = func(r octree.Ref, cube vec.Cube) {
+				if r.IsLeaf() {
+					s.Leaf(r).Cube = cube
+					return
+				}
+				c := s.Cell(r)
+				c.Cube = cube
+				for o := vec.Octant(0); o < vec.NOctants; o++ {
+					if ch := c.Child(o); !ch.IsNil() {
+						rec(ch, cube.Child(o))
+					}
+				}
+			}
+			rec(jobs[i].ref, jobs[i].cube)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package fmm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"partree/internal/core"
+	"partree/internal/force"
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+func prepared(n int, seed int64) (*phys.Bodies, *octree.Tree, octree.BodyData) {
+	b := phys.Generate(phys.ModelPlummer, n, seed)
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+	octree.ComputeMomentsSerial(tr, d)
+	return b, tr, d
+}
+
+func meanErr(b *phys.Bodies, d octree.BodyData, p force.Params, stride int) float64 {
+	var sum float64
+	n := 0
+	for i := 0; i < b.N(); i += stride {
+		exact := force.Direct(d, int32(i), p)
+		sum += b.Acc[i].Sub(exact).Len() / (exact.Len() + 1e-12)
+		n++
+	}
+	return sum / float64(n)
+}
+
+func TestFMMAccuracyComparableToBH(t *testing.T) {
+	b, tr, d := prepared(3000, 7)
+	fp := force.Params{Theta: 0.7, Eps: 0.05, G: 1}
+
+	// BH reference errors.
+	bh := b.Clone()
+	force.ComputeAll(tr, bh, core.EvenAssign(b.N(), 1), fp)
+	errBH := meanErr(bh, d, fp, 13)
+
+	// FMM at the same θ.
+	ComputeAll(tr, b, Params{Theta: 0.7, Eps: 0.05, G: 1, Quadrupole: true}, 4)
+	errFMM := meanErr(b, d, fp, 13)
+
+	if errFMM > 3*errBH+0.01 {
+		t.Fatalf("FMM mean error %.4g not comparable to BH %.4g", errFMM, errBH)
+	}
+	if errFMM > 0.06 {
+		t.Fatalf("FMM mean error %.4g too large", errFMM)
+	}
+	t.Logf("mean relative error: FMM %.4f vs BH %.4f at θ=0.7", errFMM, errBH)
+}
+
+func TestFMMFewerInteractionsThanBH(t *testing.T) {
+	// The cell-cell algorithm's whole point: far fewer force evaluations
+	// than body-cell Barnes-Hut for the same tree and θ.
+	b, tr, _ := prepared(20000, 3)
+	fp := force.Params{Theta: 0.8, Eps: 0.05, G: 1}
+	bh := b.Clone()
+	st := force.ComputeAll(tr, bh, core.EvenAssign(b.N(), 1), fp)
+	fs := ComputeAll(tr, b, Params{Theta: 0.8, Eps: 0.05, G: 1, Quadrupole: true}, 4)
+	fmmOps := fs.CellCell + fs.P2P
+	if fmmOps >= st.Interactions {
+		t.Fatalf("FMM ops %d not below BH interactions %d", fmmOps, st.Interactions)
+	}
+	t.Logf("ops at θ=0.8, n=20000: FMM %d (cc=%d p2p=%d) vs BH %d (%.1fx fewer)",
+		fmmOps, fs.CellCell, fs.P2P, st.Interactions, float64(st.Interactions)/float64(fmmOps))
+}
+
+func TestFMMWorksOnAllBuildersTrees(t *testing.T) {
+	// The same solver runs on trees produced by every one of the paper's
+	// five parallel builders — the "applies to all methods" claim.
+	b := phys.Generate(phys.ModelPlummer, 2000, 9)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+	fp := force.Params{Theta: 0.8, Eps: 0.05, G: 1}
+
+	var ref []float64
+	for i, alg := range core.Algorithms() {
+		bld := core.New(alg, core.Config{P: 4, LeafCap: 8})
+		tr, _ := bld.Build(&core.Input{Bodies: b, Assign: core.EvenAssign(b.N(), 4)})
+		run := b.Clone()
+		ComputeAll(tr, run, Params{Theta: 0.8, Eps: 0.05, G: 1, Quadrupole: true}, 4)
+		if err := meanErr(run, d, fp, 31); err > 0.06 {
+			t.Fatalf("%v tree: FMM error %.4g", alg, err)
+		}
+		if i == 0 {
+			for j := 0; j < b.N(); j += 31 {
+				ref = append(ref, run.Acc[j].Len())
+			}
+			continue
+		}
+		k := 0
+		for j := 0; j < b.N(); j += 31 {
+			if math.Abs(run.Acc[j].Len()-ref[k]) > 1e-9*(1+ref[k]) {
+				t.Fatalf("%v tree: FMM result differs from canonical tree's", alg)
+			}
+			k++
+		}
+	}
+}
+
+func TestFMMWorkerCountsAgree(t *testing.T) {
+	b, tr, _ := prepared(2500, 11)
+	fp := Params{Theta: 0.8, Eps: 0.05, G: 1, Quadrupole: true}
+	one := b.Clone()
+	ComputeAll(tr, one, fp, 1)
+	many := b.Clone()
+	ComputeAll(tr, many, fp, 8)
+	for i := range one.Acc {
+		if one.Acc[i].Sub(many.Acc[i]).Len() > 1e-9*(1+one.Acc[i].Len()) {
+			t.Fatalf("worker counts disagree at body %d: %v vs %v", i, one.Acc[i], many.Acc[i])
+		}
+	}
+}
+
+func TestFMMMomentumConservation(t *testing.T) {
+	// Cell-cell interactions are not applied symmetrically here (each
+	// sink integrates the full source field), so momentum conservation
+	// holds only to the expansion's accuracy — but must be small.
+	b, tr, _ := prepared(3000, 13)
+	ComputeAll(tr, b, DefaultParams(), 4)
+	var net float64
+	for i := range b.Acc {
+		net += b.Mass[i] * b.Acc[i].Len()
+	}
+	var imbalance struct{ x, y, z float64 }
+	for i := range b.Acc {
+		imbalance.x += b.Mass[i] * b.Acc[i].X
+		imbalance.y += b.Mass[i] * b.Acc[i].Y
+		imbalance.z += b.Mass[i] * b.Acc[i].Z
+	}
+	tot := math.Sqrt(imbalance.x*imbalance.x + imbalance.y*imbalance.y + imbalance.z*imbalance.z)
+	if tot > 0.02*net {
+		t.Fatalf("net force %.3g exceeds 2%% of gross %.3g", tot, net)
+	}
+}
+
+func TestFMMTinySystems(t *testing.T) {
+	for _, n := range []int{1, 2, 9} {
+		b, tr, d := prepared(n, 17)
+		ComputeAll(tr, b, DefaultParams(), 4)
+		fp := force.Params{Theta: 1, Eps: 0.05, G: 1}
+		for i := 0; i < n; i++ {
+			exact := force.Direct(d, int32(i), fp)
+			if b.Acc[i].Sub(exact).Len() > 1e-9*(1+exact.Len()) {
+				t.Fatalf("n=%d body %d: %v want %v", n, i, b.Acc[i], exact)
+			}
+		}
+	}
+}
+
+func BenchmarkFMMvsBH(b *testing.B) {
+	bodies, tr, _ := prepared(32768, 1)
+	for _, solver := range []string{"bh", "fmm"} {
+		b.Run(fmt.Sprintf("%s/n=32768", solver), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if solver == "bh" {
+					force.ComputeAll(tr, bodies, core.EvenAssign(bodies.N(), 8), force.DefaultParams())
+				} else {
+					ComputeAll(tr, bodies, DefaultParams(), 8)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package force
+
+import (
+	"fmt"
+	"testing"
+
+	"partree/internal/core"
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+func benchTree(n int) (*phys.Bodies, *octree.Tree, octree.BodyData) {
+	b := phys.Generate(phys.ModelPlummer, n, 1)
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+	octree.ComputeMomentsSerial(tr, d)
+	return b, tr, d
+}
+
+func BenchmarkAccel(b *testing.B) {
+	_, tr, d := benchTree(65536)
+	for _, quad := range []bool{false, true} {
+		b.Run(fmt.Sprintf("quad=%v", quad), func(b *testing.B) {
+			p := DefaultParams()
+			p.Quadrupole = quad
+			var inter int64
+			for i := 0; i < b.N; i++ {
+				r := Accel(tr, d, int32(i%65536), p)
+				inter = r.Interactions
+			}
+			b.ReportMetric(float64(inter), "interactions")
+		})
+	}
+}
+
+func BenchmarkComputeAll(b *testing.B) {
+	bodies, tr, _ := benchTree(32768)
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			assign := core.EvenAssign(bodies.N(), p)
+			for i := 0; i < b.N; i++ {
+				ComputeAll(tr, bodies, assign, DefaultParams())
+			}
+		})
+	}
+}

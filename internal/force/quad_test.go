@@ -1,0 +1,128 @@
+package force
+
+import (
+	"math"
+	"testing"
+
+	"partree/internal/octree"
+	"partree/internal/phys"
+	"partree/internal/vec"
+)
+
+// TestQuadrupoleTwoMassAnalytic checks the quadrupole term against the
+// closed form for two equal masses at ±d on the x-axis, evaluated far
+// away on the x-axis: the exact axial field exceeds the monopole one, and
+// the quadrupole correction recovers most of the difference.
+func TestQuadrupoleTwoMassAnalytic(t *testing.T) {
+	d := 0.5
+	pos := []vec.V3{{X: -d}, {X: d}, {X: 4}}
+	mass := []float64{1, 1, 1e-12} // third body = test probe
+	tr := octree.BuildSerial(pos, 2)
+	data := octree.BodyData{Pos: pos, Mass: mass}
+	octree.ComputeMomentsSerial(tr, data)
+
+	exact := Direct(data, 2, Params{Theta: 1, Eps: 0, G: 1})
+	mono := Accel(tr, data, 2, Params{Theta: 10, Eps: 0, G: 1}) // θ huge: forced approximation
+	quad := Accel(tr, data, 2, Params{Theta: 10, Eps: 0, G: 1, Quadrupole: true})
+
+	if mono.Interactions != 1 || quad.Interactions != 1 {
+		t.Fatalf("approximation not used: %d/%d interactions", mono.Interactions, quad.Interactions)
+	}
+	errMono := math.Abs(mono.Acc.X - exact.X)
+	errQuad := math.Abs(quad.Acc.X - exact.X)
+	if errQuad >= errMono/4 {
+		t.Fatalf("quadrupole error %g not ≪ monopole error %g (exact %g mono %g quad %g)",
+			errQuad, errMono, exact.X, mono.Acc.X, quad.Acc.X)
+	}
+	// Direction check: the pair is extended along x, so the true axial
+	// pull is stronger than the monopole; the correction must be negative
+	// (toward the pair, i.e. more negative X).
+	if quad.Acc.X >= mono.Acc.X {
+		t.Fatalf("quadrupole corrected the wrong way: mono %g quad %g exact %g",
+			mono.Acc.X, quad.Acc.X, exact.X)
+	}
+}
+
+// TestQuadrupoleImprovesAccuracy compares whole-system force errors with
+// and without the quadrupole term at the same θ.
+func TestQuadrupoleImprovesAccuracy(t *testing.T) {
+	b := phys.Generate(phys.ModelPlummer, 2000, 11)
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass}
+	octree.ComputeMomentsSerial(tr, d)
+
+	var errMono, errQuad float64
+	n := 0
+	for i := 0; i < b.N(); i += 23 {
+		exact := Direct(d, int32(i), Params{Theta: 1, Eps: 0.05, G: 1})
+		mono := Accel(tr, d, int32(i), Params{Theta: 1.0, Eps: 0.05, G: 1}).Acc
+		quad := Accel(tr, d, int32(i), Params{Theta: 1.0, Eps: 0.05, G: 1, Quadrupole: true}).Acc
+		scale := exact.Len() + 1e-12
+		errMono += mono.Sub(exact).Len() / scale
+		errQuad += quad.Sub(exact).Len() / scale
+		n++
+	}
+	errMono /= float64(n)
+	errQuad /= float64(n)
+	// At θ=1 the expansion converges slowly (the octupole term is not
+	// small), so expect a solid but not dramatic improvement.
+	if errQuad >= 0.8*errMono {
+		t.Fatalf("quadrupole mean error %.3g not below monopole %.3g", errQuad, errMono)
+	}
+}
+
+// TestQuadrupoleZeroForPoint: a subtree whose mass is concentrated at one
+// point has a vanishing quadrupole, so the correction must be ~0.
+func TestQuadrupoleZeroForPoint(t *testing.T) {
+	pos := []vec.V3{{X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}, {X: -3}}
+	mass := []float64{1, 1, 1e-12}
+	tr := octree.BuildSerial(pos, 1)
+	d := octree.BodyData{Pos: pos, Mass: mass}
+	octree.ComputeMomentsSerial(tr, d)
+	mono := Accel(tr, d, 2, Params{Theta: 10, Eps: 0, G: 1})
+	quad := Accel(tr, d, 2, Params{Theta: 10, Eps: 0, G: 1, Quadrupole: true})
+	if diff := quad.Acc.Sub(mono.Acc).Len(); diff > 1e-12 {
+		t.Fatalf("coincident masses produced a quadrupole correction %g", diff)
+	}
+}
+
+// TestQuadrupoleTraceless: the accumulated tensor must stay traceless
+// through leaf accumulation and parallel-axis transport.
+func TestQuadrupoleTraceless(t *testing.T) {
+	b := phys.Generate(phys.ModelTwoClusters, 3000, 5)
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass}
+	octree.ComputeMomentsSerial(tr, d)
+	octree.Walk(tr, func(r octree.Ref, _ int) bool {
+		var q octree.Quadrupole
+		if r.IsLeaf() {
+			q = tr.Store.Leaf(r).Quad
+		} else {
+			q = tr.Store.Cell(r).Quad
+		}
+		trace := q[0] + q[1] + q[2]
+		scale := math.Abs(q[0]) + math.Abs(q[1]) + math.Abs(q[2]) + 1
+		if math.Abs(trace)/scale > 1e-9 {
+			t.Fatalf("node %v trace %g not ~0", r, trace)
+		}
+		return true
+	})
+}
+
+// TestQuadrupoleParallelMatchesSerial: the parallel moments pass fills the
+// same tensors as the serial one.
+func TestQuadrupoleParallelMatchesSerial(t *testing.T) {
+	b := phys.Generate(phys.ModelPlummer, 3000, 9)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass}
+	a := octree.BuildSerial(b.Pos, 8)
+	octree.ComputeMomentsSerial(a, d)
+	c := octree.BuildSerial(b.Pos, 8)
+	octree.ComputeMomentsParallel(c, d, 7)
+	qa := a.Store.Cell(a.Root).Quad
+	qc := c.Store.Cell(c.Root).Quad
+	for i := range qa {
+		if math.Abs(qa[i]-qc[i]) > 1e-9*(1+math.Abs(qa[i])) {
+			t.Fatalf("component %d differs: %g vs %g", i, qa[i], qc[i])
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package harness defines the paper's experiments — every table and figure
+// in the evaluation section — as runnable units over the platform
+// simulator, plus the native-execution extras. cmd/paperrepro drives it.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"partree/internal/core"
+	"partree/internal/memsim"
+	"partree/internal/phys"
+	"partree/internal/simalg"
+)
+
+// Options configure a reproduction session.
+type Options struct {
+	// Sizes are the problem sizes swept (bodies). The paper uses 8k-512k;
+	// the default keeps runs quick, -large extends it.
+	Sizes []int
+	// Large switches to the extended size sweep.
+	Large bool
+	// Seed for the Plummer model.
+	Seed int64
+	// LeafCap is the bodies-per-leaf threshold k.
+	LeafCap int
+	// MeasuredSteps per run (the paper times a few steps after warmup).
+	MeasuredSteps int
+}
+
+// DefaultOptions returns the quick configuration.
+func DefaultOptions() Options {
+	return Options{
+		Sizes:         []int{4096, 8192, 16384},
+		Seed:          1998,
+		LeafCap:       8,
+		MeasuredSteps: 2,
+	}
+}
+
+// EffectiveSizes returns the size sweep honoring Large.
+func (o Options) EffectiveSizes() []int {
+	if o.Large {
+		return append(append([]int{}, o.Sizes...), 32768, 65536, 131072)
+	}
+	return o.Sizes
+}
+
+// MaxSize returns the largest size in the sweep (used by the experiments
+// that the paper runs at a single large size).
+func (o Options) MaxSize() int {
+	max := 0
+	for _, n := range o.EffectiveSizes() {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Session memoizes simulation outcomes so experiments can share runs (the
+// speedup figures and the phase-share figures reuse the same sweeps).
+type Session struct {
+	Opts   Options
+	bodies map[int]*phys.Bodies
+	cache  map[string]simalg.Outcome
+}
+
+// NewSession creates a session.
+func NewSession(opts Options) *Session {
+	if opts.LeafCap == 0 {
+		opts.LeafCap = 8
+	}
+	if opts.MeasuredSteps == 0 {
+		opts.MeasuredSteps = 2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1998
+	}
+	if len(opts.Sizes) == 0 {
+		opts.Sizes = DefaultOptions().Sizes
+	}
+	return &Session{Opts: opts, bodies: map[int]*phys.Bodies{}, cache: map[string]simalg.Outcome{}}
+}
+
+// Bodies returns the memoized Plummer system of size n.
+func (s *Session) Bodies(n int) *phys.Bodies {
+	b := s.bodies[n]
+	if b == nil {
+		b = phys.Generate(phys.ModelPlummer, n, s.Opts.Seed)
+		s.bodies[n] = b
+	}
+	return b
+}
+
+// Outcome runs (or recalls) algorithm alg on the platform with p simulated
+// processors and n bodies.
+func (s *Session) Outcome(pl memsim.Platform, alg core.Algorithm, p, n int) simalg.Outcome {
+	key := fmt.Sprintf("%s|%v|%d|%d", pl.Name, alg, p, n)
+	if o, ok := s.cache[key]; ok {
+		return o
+	}
+	o := simalg.Run(alg, s.Bodies(n), simalg.Config{
+		Platform:      pl,
+		P:             p,
+		LeafCap:       s.Opts.LeafCap,
+		MeasuredSteps: s.Opts.MeasuredSteps,
+	})
+	s.cache[key] = o
+	return o
+}
+
+// Seq returns the best-sequential baseline on the platform at size n: one
+// processor, no locking anywhere (the paper's speedup denominator).
+func (s *Session) Seq(pl memsim.Platform, n int) simalg.Outcome {
+	key := fmt.Sprintf("%s|seq|%d", pl.Name, n)
+	if o, ok := s.cache[key]; ok {
+		return o
+	}
+	o := simalg.Run(core.LOCAL, s.Bodies(n), simalg.Config{
+		Platform:      pl,
+		P:             1,
+		LeafCap:       s.Opts.LeafCap,
+		MeasuredSteps: s.Opts.MeasuredSteps,
+		Sequential:    true,
+	})
+	s.cache[key] = o
+	return o
+}
+
+// Speedup is whole-application speedup over the platform's sequential run.
+func (s *Session) Speedup(pl memsim.Platform, alg core.Algorithm, p, n int) float64 {
+	return s.Seq(pl, n).TotalNs() / s.Outcome(pl, alg, p, n).TotalNs()
+}
+
+// TreeSpeedup is the tree-building phase's speedup alone (paper Figures 9
+// and 14).
+func (s *Session) TreeSpeedup(pl memsim.Platform, alg core.Algorithm, p, n int) float64 {
+	return s.Seq(pl, n).TreeNs / s.Outcome(pl, alg, p, n).TreeNs
+}
+
+// DumpCSV writes every outcome the session has computed as CSV, for
+// external plotting. Rows are sorted by cache key so output is stable.
+func (s *Session) DumpCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"platform", "algorithm", "procs", "bodies", "steps",
+		"tree_ns", "partition_ns", "force_ns", "update_ns", "total_ns",
+		"tree_share", "locks_total", "barrier_ns_mean", "interactions",
+		"page_faults", "diffs", "write_notices", "coherence_misses", "contention_ns",
+	}); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o := s.cache[k]
+		alg := o.Alg.String()
+		if strings.Contains(k, "|seq|") {
+			alg = "SEQUENTIAL"
+		}
+		rec := []string{
+			o.Platform, alg,
+			strconv.Itoa(o.P), strconv.Itoa(o.N), strconv.Itoa(o.Steps),
+			fmt.Sprintf("%.0f", o.TreeNs), fmt.Sprintf("%.0f", o.PartNs),
+			fmt.Sprintf("%.0f", o.ForceNs), fmt.Sprintf("%.0f", o.UpdateNs),
+			fmt.Sprintf("%.0f", o.TotalNs()),
+			fmt.Sprintf("%.4f", o.TreeShare()),
+			strconv.FormatInt(o.TotalLocks(), 10),
+			fmt.Sprintf("%.0f", o.MeanBarrierNs()),
+			strconv.FormatInt(o.Interactions, 10),
+			strconv.FormatInt(o.Protocol.PageFaults, 10),
+			strconv.FormatInt(o.Protocol.Diffs, 10),
+			strconv.FormatInt(o.Protocol.WriteNotices, 10),
+			strconv.FormatInt(o.Protocol.CoherenceMiss, 10),
+			fmt.Sprintf("%.0f", o.Protocol.ContentionNs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

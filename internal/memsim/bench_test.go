@@ -1,0 +1,51 @@
+package memsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEngineThroughput measures raw simulated-operation throughput:
+// it bounds how large a configuration the whole-application simulations
+// can afford.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, p := range []int{1, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			e := NewEngine(Origin2000(p), p)
+			opsPerProc := b.N/p + 1
+			b.ResetTimer()
+			e.Run(func(pr *Proc) {
+				for i := 0; i < opsPerProc; i++ {
+					pr.Read(uint64(pr.ID*1024+i%256) * 64)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEngineBatch shows the batched-access fast path.
+func BenchmarkEngineBatch(b *testing.B) {
+	e := NewEngine(Origin2000(4), 4)
+	addrs := make([]uint64, 64)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+	}
+	b.ResetTimer()
+	e.Run(func(pr *Proc) {
+		for i := 0; i < b.N/4+1; i++ {
+			pr.ReadBatch(addrs)
+		}
+	})
+}
+
+func BenchmarkHLRCLockCycle(b *testing.B) {
+	e := NewEngine(TyphoonHLRC(), 2)
+	b.ResetTimer()
+	e.Run(func(pr *Proc) {
+		for i := 0; i < b.N/2+1; i++ {
+			pr.Lock(1)
+			pr.Write(4096)
+			pr.Unlock(1)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package memsim
+
+// busProtocol is the SGI Challenge model: MESI-style write-invalidate
+// snooping on a single shared bus with centralized memory. Every
+// processor sees the same miss latency; the bus is the contended resource.
+// Caches are modeled as infinite with invalidation-based coherence: an
+// access hits if the processor's copy is still valid, and the first access
+// (or the first after an invalidation) misses.
+type busProtocol struct {
+	pl      Platform
+	p       int
+	lines   map[uint64]lineState
+	bus     resource
+	st      ProtocolStats
+	touched map[uint64]struct{} // lines ever cached by anyone (cold-miss accounting)
+}
+
+// lineState is the directory-ish view of one cache line: which processors
+// hold it and which (if any) holds it dirty.
+type lineState struct {
+	sharers uint64
+	owner   int32 // dirty owner, -1 if clean
+}
+
+func newBusProtocol(pl Platform, p int) *busProtocol {
+	if p > 64 {
+		panic("memsim: more than 64 processors not supported")
+	}
+	return &busProtocol{pl: pl, p: p, lines: make(map[uint64]lineState), touched: make(map[uint64]struct{})}
+}
+
+func (b *busProtocol) lineOf(addr uint64) uint64 { return addr / uint64(b.pl.LineSize) }
+
+func (b *busProtocol) Access(proc int, addr uint64, write bool, now float64) float64 {
+	b.st.Accesses++
+	ln := b.lineOf(addr)
+	s, ok := b.lines[ln]
+	if !ok {
+		s.owner = -1
+	}
+	bit := uint64(1) << uint(proc)
+
+	if write {
+		if s.owner == int32(proc) {
+			b.st.Hits++
+			return b.pl.HitNs
+		}
+	} else if s.sharers&bit != 0 {
+		b.st.Hits++
+		return b.pl.HitNs
+	}
+
+	// Miss: classify, pay the bus, update state.
+	if _, cold := b.touched[ln]; !cold {
+		b.st.ColdMisses++
+		b.touched[ln] = struct{}{}
+	} else {
+		b.st.CoherenceMiss++
+	}
+	lat := b.pl.LocalMissNs
+	if s.owner >= 0 && s.owner != int32(proc) {
+		// Dirty elsewhere: snoop supplies the data (same bus cost class
+		// on the Challenge).
+		lat = b.pl.DirtyMissNs
+		b.st.DirtyMisses++
+	} else {
+		b.st.LocalMisses++
+	}
+	wait := b.bus.serve(now, b.pl.OccupancyNs)
+	b.st.ContentionNs += wait
+	lat += wait
+
+	if write {
+		n := popcount(s.sharers &^ bit)
+		if n > 0 {
+			b.st.Invalidations += int64(n)
+			lat += float64(n) * b.pl.InvalNs
+		}
+		s.sharers = bit
+		s.owner = int32(proc)
+	} else {
+		// Any dirty copy downgrades to shared.
+		s.sharers |= bit
+		s.owner = -1
+	}
+	b.lines[ln] = s
+	return lat
+}
+
+func (b *busProtocol) AcquireLock(proc, lockID int, now float64) float64 {
+	wait := b.bus.serve(now, b.pl.OccupancyNs)
+	b.st.ContentionNs += wait
+	return wait + b.pl.LockNs
+}
+
+func (b *busProtocol) ReleaseLock(proc, lockID int, now float64) float64 {
+	return b.pl.HitNs
+}
+
+func (b *busProtocol) BarrierWork(arrivals []float64, procs []int) (float64, []float64) {
+	release := maxFloat(arrivals) + b.pl.BarrierBase + b.pl.BarrierPerP*float64(len(procs))
+	return release, make([]float64, len(procs))
+}
+
+func (b *busProtocol) SetHome(lo, hi uint64, node int) {} // centralized memory
+
+func (b *busProtocol) Stats() ProtocolStats { return b.st }
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func maxFloat(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package memsim
+
+// dirProtocol models directory-based coherence over physically distributed
+// memory. With software=false it is the SGI Origin 2000: hardware handlers,
+// local vs remote vs dirty-3-hop miss costs, per-home-hub occupancy. With
+// software=true it is Typhoon-0's fine-grain sequentially consistent mode:
+// the same structure, but every miss also occupies a software protocol
+// handler on the home node, which raises both latency and contention. In
+// both cases synchronization carries no protocol activity beyond the
+// memory transactions themselves — the crucial difference from HLRC.
+type dirProtocol struct {
+	pl       Platform
+	p        int
+	software bool
+	lines    map[uint64]lineState
+	touched  map[uint64]struct{}
+	homes    *homeMap
+	hubs     []resource
+	st       ProtocolStats
+}
+
+func newDirProtocol(pl Platform, p int, software bool) *dirProtocol {
+	if p > 64 {
+		panic("memsim: more than 64 processors not supported")
+	}
+	return &dirProtocol{
+		pl:       pl,
+		p:        p,
+		software: software,
+		lines:    make(map[uint64]lineState),
+		touched:  make(map[uint64]struct{}),
+		homes:    newHomeMap(pl.PageSize, pl.numNodes(p)),
+		hubs:     make([]resource, pl.numNodes(p)),
+	}
+}
+
+func (d *dirProtocol) lineOf(addr uint64) uint64 { return addr / uint64(d.pl.LineSize) }
+
+func (d *dirProtocol) Access(proc int, addr uint64, write bool, now float64) float64 {
+	d.st.Accesses++
+	ln := d.lineOf(addr)
+	s, ok := d.lines[ln]
+	if !ok {
+		s.owner = -1
+	}
+	bit := uint64(1) << uint(proc)
+
+	if write {
+		if s.owner == int32(proc) {
+			d.st.Hits++
+			return d.pl.HitNs
+		}
+	} else if s.sharers&bit != 0 {
+		d.st.Hits++
+		return d.pl.HitNs
+	}
+
+	if _, seen := d.touched[ln]; !seen {
+		d.st.ColdMisses++
+		d.touched[ln] = struct{}{}
+	} else {
+		d.st.CoherenceMiss++
+	}
+
+	home := d.homes.nodeOf(addr)
+	myNode := d.pl.nodeOf(proc, d.p)
+	var lat float64
+	switch {
+	case s.owner >= 0 && s.owner != int32(proc) && d.pl.nodeOf(int(s.owner), d.p) != myNode:
+		lat = d.pl.DirtyMissNs
+		d.st.DirtyMisses++
+	case home == myNode:
+		lat = d.pl.LocalMissNs
+		d.st.LocalMisses++
+	default:
+		lat = d.pl.RemoteMissNs
+		d.st.RemoteMisses++
+	}
+	// The home's hub (hardware) or protocol processor (software) is a
+	// serial resource.
+	wait := d.hubs[home].serve(now, d.pl.OccupancyNs)
+	d.st.ContentionNs += wait
+	lat += wait
+	if d.software {
+		lat += d.pl.SoftNs // handler execution on the coprocessor
+	}
+
+	if write {
+		n := popcount(s.sharers &^ bit)
+		if n > 0 {
+			d.st.Invalidations += int64(n)
+			lat += float64(n) * d.pl.InvalNs
+		}
+		s.sharers = bit
+		s.owner = int32(proc)
+	} else {
+		s.sharers |= bit
+		s.owner = -1
+	}
+	d.lines[ln] = s
+	return lat
+}
+
+func (d *dirProtocol) AcquireLock(proc, lockID int, now float64) float64 {
+	// An LL/SC (or fetch&op at the home hub) pays a remote transaction.
+	home := lockID % len(d.hubs)
+	wait := d.hubs[home].serve(now, d.pl.OccupancyNs)
+	d.st.ContentionNs += wait
+	lat := d.pl.LockNs + wait
+	if d.software {
+		lat += d.pl.SoftNs
+	}
+	return lat
+}
+
+func (d *dirProtocol) ReleaseLock(proc, lockID int, now float64) float64 {
+	return d.pl.HitNs
+}
+
+func (d *dirProtocol) BarrierWork(arrivals []float64, procs []int) (float64, []float64) {
+	release := maxFloat(arrivals) + d.pl.BarrierBase + d.pl.BarrierPerP*float64(len(procs))
+	return release, make([]float64, len(procs))
+}
+
+func (d *dirProtocol) SetHome(lo, hi uint64, node int) { d.homes.set(lo, hi, node) }
+
+func (d *dirProtocol) Stats() ProtocolStats { return d.st }
+
+// homeMap assigns memory pages to nodes: round-robin by default, with
+// explicit placements (first-touch-style) from SetHome.
+type homeMap struct {
+	pageSize uint64
+	nodes    int
+	explicit map[uint64]int // page -> node
+}
+
+func newHomeMap(pageSize, nodes int) *homeMap {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &homeMap{pageSize: uint64(pageSize), nodes: nodes, explicit: make(map[uint64]int)}
+}
+
+func (h *homeMap) pageOf(addr uint64) uint64 { return addr / h.pageSize }
+
+func (h *homeMap) nodeOf(addr uint64) int {
+	pg := h.pageOf(addr)
+	if n, ok := h.explicit[pg]; ok {
+		return n
+	}
+	return int(pg % uint64(h.nodes))
+}
+
+func (h *homeMap) set(lo, hi uint64, node int) {
+	if node < 0 {
+		node = 0
+	}
+	if node >= h.nodes {
+		node = node % h.nodes
+	}
+	for pg := lo / h.pageSize; pg*h.pageSize < hi; pg++ {
+		h.explicit[pg] = node
+	}
+}

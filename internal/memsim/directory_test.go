@@ -1,0 +1,116 @@
+package memsim
+
+import "testing"
+
+func dirTest(p int) Platform {
+	pl := Origin2000(p)
+	return pl
+}
+
+func TestDirectoryDirtyThreeHop(t *testing.T) {
+	// Proc 0 (node 0) dirties a line homed at node 1; proc 4 (node 2)
+	// then reads it: that read must be classified as a dirty miss.
+	pl := dirTest(8) // 4 nodes, 2 procs each
+	e := NewEngine(pl, 8)
+	e.Memory().SetHome(0, 4096, 1)
+	res := e.Run(func(p *Proc) {
+		switch p.ID {
+		case 0:
+			p.Write(64)
+			p.Barrier("w")
+		case 4:
+			p.Barrier("w")
+			p.Read(64)
+		default:
+			p.Barrier("w")
+		}
+	})
+	if res.Protocol.DirtyMisses == 0 {
+		t.Fatalf("no dirty (3-hop) miss recorded: %+v", res.Protocol)
+	}
+}
+
+func TestDirectoryWriteInvalidatesAllSharers(t *testing.T) {
+	e := NewEngine(dirTest(8), 8)
+	res := e.Run(func(p *Proc) {
+		p.Read(128) // everyone shares the line
+		p.Barrier("r")
+		if p.ID == 0 {
+			p.Write(128) // must invalidate the other 7
+		}
+		p.Barrier("w")
+	})
+	if res.Protocol.Invalidations != 7 {
+		t.Fatalf("invalidations = %d, want 7", res.Protocol.Invalidations)
+	}
+}
+
+func TestDirectoryHomePlacementMatters(t *testing.T) {
+	// The same access stream is cheaper when data is homed at the
+	// accessor's node — the locality the LOCAL algorithm buys.
+	run := func(home int) float64 {
+		e := NewEngine(dirTest(4), 4)
+		e.Memory().SetHome(1<<20, 1<<21, home)
+		res := e.Run(func(p *Proc) {
+			if p.ID == 0 {
+				for i := 0; i < 64; i++ {
+					p.Read(1<<20 + uint64(i)*4096) // distinct pages: all miss
+				}
+			}
+		})
+		return res.PerProc[0].MemNs
+	}
+	local := run(0)  // proc 0 lives on node 0
+	remote := run(1) // homed on node 1
+	if local >= remote {
+		t.Fatalf("local-homed accesses %v not cheaper than remote %v", local, remote)
+	}
+}
+
+func TestFGSCOccupancyQueues(t *testing.T) {
+	// All processors missing to one home node at once must queue on its
+	// software protocol processor.
+	pl := TyphoonSC()
+	e := NewEngine(pl, 8)
+	e.Memory().SetHome(1<<20, 1<<21, 0)
+	res := e.Run(func(p *Proc) {
+		p.Read(1<<20 + uint64(p.ID)*4096)
+	})
+	if res.Protocol.ContentionNs < pl.OccupancyNs {
+		t.Fatalf("contention %v too small for a saturated home", res.Protocol.ContentionNs)
+	}
+}
+
+func TestOriginNodesArePaired(t *testing.T) {
+	pl := Origin2000(8)
+	if pl.NodeOf(0, 8) != pl.NodeOf(1, 8) {
+		t.Fatal("procs 0 and 1 should share a node")
+	}
+	if pl.NodeOf(0, 8) == pl.NodeOf(2, 8) {
+		t.Fatal("procs 0 and 2 should not share a node")
+	}
+}
+
+func TestProtocolKindStrings(t *testing.T) {
+	for _, k := range []ProtocolKind{SnoopyBus, Directory, HLRC, FineGrainSC} {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestAllPlatformsConstructible(t *testing.T) {
+	for _, pl := range AllPlatforms(16) {
+		e := NewEngine(pl, 4)
+		res := e.Run(func(p *Proc) {
+			p.Read(uint64(p.ID) * 64)
+			p.Lock(1)
+			p.Compute(10)
+			p.Unlock(1)
+			p.Barrier("end")
+		})
+		if res.Time <= 0 {
+			t.Fatalf("%s: no time simulated", pl.Name)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package memsim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// tiny returns a minimal uniform platform for engine-semantics tests.
+func tiny() Platform {
+	return Platform{
+		Name: "tiny", Kind: SnoopyBus,
+		CycleNs: 1, HitNs: 1, LineSize: 64, PageSize: 4096, Nodes: 1,
+		LocalMissNs: 100, DirtyMissNs: 120, InvalNs: 5, OccupancyNs: 10,
+		LockNs: 50, BarrierBase: 10, BarrierPerP: 1,
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	e := NewEngine(tiny(), 1)
+	res := e.Run(func(p *Proc) {
+		p.Compute(500)
+		p.Compute(250)
+	})
+	if res.Time != 750 {
+		t.Fatalf("time = %v, want 750", res.Time)
+	}
+	if res.PerProc[0].ComputeNs != 750 {
+		t.Fatalf("compute = %v", res.PerProc[0].ComputeNs)
+	}
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	e := NewEngine(tiny(), 1)
+	res := e.Run(func(p *Proc) {
+		p.Read(64)  // cold miss: 100 + hit 0? miss latency only
+		p.Read(64)  // hit: 1
+		p.Read(65)  // same line: hit
+		p.Read(128) // new line: miss
+	})
+	st := res.Protocol
+	if st.ColdMisses != 2 || st.Hits != 2 {
+		t.Fatalf("cold=%d hits=%d, want 2/2", st.ColdMisses, st.Hits)
+	}
+}
+
+func TestInvalidationCausesCoherenceMiss(t *testing.T) {
+	e := NewEngine(tiny(), 2)
+	res := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Read(0)      // cold
+			p.Barrier("w") // proc 1 writes after this
+			p.Barrier("x")
+			p.Read(0) // invalidated by proc 1's write: coherence miss
+		} else {
+			p.Barrier("w")
+			p.Write(0)
+			p.Barrier("x")
+		}
+	})
+	if res.Protocol.CoherenceMiss == 0 {
+		t.Fatal("no coherence miss recorded")
+	}
+	if res.Protocol.Invalidations == 0 {
+		t.Fatal("no invalidation recorded")
+	}
+}
+
+func TestLockMutualExclusionInVirtualTime(t *testing.T) {
+	// Two procs contend for one lock; critical sections must not overlap
+	// in virtual time, and the loser's wait must show up in stats.
+	e := NewEngine(tiny(), 2)
+	type span struct{ start, end float64 }
+	spans := make([]span, 2)
+	res := e.Run(func(p *Proc) {
+		p.Compute(float64(p.ID) * 5) // stagger slightly
+		p.Lock(1)
+		start := p.Now()
+		p.Compute(1000)
+		end := p.Now()
+		p.Unlock(1)
+		spans[p.ID] = span{start, end}
+	})
+	a, b := spans[0], spans[1]
+	if a.start < b.end && b.start < a.end {
+		t.Fatalf("critical sections overlap: %+v %+v", a, b)
+	}
+	if res.PerProc[1].LockWaitNs <= 0 {
+		t.Fatalf("second proc waited %v, want > 0", res.PerProc[1].LockWaitNs)
+	}
+	if res.PerProc[0].Locks != 1 || res.PerProc[1].Locks != 1 {
+		t.Fatal("lock counts wrong")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e := NewEngine(tiny(), 4)
+	after := make([]float64, 4)
+	e.Run(func(p *Proc) {
+		p.Compute(float64(p.ID+1) * 100)
+		p.Barrier("sync")
+		after[p.ID] = p.Now()
+	})
+	for i := 1; i < 4; i++ {
+		if after[i] != after[0] {
+			t.Fatalf("proc %d resumed at %v, proc 0 at %v", i, after[i], after[0])
+		}
+	}
+	if after[0] < 400 {
+		t.Fatalf("barrier released at %v before slowest arrival 400", after[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		e := NewEngine(Origin2000(4), 4)
+		return e.Run(func(p *Proc) {
+			for i := 0; i < 200; i++ {
+				addr := uint64((i*7+p.ID*13)%64) * 64
+				if i%3 == 0 {
+					p.Write(addr)
+				} else {
+					p.Read(addr)
+				}
+				if i%17 == 0 {
+					p.Lock(i % 4)
+					p.Compute(30)
+					p.Unlock(i % 4)
+				}
+			}
+			p.Barrier("end")
+		})
+	}
+	a, b := run(), run()
+	if a.Time != b.Time {
+		t.Fatalf("nondeterministic total time: %v vs %v", a.Time, b.Time)
+	}
+	for i := range a.PerProc {
+		if a.PerProc[i] != b.PerProc[i] {
+			t.Fatalf("proc %d stats differ: %+v vs %+v", i, a.PerProc[i], b.PerProc[i])
+		}
+	}
+	if a.Protocol != b.Protocol {
+		t.Fatalf("protocol stats differ: %+v vs %+v", a.Protocol, b.Protocol)
+	}
+}
+
+func TestEngineSerializesExecution(t *testing.T) {
+	// At most one simulated processor executes real code between
+	// operations — including immediately after barrier releases and lock
+	// grants, when several processors resume in the same engine step. A
+	// plain counter must never see concurrent access.
+	e := NewEngine(tiny(), 8)
+	var inside atomic.Int32
+	violated := atomic.Bool{}
+	check := func() {
+		if inside.Add(1) != 1 {
+			violated.Store(true)
+		}
+		inside.Add(-1)
+	}
+	e.Run(func(p *Proc) {
+		check() // pre-first-op window
+		for i := 0; i < 50; i++ {
+			check()
+			p.Compute(1)
+			check()
+			p.Lock(i % 3) // contended: grants release procs mid-step
+			check()
+			p.Compute(2)
+			p.Unlock(i % 3)
+			check()
+			if i%10 == 0 {
+				p.Barrier("b") // all procs released in one step
+				check()
+			}
+		}
+		p.Barrier("final")
+		check()
+	})
+	if violated.Load() {
+		t.Fatal("two simulated procs ran concurrently between ops")
+	}
+}
+
+func TestContentionSlowsBus(t *testing.T) {
+	// 8 procs each missing on distinct lines at the same instant: bus
+	// occupancy must queue them.
+	e := NewEngine(tiny(), 8)
+	res := e.Run(func(p *Proc) {
+		p.Read(uint64(p.ID) * 4096)
+	})
+	if res.Protocol.ContentionNs <= 0 {
+		t.Fatal("no bus contention recorded")
+	}
+	// Last-served proc should finish ~7 occupancy slots later.
+	if res.Time < 100+7*10 {
+		t.Fatalf("total time %v too small for queued bus", res.Time)
+	}
+}
+
+func TestFIFOLockGrantOrder(t *testing.T) {
+	e := NewEngine(tiny(), 3)
+	var order []int
+	e.Run(func(p *Proc) {
+		p.Compute(float64(p.ID) * 10)
+		p.Lock(7)
+		order = append(order, p.ID)
+		p.Compute(500)
+		p.Unlock(7)
+	})
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order %v, want [0 1 2]", order)
+	}
+}
+
+func TestBatchAccessCountsEach(t *testing.T) {
+	e := NewEngine(tiny(), 1)
+	res := e.Run(func(p *Proc) {
+		p.ReadBatch([]uint64{0, 64, 128, 0})
+		p.WriteBatch([]uint64{0, 64})
+	})
+	if res.Protocol.Accesses != 6 {
+		t.Fatalf("accesses = %d, want 6", res.Protocol.Accesses)
+	}
+	if res.PerProc[0].Reads != 4 || res.PerProc[0].Writes != 2 {
+		t.Fatalf("reads/writes = %d/%d", res.PerProc[0].Reads, res.PerProc[0].Writes)
+	}
+}
+
+func TestPhaseTimesFromBarriers(t *testing.T) {
+	e := NewEngine(tiny(), 2)
+	res := e.Run(func(p *Proc) {
+		p.Compute(100)
+		p.Barrier("build")
+		p.Compute(200)
+		p.Barrier("force")
+	})
+	b, err := res.PhaseTime("", "build")
+	if err != nil || b <= 0 {
+		t.Fatalf("build phase: %v %v", b, err)
+	}
+	f, err := res.PhaseTime("build", "force")
+	if err != nil || f < 200 {
+		t.Fatalf("force phase %v: %v", f, err)
+	}
+	if _, err := res.PhaseTime("", "nope"); err == nil {
+		t.Fatal("missing barrier not reported")
+	}
+}

@@ -1,0 +1,93 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectPanic runs f and verifies it panics with a message containing want.
+func expectPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			if err, isErr := r.(error); isErr {
+				msg = err.Error()
+			}
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func TestUnlockWithoutLockPanics(t *testing.T) {
+	expectPanic(t, "does not hold", func() {
+		NewEngine(tiny(), 1).Run(func(p *Proc) {
+			p.Unlock(3)
+		})
+	})
+}
+
+func TestUnlockOthersLockPanics(t *testing.T) {
+	expectPanic(t, "does not hold", func() {
+		NewEngine(tiny(), 2).Run(func(p *Proc) {
+			if p.ID == 0 {
+				p.Lock(1)
+				p.Compute(1000)
+				p.Unlock(1)
+			} else {
+				p.Compute(100)
+				p.Unlock(1) // not the holder
+			}
+		})
+	})
+}
+
+func TestBarrierLabelMismatchPanics(t *testing.T) {
+	expectPanic(t, "label mismatch", func() {
+		NewEngine(tiny(), 2).Run(func(p *Proc) {
+			if p.ID == 0 {
+				p.Barrier("a")
+			} else {
+				p.Barrier("b")
+			}
+		})
+	})
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Both procs block on a lock the other will never release.
+	expectPanic(t, "deadlock", func() {
+		NewEngine(tiny(), 2).Run(func(p *Proc) {
+			if p.ID == 0 {
+				p.Lock(1)
+				p.Lock(2) // blocks forever once proc 1 holds 2
+			} else {
+				p.Lock(2)
+				p.Lock(1)
+			}
+		})
+	})
+}
+
+func TestSelfDeadlockDetected(t *testing.T) {
+	// Simulated locks are not reentrant.
+	expectPanic(t, "deadlock", func() {
+		NewEngine(tiny(), 1).Run(func(p *Proc) {
+			p.Lock(1)
+			p.Lock(1)
+		})
+	})
+}
+
+func TestTooManyProcsPanics(t *testing.T) {
+	expectPanic(t, "more than 64", func() {
+		NewEngine(tiny(), 65)
+	})
+}

@@ -1,0 +1,248 @@
+package memsim
+
+import "sort"
+
+// hlrcProtocol models Home-based Lazy Release Consistency over software
+// shared virtual memory at page granularity (Zhou, Iftode & Li), the
+// protocol the paper runs on the Intel Paragon and on Typhoon-0's page
+// mode. The model keeps real vector clocks and per-interval write
+// notices, so the defining behaviours emerge rather than being asserted:
+//
+//   - all protocol activity happens at acquires, releases and barriers;
+//   - a lock acquire merges the last releaser's vector clock and applies
+//     write notices, invalidating pages written by others;
+//   - a release closes the current interval, computing and flushing a
+//     diff to the home for every page written (twin created at first
+//     write to a non-home page);
+//   - an access to an invalidated page faults and fetches the page from
+//     its home — and a fault inside a critical section dilates it for
+//     every waiting processor, the serialization the paper identifies as
+//     the key bottleneck.
+//
+// Each processor is a node (a workstation in the cluster); a page's home
+// processor always has a valid copy.
+type hlrcProtocol struct {
+	pl     Platform
+	p      int
+	homes  *homeMap
+	pages  map[uint64]*svmPage
+	procs  []svmProc
+	lockVC map[int][]int32 // vector clock carried by each lock
+	// nodes[i] is node i's protocol engine (the compute processor or
+	// coprocessor running the SVM handlers): page fetches it serves,
+	// diffs it applies, and lock requests it manages occupy it serially.
+	// Under load this queues — the saturation that makes fine-grained
+	// synchronization collapse on these systems.
+	nodes []resource
+	st    ProtocolStats
+}
+
+// svmPage is one shared page's SVM state.
+type svmPage struct {
+	valid   uint64 // bitmask of processors with a valid copy
+	twinned uint64 // processors holding a twin in their current interval
+}
+
+// interval is one processor's closed write interval: the pages it dirtied
+// between two release points.
+type interval struct {
+	pages []uint64
+}
+
+// svmProc is one processor's protocol state.
+type svmProc struct {
+	vc        []int32 // vector clock; vc[q] = last interval of q seen
+	dirty     map[uint64]struct{}
+	intervals []interval // my closed intervals, indexed by sequence-1
+}
+
+func newHLRCProtocol(pl Platform, p int) *hlrcProtocol {
+	h := &hlrcProtocol{
+		pl:     pl,
+		p:      p,
+		homes:  newHomeMap(pl.PageSize, p),
+		pages:  make(map[uint64]*svmPage),
+		procs:  make([]svmProc, p),
+		lockVC: make(map[int][]int32),
+		nodes:  make([]resource, p),
+	}
+	for i := range h.procs {
+		h.procs[i] = svmProc{vc: make([]int32, p), dirty: make(map[uint64]struct{})}
+	}
+	return h
+}
+
+func (h *hlrcProtocol) pageOf(addr uint64) uint64 { return addr / uint64(h.pl.PageSize) }
+
+func (h *hlrcProtocol) page(pg uint64) *svmPage {
+	s := h.pages[pg]
+	if s == nil {
+		s = &svmPage{valid: ^uint64(0)} // untouched pages start valid everywhere
+		h.pages[pg] = s
+	}
+	return s
+}
+
+// faultNs is the cost of fetching a page from its home.
+func (h *hlrcProtocol) faultNs() float64 {
+	return 2*h.pl.MsgNs + h.pl.PageXferNs + h.pl.SoftNs
+}
+
+func (h *hlrcProtocol) Access(proc int, addr uint64, write bool, now float64) float64 {
+	h.st.Accesses++
+	pg := h.pageOf(addr)
+	s := h.page(pg)
+	bit := uint64(1) << uint(proc)
+	home := h.homes.nodeOf(addr)
+
+	lat := h.pl.HitNs
+	if s.valid&bit == 0 && home != proc {
+		// Page fault: fetch the up-to-date copy from home, whose
+		// protocol engine serves requests one at a time.
+		h.st.PageFaults++
+		wait := h.nodes[home].serve(now+h.pl.MsgNs, h.pl.SoftNs+h.pl.PageXferNs/2)
+		h.st.ContentionNs += wait
+		lat += h.faultNs() + wait
+		s.valid |= bit
+	} else {
+		h.st.Hits++
+	}
+	if write {
+		if home != proc && s.twinned&bit == 0 {
+			// First write this interval: make a twin.
+			h.st.Twins++
+			lat += h.pl.TwinNs
+			s.twinned |= bit
+		}
+		h.procs[proc].dirty[pg] = struct{}{}
+	}
+	return lat
+}
+
+// closeInterval flushes proc's dirty pages (diffs to homes) and records
+// the interval's write notices. Returns the cost to the releaser; the
+// homes' protocol engines are also occupied applying the diffs, delaying
+// whoever faults to them next.
+func (h *hlrcProtocol) closeInterval(proc int, now float64) float64 {
+	ps := &h.procs[proc]
+	if len(ps.dirty) == 0 {
+		return 0
+	}
+	pages := make([]uint64, 0, len(ps.dirty))
+	for pg := range ps.dirty {
+		pages = append(pages, pg)
+	}
+	sortUint64(pages)
+	var cost float64
+	for _, pg := range pages {
+		s := h.page(pg)
+		bit := uint64(1) << uint(proc)
+		if s.twinned&bit != 0 {
+			// Compute the diff locally, send it; the home applies it.
+			h.st.Diffs++
+			cost += h.pl.DiffNs
+			h.nodes[h.homeOfPage(pg)].serve(now+cost+h.pl.MsgNs, h.pl.SoftNs)
+			s.twinned &^= bit
+		}
+		// Everyone else's copy is now stale relative to this interval.
+	}
+	// The release completes only when the homes have acknowledged.
+	cost += 2 * h.pl.MsgNs
+	ps.intervals = append(ps.intervals, interval{pages: pages})
+	ps.vc[proc]++
+	ps.dirty = make(map[uint64]struct{})
+	return cost
+}
+
+// applyNotices merges remote into proc's vector clock, invalidating pages
+// from every interval proc has not yet seen. Returns the cost.
+func (h *hlrcProtocol) applyNotices(proc int, remote []int32) float64 {
+	ps := &h.procs[proc]
+	var applied int64
+	for q := 0; q < h.p; q++ {
+		if q == proc || remote[q] <= ps.vc[q] {
+			continue
+		}
+		for seq := ps.vc[q]; seq < remote[q]; seq++ {
+			for _, pg := range h.procs[q].intervals[seq].pages {
+				s := h.page(pg)
+				bit := uint64(1) << uint(proc)
+				if s.valid&bit != 0 && h.homeOfPage(pg) != proc {
+					s.valid &^= bit
+					applied++
+				}
+			}
+		}
+		ps.vc[q] = remote[q]
+	}
+	h.st.WriteNotices += applied
+	return float64(applied) * h.pl.NoticeNs
+}
+
+func (h *hlrcProtocol) homeOfPage(pg uint64) int {
+	return h.homes.nodeOf(pg * uint64(h.pl.PageSize))
+}
+
+func (h *hlrcProtocol) AcquireLock(proc, lockID int, now float64) float64 {
+	// Fetch the lock from its manager node (whose protocol engine is a
+	// serial resource), then apply the write notices its vector clock
+	// implies.
+	mgr := lockID % h.p
+	wait := h.nodes[mgr].serve(now+h.pl.MsgNs, h.pl.SoftNs)
+	h.st.ContentionNs += wait
+	lat := 2*h.pl.MsgNs + wait
+	if vc := h.lockVC[lockID]; vc != nil {
+		lat += h.applyNotices(proc, vc)
+	}
+	return lat + h.pl.SoftNs
+}
+
+func (h *hlrcProtocol) ReleaseLock(proc, lockID int, now float64) float64 {
+	// Lazy release consistency: the interval closes here, and the lock
+	// carries the releaser's vector clock to the next acquirer.
+	cost := h.closeInterval(proc, now)
+	vc := h.lockVC[lockID]
+	if vc == nil {
+		vc = make([]int32, h.p)
+		h.lockVC[lockID] = vc
+	}
+	copy(vc, h.procs[proc].vc)
+	return cost + h.pl.SoftNs
+}
+
+func (h *hlrcProtocol) BarrierWork(arrivals []float64, procs []int) (float64, []float64) {
+	// Every processor closes its interval on arrival, the manager merges
+	// all vector clocks, and every processor applies the notices it has
+	// not seen before leaving.
+	flushed := make([]float64, len(procs))
+	var latest float64
+	merged := make([]int32, h.p)
+	for i, pr := range procs {
+		c := h.closeInterval(pr, arrivals[i])
+		flushed[i] = arrivals[i] + c
+		if flushed[i] > latest {
+			latest = flushed[i]
+		}
+	}
+	for _, pr := range procs {
+		for q := 0; q < h.p; q++ {
+			if h.procs[pr].vc[q] > merged[q] {
+				merged[q] = h.procs[pr].vc[q]
+			}
+		}
+	}
+	release := latest + h.pl.BarrierBase + h.pl.BarrierPerP*float64(len(procs)) + 2*h.pl.MsgNs
+	perProc := make([]float64, len(procs))
+	for i, pr := range procs {
+		perProc[i] = h.applyNotices(pr, merged) + h.pl.SoftNs
+	}
+	return release, perProc
+}
+
+func (h *hlrcProtocol) SetHome(lo, hi uint64, node int) { h.homes.set(lo, hi, node) }
+
+func (h *hlrcProtocol) Stats() ProtocolStats { return h.st }
+
+func sortUint64(x []uint64) {
+	sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+}

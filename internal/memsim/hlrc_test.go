@@ -1,0 +1,209 @@
+package memsim
+
+import "testing"
+
+func hlrcTest() Platform {
+	return Platform{
+		Name: "hlrc-test", Kind: HLRC,
+		CycleNs: 1, HitNs: 1, PageSize: 4096, LineSize: 64,
+		MsgNs: 1000, PageXferNs: 500, SoftNs: 100, TwinNs: 50, DiffNs: 80, NoticeNs: 10,
+		BarrierBase: 100, BarrierPerP: 10,
+	}
+}
+
+// addrOnPage returns an address on the given page, homed by default at
+// page % P.
+func addrOnPage(page int) uint64 { return uint64(page)*4096 + 8 }
+
+func TestHLRCNoProtocolTrafficWithoutSync(t *testing.T) {
+	// Writes to valid pages cost nothing until a release point.
+	e := NewEngine(hlrcTest(), 2)
+	res := e.Run(func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Write(addrOnPage(p.ID*10 + i%3))
+		}
+	})
+	if res.Protocol.PageFaults != 0 {
+		t.Fatalf("page faults before any sync: %d", res.Protocol.PageFaults)
+	}
+	// Twins only on non-home pages.
+	if res.Protocol.Twins == 0 {
+		t.Fatal("expected twins for non-home writes")
+	}
+}
+
+func TestHLRCInvalidationAtAcquire(t *testing.T) {
+	// Proc 0 writes a page under a lock; proc 1 then acquires the same
+	// lock and must fault on its next access to that page. The page is
+	// homed at a third processor so the writer needs a twin + diff and
+	// the reader is not the home.
+	e := NewEngine(hlrcTest(), 3)
+	e.Memory().SetHome(0, 4096, 2) // page 0 homed at proc 2
+	res := e.Run(func(p *Proc) {
+		switch p.ID {
+		case 0:
+			p.Lock(1)
+			p.Write(addrOnPage(0))
+			p.Unlock(1)
+			p.Barrier("end")
+		case 1:
+			p.Compute(100000) // ensure proc 0 gets the lock first
+			p.Lock(1)
+			p.Read(addrOnPage(0)) // must fault: invalidated by notice
+			p.Unlock(1)
+			p.Barrier("end")
+		default:
+			p.Barrier("end")
+		}
+	})
+	if res.Protocol.WriteNotices == 0 {
+		t.Fatal("no write notices applied at acquire")
+	}
+	if res.Protocol.PageFaults == 0 {
+		t.Fatal("no page fault after invalidation")
+	}
+	if res.Protocol.Diffs == 0 {
+		t.Fatal("no diff flushed at release")
+	}
+}
+
+func TestHLRCHomeNeverFaults(t *testing.T) {
+	e := NewEngine(hlrcTest(), 2)
+	e.Memory().SetHome(0, 4096, 1) // page 0 homed at proc 1
+	res := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Lock(1)
+			p.Write(addrOnPage(0))
+			p.Unlock(1)
+			p.Barrier("end")
+		} else {
+			p.Compute(100000)
+			p.Lock(1)
+			p.Read(addrOnPage(0)) // home copy: no fault
+			p.Unlock(1)
+			p.Barrier("end")
+		}
+	})
+	if res.Protocol.PageFaults != 0 {
+		t.Fatalf("home node faulted: %d", res.Protocol.PageFaults)
+	}
+}
+
+func TestHLRCBarrierPropagatesWrites(t *testing.T) {
+	e := NewEngine(hlrcTest(), 4)
+	res := e.Run(func(p *Proc) {
+		p.Write(addrOnPage(100 + p.ID)) // each proc dirties its own page
+		p.Barrier("flush")
+		p.Read(addrOnPage(100 + (p.ID+1)%4)) // read a neighbour's page
+		p.Barrier("end")
+	})
+	// 3 of 4 reads hit non-home invalidated pages (one reader is home).
+	if res.Protocol.PageFaults < 2 {
+		t.Fatalf("page faults = %d, want ≥ 2", res.Protocol.PageFaults)
+	}
+	if res.Protocol.WriteNotices == 0 {
+		t.Fatal("no notices at barrier")
+	}
+}
+
+func TestHLRCLazyNoInvalidationWithoutAcquire(t *testing.T) {
+	// LRC: a write by proc 0 does NOT invalidate proc 1's copy until
+	// proc 1 synchronizes with proc 0.
+	e := NewEngine(hlrcTest(), 2)
+	e.Memory().SetHome(0, 4096, 0)
+	res := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Lock(1)
+			p.Write(addrOnPage(0))
+			p.Unlock(1)
+		} else {
+			p.Read(addrOnPage(0)) // concurrent read: stays valid, no fault
+			p.Read(addrOnPage(0))
+		}
+	})
+	if res.Protocol.PageFaults != 0 {
+		t.Fatalf("eager invalidation happened: %d faults", res.Protocol.PageFaults)
+	}
+}
+
+func TestHLRCCriticalSectionDilation(t *testing.T) {
+	// A page fault inside a critical section extends every waiter's
+	// lock wait: compare a run whose critical section faults against
+	// one whose doesn't.
+	run := func(fault bool) float64 {
+		e := NewEngine(hlrcTest(), 3)
+		e.Memory().SetHome(0, 2*4096, 0)
+		res := e.Run(func(p *Proc) {
+			if p.ID == 0 {
+				// Dirty the page others will touch in their critical
+				// sections.
+				p.Lock(9)
+				if fault {
+					p.Write(addrOnPage(1))
+				}
+				p.Unlock(9)
+				p.Barrier("go")
+				p.Barrier("end")
+				return
+			}
+			p.Barrier("go")
+			p.Lock(9)
+			p.Read(addrOnPage(1)) // faults iff proc 0 dirtied it
+			p.Compute(10)
+			p.Unlock(9)
+			p.Barrier("end")
+		})
+		return res.TotalLockWait()
+	}
+	with, without := run(true), run(false)
+	if with <= without {
+		t.Fatalf("no dilation: wait with fault %v <= without %v", with, without)
+	}
+}
+
+func TestDirectoryLocalVsRemote(t *testing.T) {
+	pl := Origin2000(4)
+	e := NewEngine(pl, 4)
+	e.Memory().SetHome(0, 1<<20, 0) // everything homed at node 0
+	res := e.Run(func(p *Proc) {
+		p.Read(uint64(p.ID) * 4096) // distinct pages, all homed node 0
+	})
+	if res.Protocol.LocalMisses == 0 || res.Protocol.RemoteMisses == 0 {
+		t.Fatalf("want both local and remote misses: %+v", res.Protocol)
+	}
+	// Node 0's procs (0,1) should finish before remote ones on average.
+	if res.PerProc[0].MemNs >= res.PerProc[3].MemNs {
+		t.Fatalf("local access %v not cheaper than remote %v",
+			res.PerProc[0].MemNs, res.PerProc[3].MemNs)
+	}
+}
+
+func TestFineGrainSCPaysSoftwareOverhead(t *testing.T) {
+	sc := TyphoonSC()
+	e1 := NewEngine(sc, 2)
+	r1 := e1.Run(func(p *Proc) { p.Read(uint64(p.ID) * 4096) })
+	or := Origin2000(2)
+	e2 := NewEngine(or, 2)
+	r2 := e2.Run(func(p *Proc) { p.Read(uint64(p.ID) * 4096) })
+	if r1.Time <= r2.Time {
+		t.Fatalf("software SC %v not slower than hardware directory %v", r1.Time, r2.Time)
+	}
+}
+
+func TestHLRCLocksDearerThanDirectoryLocks(t *testing.T) {
+	// The paper's central observation, in miniature: the same lock-heavy
+	// program is far slower under HLRC than under hardware coherence.
+	prog := func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Lock(3)
+			p.Write(addrOnPage(0))
+			p.Unlock(3)
+		}
+		p.Barrier("end")
+	}
+	hl := NewEngine(TyphoonHLRC(), 4).Run(prog)
+	dir := NewEngine(Origin2000(4), 4).Run(prog)
+	if hl.Time < 5*dir.Time {
+		t.Fatalf("HLRC %v not ≫ directory %v for lock-heavy code", hl.Time, dir.Time)
+	}
+}

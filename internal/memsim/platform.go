@@ -1,0 +1,176 @@
+package memsim
+
+// ProtocolKind selects the coherence model family.
+type ProtocolKind int
+
+const (
+	// SnoopyBus is a bus-based write-invalidate protocol with centralized
+	// memory (SGI Challenge): uniform miss cost plus bus contention.
+	SnoopyBus ProtocolKind = iota
+	// Directory is a CC-NUMA hardware directory protocol (SGI Origin
+	// 2000): local/remote/dirty-3-hop miss costs plus home-hub occupancy.
+	Directory
+	// HLRC is home-based lazy release consistency over page-granularity
+	// software shared virtual memory (Intel Paragon, Typhoon-0 page
+	// mode): protocol activity happens at acquires, releases and
+	// barriers; invalid-page accesses fault and fetch from home.
+	HLRC
+	// FineGrainSC is a sequentially consistent protocol at cache-block
+	// granularity whose handlers run in software on a coprocessor
+	// (Typhoon-0 fine-grain mode): every miss pays software occupancy,
+	// but synchronization carries no protocol activity.
+	FineGrainSC
+)
+
+func (k ProtocolKind) String() string {
+	switch k {
+	case SnoopyBus:
+		return "snoopy-bus"
+	case Directory:
+		return "directory"
+	case HLRC:
+		return "hlrc-svm"
+	case FineGrainSC:
+		return "fine-grain-sc"
+	}
+	return "unknown"
+}
+
+// Platform bundles a machine model: protocol family plus latency and
+// occupancy parameters, all in nanoseconds. The presets in platforms.go
+// are calibrated to the paper's §3 descriptions; see DESIGN.md §4 for the
+// two latencies the scraped text corrupted and the values chosen.
+type Platform struct {
+	Name string
+	Kind ProtocolKind
+
+	// CPU.
+	CycleNs float64 // one processor cycle
+	HitNs   float64 // cache-hit access cost charged per simulated access
+
+	// Coherence granularity.
+	LineSize int // bytes (SnoopyBus, Directory, FineGrainSC)
+	PageSize int // bytes (HLRC)
+
+	// Memory nodes: how many places memory lives in. procs map onto
+	// nodes round-robin blocks (P/Nodes procs per node).
+	Nodes int // 0 = one node per processor
+
+	// SnoopyBus / Directory / FineGrainSC miss costs.
+	LocalMissNs  float64 // miss satisfied by the local node (or uniform bus miss)
+	RemoteMissNs float64 // miss to a remote home, clean
+	DirtyMissNs  float64 // miss requiring intervention at a third node
+	InvalNs      float64 // extra cost per sharer invalidated on a write
+
+	// Contention: each miss occupies the bus (SnoopyBus) or the home
+	// node's hub/protocol processor (Directory, FineGrainSC) this long.
+	OccupancyNs float64
+
+	// Synchronization (hardware-supported cases).
+	LockNs      float64 // uncontended acquire
+	LockHandoff float64 // extra cost transferring a contended lock
+	BarrierBase float64 // flat barrier cost
+	BarrierPerP float64 // additional barrier cost per processor
+
+	// HLRC software protocol costs.
+	MsgNs      float64 // one-way small-message latency
+	PageXferNs float64 // transferring one page's data
+	SoftNs     float64 // software handler overhead per fault/request
+	TwinNs     float64 // copying a page into a twin on first write
+	DiffNs     float64 // computing+sending one page's diff at release
+	NoticeNs   float64 // applying one write notice (invalidating a page)
+}
+
+// NodeOf maps a processor to its memory node (exported for data-placement
+// decisions in simulation programs).
+func (pl Platform) NodeOf(proc, p int) int { return pl.nodeOf(proc, p) }
+
+// nodeOf maps a processor to its memory node.
+func (pl *Platform) nodeOf(proc, p int) int {
+	nodes := pl.Nodes
+	if nodes <= 0 || nodes > p {
+		nodes = p
+	}
+	per := (p + nodes - 1) / nodes
+	return proc / per
+}
+
+func (pl *Platform) numNodes(p int) int {
+	nodes := pl.Nodes
+	if nodes <= 0 || nodes > p {
+		nodes = p
+	}
+	return nodes
+}
+
+// ProtocolStats counts protocol events over a run.
+type ProtocolStats struct {
+	Accesses      int64
+	Hits          int64
+	ColdMisses    int64
+	CoherenceMiss int64 // misses caused by invalidation
+	LocalMisses   int64
+	RemoteMisses  int64
+	DirtyMisses   int64
+	Invalidations int64
+	ContentionNs  float64 // time spent waiting for bus/hub occupancy
+
+	// HLRC.
+	PageFaults   int64
+	Twins        int64
+	Diffs        int64
+	WriteNotices int64 // notices applied (pages invalidated at sync)
+}
+
+// Protocol is one coherence model under the engine.
+type Protocol interface {
+	// Access charges a read (write=false) or write at virtual time now
+	// and returns the latency.
+	Access(proc int, addr uint64, write bool, now float64) float64
+	// AcquireLock charges the synchronization cost of acquiring lockID
+	// at virtual time now (the lock is already free).
+	AcquireLock(proc, lockID int, now float64) float64
+	// ReleaseLock charges the cost of releasing lockID (for HLRC this is
+	// where the interval closes and diffs flush).
+	ReleaseLock(proc, lockID int, now float64) float64
+	// BarrierWork computes when a global barrier releases given the
+	// arrival times, plus any per-processor cost paid after release
+	// (e.g. applying write notices).
+	BarrierWork(arrivals []float64, procs []int) (release float64, perProc []float64)
+	// SetHome homes the pages overlapping [lo,hi) at the given node
+	// (Directory, FineGrainSC, HLRC; no-op for SnoopyBus).
+	SetHome(lo, hi uint64, node int)
+	// Stats returns the counters so far.
+	Stats() ProtocolStats
+}
+
+// newProtocol instantiates the model for a platform.
+func newProtocol(pl Platform, p int) Protocol {
+	switch pl.Kind {
+	case SnoopyBus:
+		return newBusProtocol(pl, p)
+	case Directory:
+		return newDirProtocol(pl, p, false)
+	case FineGrainSC:
+		return newDirProtocol(pl, p, true)
+	case HLRC:
+		return newHLRCProtocol(pl, p)
+	}
+	panic("memsim: unknown protocol kind")
+}
+
+// resource models a serially occupied unit (bus, hub, protocol CPU).
+type resource struct {
+	freeAt float64
+}
+
+// serve occupies the resource for occ ns starting no earlier than now;
+// returns the queuing delay incurred.
+func (r *resource) serve(now, occ float64) float64 {
+	start := now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + occ
+	return start - now
+}

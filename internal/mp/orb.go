@@ -1,0 +1,132 @@
+// Package mp implements the message-passing Barnes-Hut baseline the paper
+// frames the whole study against: "although message passing may have ease
+// of programming disadvantages, it ports quite well in performance across
+// all these systems". It follows Salmon's design — orthogonal recursive
+// bisection (ORB) assigns each process a spatial domain, every process
+// builds a tree over its own bodies, and processes exchange *locally
+// essential* tree data (the branches a remote domain could ever need
+// under the θ criterion) so the force phase runs with no further
+// communication at all.
+//
+// Ranks are goroutines and messages are Go channels; the package counts
+// messages and bytes so the harness can estimate the same run on the
+// simulated 1998 platforms with a first-order cost model.
+package mp
+
+import (
+	"fmt"
+	"sort"
+
+	"partree/internal/phys"
+	"partree/internal/vec"
+)
+
+// Domain is one rank's share of space and bodies after ORB.
+type Domain struct {
+	Rank   int
+	Box    vec.Box
+	Bodies []int32
+}
+
+// ORB recursively bisects the bodies into p spatial domains of near-equal
+// population, cutting the longest axis at the median each time (Salmon's
+// orthogonal recursive bisection). p need not be a power of two: counts
+// split proportionally.
+func ORB(b *phys.Bodies, p int) []Domain {
+	all := make([]int32, b.N())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	box := vec.BoxOf(b.N(), func(i int) vec.V3 { return b.Pos[i] })
+	out := make([]Domain, 0, p)
+	orbRec(b, all, box, 0, p, &out)
+	return out
+}
+
+func orbRec(b *phys.Bodies, idx []int32, box vec.Box, rank0, p int, out *[]Domain) {
+	if p == 1 {
+		*out = append(*out, Domain{Rank: rank0, Box: box, Bodies: idx})
+		return
+	}
+	pLo := p / 2
+	// Proportional cut: pLo/p of the bodies go to the low side.
+	k := len(idx) * pLo / p
+	axis := box.LongestAxis()
+	coord := func(i int32) float64 {
+		switch axis {
+		case 0:
+			return b.Pos[i].X
+		case 1:
+			return b.Pos[i].Y
+		default:
+			return b.Pos[i].Z
+		}
+	}
+	// Order by the cut axis; ties by index for determinism.
+	sort.Slice(idx, func(a, c int) bool {
+		ca, cc := coord(idx[a]), coord(idx[c])
+		if ca != cc {
+			return ca < cc
+		}
+		return idx[a] < idx[c]
+	})
+	var cutC float64
+	switch {
+	case len(idx) == 0:
+		cutC = (boxAxisLo(box, axis) + boxAxisHi(box, axis)) / 2
+	case k == 0:
+		cutC = coord(idx[0])
+	case k >= len(idx):
+		cutC = coord(idx[len(idx)-1])
+	default:
+		cutC = (coord(idx[k-1]) + coord(idx[k])) / 2
+	}
+	lo, hi := box.Split(axis, cutC)
+	orbRec(b, idx[:k], lo, rank0, pLo, out)
+	orbRec(b, idx[k:], hi, rank0+pLo, p-pLo, out)
+}
+
+func boxAxisLo(b vec.Box, axis int) float64 {
+	switch axis {
+	case 0:
+		return b.Lo.X
+	case 1:
+		return b.Lo.Y
+	default:
+		return b.Lo.Z
+	}
+}
+
+func boxAxisHi(b vec.Box, axis int) float64 {
+	switch axis {
+	case 0:
+		return b.Hi.X
+	case 1:
+		return b.Hi.Y
+	default:
+		return b.Hi.Z
+	}
+}
+
+// Validate checks that the domains partition all n bodies and that every
+// body lies in (or on the boundary of) its domain's box.
+func Validate(b *phys.Bodies, doms []Domain) error {
+	seen := make([]bool, b.N())
+	for _, d := range doms {
+		for _, i := range d.Bodies {
+			if seen[i] {
+				return fmt.Errorf("mp: body %d assigned twice", i)
+			}
+			seen[i] = true
+			if !d.Box.Contains(b.Pos[i]) {
+				return fmt.Errorf("mp: body %d outside rank %d's box", i, d.Rank)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("mp: body %d unassigned", i)
+		}
+	}
+	return nil
+}

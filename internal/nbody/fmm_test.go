@@ -1,0 +1,55 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"partree/internal/core"
+)
+
+// TestFMMSimulationConservesEnergy runs the whole application with the
+// cell-cell solver in place of the Barnes-Hut traversal.
+func TestFMMSimulationConservesEnergy(t *testing.T) {
+	opts := DefaultOptions()
+	opts.N = 1500
+	opts.P = 4
+	opts.Alg = core.SPACE
+	opts.FMM = true
+	opts.Dt = 0.01
+	opts.Force.Theta = 0.6
+	sim := New(opts)
+	_, _, e0 := sim.Energy()
+	sim.Run(8)
+	_, _, e1 := sim.Energy()
+	if drift := math.Abs(e1-e0) / math.Abs(e0); drift > 0.05 {
+		t.Fatalf("energy drift %.3f%% with FMM solver", 100*drift)
+	}
+}
+
+// TestFMMAndBHSimulationsAgree compares one step's accelerations.
+func TestFMMAndBHSimulationsAgree(t *testing.T) {
+	mk := func(useFMM bool) *Simulation {
+		opts := DefaultOptions()
+		opts.N = 1200
+		opts.P = 4
+		opts.Alg = core.LOCAL
+		opts.FMM = useFMM
+		opts.Force.Theta = 0.5
+		return New(opts)
+	}
+	bh, fm := mk(false), mk(true)
+	bh.Step()
+	fm.Step()
+	var worst float64
+	for i := range bh.Bodies.Acc {
+		e := fm.Bodies.Acc[i].Sub(bh.Bodies.Acc[i]).Len() / (bh.Bodies.Acc[i].Len() + 1e-12)
+		if e > worst {
+			worst = e
+		}
+	}
+	// Both approximate the same field at the same θ; they agree to the
+	// approximation scale, not to machine precision.
+	if worst > 0.15 {
+		t.Fatalf("FMM and BH accelerations diverge: worst relative difference %.3f", worst)
+	}
+}

@@ -1,0 +1,217 @@
+// Package nbody is the whole-application driver: it strings the three
+// phases of a Barnes-Hut time step — tree build, force calculation,
+// update — together around a pluggable tree-building algorithm, with
+// per-phase timing. It is the native-execution counterpart of the paper's
+// "entire application" measurements; the platform simulator replays the
+// same structure under modelled memory systems.
+package nbody
+
+import (
+	"fmt"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/fmm"
+	"partree/internal/force"
+	"partree/internal/octree"
+	"partree/internal/partition"
+	"partree/internal/phys"
+)
+
+// Options configure a simulation.
+type Options struct {
+	Model phys.Model
+	N     int
+	Seed  int64
+
+	P       int // processors (goroutines)
+	LeafCap int // bodies per leaf (k)
+	Alg     core.Algorithm
+	// SpaceThreshold tunes SPACE's partitioning (0 = default).
+	SpaceThreshold int
+
+	Force force.Params
+	Dt    float64 // time step
+
+	// FMM switches the force phase from the per-body Barnes-Hut
+	// traversal to the cell-cell fast summation solver (internal/fmm),
+	// which consumes the same trees from the same builders.
+	FMM bool
+
+	// Verify makes every Step check the freshly built tree's invariants
+	// (and canonicality for the rebuilding algorithms) before using it,
+	// panicking on violation. For tests and debugging.
+	Verify bool
+}
+
+// DefaultOptions mirror the SPLASH-2 BARNES defaults at a small size.
+func DefaultOptions() Options {
+	return Options{
+		Model:   phys.ModelPlummer,
+		N:       16384,
+		Seed:    1,
+		P:       1,
+		LeafCap: 8,
+		Alg:     core.LOCAL,
+		Force:   force.DefaultParams(),
+		Dt:      0.025,
+	}
+}
+
+// StepStats is one step's timing and counters.
+type StepStats struct {
+	Step      int
+	TreeBuild time.Duration
+	Partition time.Duration
+	Force     time.Duration
+	Update    time.Duration
+	Build     *core.Metrics
+	Phase     force.PhaseStats
+	TreeStats octree.Stats
+}
+
+// Total is the step's wall-clock total.
+func (s StepStats) Total() time.Duration {
+	return s.TreeBuild + s.Partition + s.Force + s.Update
+}
+
+// TreeShare is the fraction of the step spent building the tree — the
+// paper's "percentage of time spent in tree building".
+func (s StepStats) TreeShare() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.TreeBuild) / float64(t)
+}
+
+// String renders the step in one line.
+func (s StepStats) String() string {
+	return fmt.Sprintf("step %d: tree=%v part=%v force=%v update=%v (tree %.1f%%) inter=%d",
+		s.Step, s.TreeBuild, s.Partition, s.Force, s.Update, 100*s.TreeShare(), s.Phase.Interactions)
+}
+
+// Simulation is a running N-body system.
+type Simulation struct {
+	Opts    Options
+	Bodies  *phys.Bodies
+	Builder core.Builder
+	Tree    *octree.Tree
+
+	assign [][]int32
+	step   int
+}
+
+// New generates the bodies and prepares the builder.
+func New(opts Options) *Simulation {
+	if opts.P <= 0 {
+		opts.P = 1
+	}
+	if opts.LeafCap <= 0 {
+		opts.LeafCap = 8
+	}
+	if opts.Dt == 0 {
+		opts.Dt = 0.025
+	}
+	if opts.Force.Theta == 0 {
+		opts.Force = force.DefaultParams()
+	}
+	b := phys.Generate(opts.Model, opts.N, opts.Seed)
+	return NewFromBodies(opts, b)
+}
+
+// NewFromBodies wraps an existing body set (the caller keeps ownership).
+func NewFromBodies(opts Options, b *phys.Bodies) *Simulation {
+	return &Simulation{
+		Opts:   opts,
+		Bodies: b,
+		Builder: core.New(opts.Alg, core.Config{
+			P:              opts.P,
+			LeafCap:        opts.LeafCap,
+			SpaceThreshold: opts.SpaceThreshold,
+		}),
+		assign: core.EvenAssign(b.N(), opts.P),
+	}
+}
+
+// Step advances the system one time step and reports per-phase stats.
+// Phase order follows the paper: (1) build the tree from the previous
+// step's partition, (2) repartition with costzones and compute forces,
+// (3) update positions and velocities.
+func (s *Simulation) Step() StepStats {
+	st := StepStats{Step: s.step}
+	in := &core.Input{Bodies: s.Bodies, Assign: s.assign, Step: s.step}
+
+	t0 := time.Now()
+	tree, m := s.Builder.Build(in)
+	t1 := time.Now()
+	s.Tree = tree
+	st.Build = m
+
+	d := octree.BodyData{Pos: s.Bodies.Pos, Mass: s.Bodies.Mass, Cost: s.Bodies.Cost}
+	if s.Opts.Verify {
+		canonical := s.Opts.Alg != core.UPDATE
+		if err := octree.Check(tree, d, octree.CheckOptions{Canonical: canonical, Moments: true, Tol: 1e-9}); err != nil {
+			panic(fmt.Sprintf("nbody: step %d tree verification failed: %v", s.step, err))
+		}
+	}
+	assign := partition.Costzones(tree, d, s.Opts.P)
+	t2 := time.Now()
+
+	if s.Opts.FMM {
+		fs := fmm.ComputeAll(tree, s.Bodies, fmm.Params{
+			Theta: s.Opts.Force.Theta, Eps: s.Opts.Force.Eps,
+			G: s.Opts.Force.G, Quadrupole: true,
+		}, s.Opts.P)
+		st.Phase = force.PhaseStats{Interactions: fs.CellCell + fs.P2P}
+	} else {
+		st.Phase = force.ComputeAll(tree, s.Bodies, assign, s.Opts.Force)
+	}
+	t3 := time.Now()
+
+	// Update phase: symplectic-Euler integration, each processor
+	// updating the bodies it computed forces for.
+	dt := s.Opts.Dt
+	done := make(chan struct{}, s.Opts.P)
+	for w := 0; w < s.Opts.P; w++ {
+		go func(w int) {
+			for _, b := range assign[w] {
+				i := int(b)
+				s.Bodies.Vel[i] = s.Bodies.Vel[i].MulAdd(dt, s.Bodies.Acc[i])
+				s.Bodies.Pos[i] = s.Bodies.Pos[i].MulAdd(dt, s.Bodies.Vel[i])
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < s.Opts.P; w++ {
+		<-done
+	}
+	t4 := time.Now()
+
+	s.assign = assign
+	s.step++
+
+	st.TreeBuild = t1.Sub(t0)
+	st.Partition = t2.Sub(t1)
+	st.Force = t3.Sub(t2)
+	st.Update = t4.Sub(t3)
+	st.TreeStats = octree.CollectStats(tree)
+	return st
+}
+
+// Run advances the simulation n steps and returns per-step stats.
+func (s *Simulation) Run(n int) []StepStats {
+	out := make([]StepStats, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Step())
+	}
+	return out
+}
+
+// Energy returns kinetic, exact potential, and total energy (O(N²);
+// diagnostics only).
+func (s *Simulation) Energy() (ke, pe, total float64) {
+	ke = s.Bodies.KineticEnergy()
+	pe = s.Bodies.PotentialEnergy(s.Opts.Force.Eps)
+	return ke, pe, ke + pe
+}

@@ -1,0 +1,60 @@
+package octree
+
+import (
+	"fmt"
+	"testing"
+
+	"partree/internal/phys"
+)
+
+func BenchmarkBuildSerial(b *testing.B) {
+	for _, n := range []int{1024, 16384, 131072} {
+		bodies := phys.Generate(phys.ModelPlummer, n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BuildSerial(bodies.Pos, 8)
+			}
+		})
+	}
+}
+
+func BenchmarkBuildSerialReused(b *testing.B) {
+	bodies := phys.Generate(phys.ModelPlummer, 16384, 1)
+	s := NewStore(1, 8)
+	cube := bodies.Bounds(1e-4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		BuildSerialInto(s, cube, bodies.Pos)
+	}
+}
+
+func BenchmarkMoments(b *testing.B) {
+	bodies := phys.Generate(phys.ModelPlummer, 65536, 1)
+	tr := BuildSerial(bodies.Pos, 8)
+	d := BodyData{Pos: bodies.Pos, Mass: bodies.Mass, Cost: bodies.Cost}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ComputeMomentsSerial(tr, d)
+		}
+	})
+	for _, w := range []int{2, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ComputeMomentsParallel(tr, d, w)
+			}
+		})
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	bodies := phys.Generate(phys.ModelPlummer, 65536, 1)
+	tr := BuildSerial(bodies.Pos, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		Walk(tr, func(Ref, int) bool { n++; return true })
+	}
+}

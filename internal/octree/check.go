@@ -1,0 +1,287 @@
+package octree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partree/internal/vec"
+)
+
+// CheckOptions selects which invariants Check verifies.
+type CheckOptions struct {
+	// Canonical additionally requires minimality: every live cell's
+	// subtree holds more than LeafCap bodies (i.e. the cell had to be
+	// subdivided). Rebuilding builders produce canonical trees; UPDATE
+	// legitimately does not (it never collapses cells), so it is checked
+	// with Canonical false.
+	Canonical bool
+	// Moments additionally verifies Mass/COM/NBody/Cost against a fresh
+	// recomputation from the body data, within tolerance.
+	Moments bool
+	// Tol is the relative tolerance for moment comparison (default 1e-9).
+	Tol float64
+}
+
+// Check verifies the structural invariants of t against the body data:
+//
+//   - every body index in [0,n) appears in exactly one live leaf;
+//   - every body lies inside its leaf's cube;
+//   - each child's cube is exactly its parent's octant sub-cube, in the
+//     matching slot;
+//   - parent links agree with child links;
+//   - live leaves hold ≤ LeafCap bodies unless at MaxDepth;
+//   - no live leaf is marked Retired, no live leaf is empty.
+//
+// It returns the first violation found, or nil.
+func Check(t *Tree, d BodyData, opt CheckOptions) error {
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	n := len(d.Pos)
+	seen := make([]int32, n)
+	s := t.Store
+	if t.Root.IsNil() {
+		if n != 0 {
+			return fmt.Errorf("octree: nil root with %d bodies", n)
+		}
+		return nil
+	}
+	if !t.Root.IsCell() {
+		return fmt.Errorf("octree: root %v is not a cell", t.Root)
+	}
+
+	var errOut error
+	fail := func(format string, args ...any) bool {
+		if errOut == nil {
+			errOut = fmt.Errorf("octree: "+format, args...)
+		}
+		return false
+	}
+
+	var rec func(r Ref, parent Ref, want vec.Cube, depth int) bool
+	rec = func(r Ref, parent Ref, want vec.Cube, depth int) bool {
+		if r.IsLeaf() {
+			l := s.Leaf(r)
+			if l.Retired {
+				return fail("live leaf %v marked retired", r)
+			}
+			if l.Parent != parent {
+				return fail("leaf %v parent link %v, want %v", r, l.Parent, parent)
+			}
+			if !cubeEq(l.Cube, want) {
+				return fail("leaf %v cube %v, want %v", r, l.Cube, want)
+			}
+			if len(l.Bodies) == 0 {
+				return fail("empty live leaf %v", r)
+			}
+			if len(l.Bodies) > s.LeafCap && depth < s.MaxDepth {
+				return fail("leaf %v holds %d bodies > cap %d at depth %d", r, len(l.Bodies), s.LeafCap, depth)
+			}
+			for _, b := range l.Bodies {
+				if b < 0 || int(b) >= n {
+					return fail("leaf %v holds out-of-range body %d", r, b)
+				}
+				if !l.Cube.Contains(d.Pos[b]) {
+					return fail("body %d at %v outside leaf %v cube %v", b, d.Pos[b], r, l.Cube)
+				}
+				seen[b]++
+			}
+			return true
+		}
+		c := s.Cell(r)
+		if c.Parent != parent {
+			return fail("cell %v parent link %v, want %v", r, c.Parent, parent)
+		}
+		if !cubeEq(c.Cube, want) {
+			return fail("cell %v cube %v, want %v", r, c.Cube, want)
+		}
+		for o := vec.Octant(0); o < vec.NOctants; o++ {
+			ch := c.Child(o)
+			if ch.IsNil() {
+				continue
+			}
+			if !rec(ch, r, c.Cube.Child(o), depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.Root, Nil, t.RootCube(), 0)
+	if errOut != nil {
+		return errOut
+	}
+
+	for b, k := range seen {
+		if k != 1 {
+			return fmt.Errorf("octree: body %d appears in %d leaves, want 1", b, k)
+		}
+	}
+
+	if opt.Canonical {
+		if err := checkCanonical(t, d); err != nil {
+			return err
+		}
+	}
+	if opt.Moments {
+		if err := checkMoments(t, d, opt.Tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkCanonical verifies minimality: every live non-root cell's subtree
+// holds more than LeafCap bodies.
+func checkCanonical(t *Tree, d BodyData) error {
+	s := t.Store
+	var count func(r Ref) int
+	count = func(r Ref) int {
+		if r.IsLeaf() {
+			return len(s.Leaf(r).Bodies)
+		}
+		c := s.Cell(r)
+		total := 0
+		for o := vec.Octant(0); o < vec.NOctants; o++ {
+			if ch := c.Child(o); !ch.IsNil() {
+				total += count(ch)
+			}
+		}
+		return total
+	}
+	var err error
+	Walk(t, func(r Ref, depth int) bool {
+		if err != nil {
+			return false
+		}
+		if r.IsCell() && r != t.Root {
+			if n := count(r); n <= s.LeafCap {
+				err = fmt.Errorf("octree: non-canonical cell %v holds only %d bodies (cap %d)", r, n, s.LeafCap)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// checkMoments recomputes moments into scratch and compares.
+func checkMoments(t *Tree, d BodyData, tol float64) error {
+	s := t.Store
+	var err error
+	var rec func(r Ref) (float64, vec.V3, int32, int64)
+	rec = func(r Ref) (float64, vec.V3, int32, int64) {
+		if r.IsLeaf() {
+			l := s.Leaf(r)
+			var mass float64
+			var wsum vec.V3
+			var cost int64
+			for _, b := range l.Bodies {
+				mass += d.Mass[b]
+				wsum = wsum.MulAdd(d.Mass[b], d.Pos[b])
+				cost += d.CostOf(b)
+			}
+			com := l.Cube.Center
+			if mass > 0 {
+				com = wsum.Scale(1 / mass)
+			}
+			if err == nil {
+				if !feq(mass, l.Mass, tol) || !veq(com, l.COM, tol) || l.Cost != cost {
+					err = fmt.Errorf("octree: leaf %v moments stale: mass %g/%g com %v/%v cost %d/%d",
+						r, l.Mass, mass, l.COM, com, l.Cost, cost)
+				}
+			}
+			return mass, com, int32(len(l.Bodies)), cost
+		}
+		c := s.Cell(r)
+		var mass float64
+		var wsum vec.V3
+		var n int32
+		var cost int64
+		for o := vec.Octant(0); o < vec.NOctants; o++ {
+			if ch := c.Child(o); !ch.IsNil() {
+				m, cm, cn, cc := rec(ch)
+				mass += m
+				wsum = wsum.MulAdd(m, cm)
+				n += cn
+				cost += cc
+			}
+		}
+		com := c.Cube.Center
+		if mass > 0 {
+			com = wsum.Scale(1 / mass)
+		}
+		if err == nil {
+			if !feq(mass, c.Mass, tol) || !veq(com, c.COM, tol) || n != c.NBody || c.Cost != cost {
+				err = fmt.Errorf("octree: cell %v moments stale: mass %g/%g com %v/%v n %d/%d cost %d/%d",
+					r, c.Mass, mass, c.COM, com, c.NBody, n, c.Cost, cost)
+			}
+		}
+		return mass, com, n, cost
+	}
+	rec(t.Root)
+	return err
+}
+
+func feq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func veq(a, b vec.V3, tol float64) bool {
+	return feq(a.X, b.X, tol) && feq(a.Y, b.Y, tol) && feq(a.Z, b.Z, tol)
+}
+
+func cubeEq(a, b vec.Cube) bool {
+	// Cubes derive from exact halving of the same root, so equality is
+	// exact, with a hair of slack for roots computed independently.
+	return feq(a.Size, b.Size, 1e-12) && veq(a.Center, b.Center, 1e-12)
+}
+
+// Equal reports whether two trees are structurally identical: same shape,
+// same cubes, and the same *set* of bodies in each corresponding leaf
+// (insertion order may differ between builders). It is how the parallel
+// builders are verified against the canonical sequential tree.
+func Equal(a, b *Tree) error {
+	var rec func(ra, rb Ref, path string) error
+	rec = func(ra, rb Ref, path string) error {
+		if ra.IsNil() != rb.IsNil() {
+			return fmt.Errorf("octree: shape differs at %s: %v vs %v", path, ra, rb)
+		}
+		if ra.IsNil() {
+			return nil
+		}
+		if ra.IsLeaf() != rb.IsLeaf() {
+			return fmt.Errorf("octree: node kind differs at %s: %v vs %v", path, ra, rb)
+		}
+		if ra.IsLeaf() {
+			la, lb := a.Store.Leaf(ra), b.Store.Leaf(rb)
+			if !cubeEq(la.Cube, lb.Cube) {
+				return fmt.Errorf("octree: leaf cube differs at %s: %v vs %v", path, la.Cube, lb.Cube)
+			}
+			sa := append([]int32(nil), la.Bodies...)
+			sb := append([]int32(nil), lb.Bodies...)
+			sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
+			sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
+			if len(sa) != len(sb) {
+				return fmt.Errorf("octree: leaf at %s holds %d vs %d bodies", path, len(sa), len(sb))
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					return fmt.Errorf("octree: leaf at %s body sets differ (%d vs %d)", path, sa[i], sb[i])
+				}
+			}
+			return nil
+		}
+		ca, cb := a.Store.Cell(ra), b.Store.Cell(rb)
+		if !cubeEq(ca.Cube, cb.Cube) {
+			return fmt.Errorf("octree: cell cube differs at %s: %v vs %v", path, ca.Cube, cb.Cube)
+		}
+		for o := vec.Octant(0); o < vec.NOctants; o++ {
+			if err := rec(ca.Child(o), cb.Child(o), fmt.Sprintf("%s/%d", path, o)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(a.Root, b.Root, "root")
+}

@@ -1,0 +1,298 @@
+package octree
+
+import (
+	"testing"
+
+	"partree/internal/phys"
+	"partree/internal/vec"
+)
+
+func testBodies(t *testing.T, n int, seed int64) *phys.Bodies {
+	t.Helper()
+	return phys.Generate(phys.ModelPlummer, n, seed)
+}
+
+func data(b *phys.Bodies) BodyData {
+	return BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+}
+
+func TestRefEncoding(t *testing.T) {
+	cases := []struct {
+		arena, idx int
+		leaf       bool
+	}{
+		// Note leaf/arena63/indexMask is the reserved Nil encoding.
+		{0, 0, false}, {0, 0, true}, {63, indexMask - 1, true}, {63, indexMask, false}, {17, 12345, false},
+	}
+	for _, tc := range cases {
+		var r Ref
+		if tc.leaf {
+			r = LeafRef(tc.arena, tc.idx)
+		} else {
+			r = CellRef(tc.arena, tc.idx)
+		}
+		if r.IsNil() {
+			t.Fatalf("ref %v unexpectedly nil", r)
+		}
+		if r.IsLeaf() != tc.leaf || r.Arena() != tc.arena || r.Index() != tc.idx {
+			t.Fatalf("round trip failed: %v -> leaf=%v arena=%d idx=%d", r, r.IsLeaf(), r.Arena(), r.Index())
+		}
+	}
+	if !Nil.IsNil() || Nil.IsLeaf() || Nil.IsCell() {
+		t.Fatal("Nil misclassified")
+	}
+}
+
+func TestBuildSerialInvariants(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 100, 5000} {
+		b := testBodies(t, n, 42)
+		tr := BuildSerial(b.Pos, 8)
+		ComputeMomentsSerial(tr, data(b))
+		if err := Check(tr, data(b), CheckOptions{Canonical: true, Moments: true}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBuildSerialLeafCaps(t *testing.T) {
+	b := testBodies(t, 3000, 7)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		tr := BuildSerial(b.Pos, k)
+		ComputeMomentsSerial(tr, data(b))
+		if err := Check(tr, data(b), CheckOptions{Canonical: true, Moments: true}); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		st := CollectStats(tr)
+		if st.Bodies != 3000 {
+			t.Fatalf("k=%d: stats bodies = %d", k, st.Bodies)
+		}
+	}
+}
+
+func TestMomentsConserveMass(t *testing.T) {
+	b := testBodies(t, 4000, 3)
+	tr := BuildSerial(b.Pos, 8)
+	ComputeMomentsSerial(tr, data(b))
+	root := tr.Store.Cell(tr.Root)
+	if !feq(root.Mass, b.TotalMass(), 1e-9) {
+		t.Fatalf("root mass %g, want %g", root.Mass, b.TotalMass())
+	}
+	if int(root.NBody) != b.N() {
+		t.Fatalf("root NBody %d, want %d", root.NBody, b.N())
+	}
+	if !veq(root.COM, b.CenterOfMass(), 1e-9) {
+		t.Fatalf("root COM %v, want %v", root.COM, b.CenterOfMass())
+	}
+	var wantCost int64
+	for _, c := range b.Cost {
+		wantCost += c
+	}
+	if root.Cost != wantCost {
+		t.Fatalf("root cost %d, want %d", root.Cost, wantCost)
+	}
+}
+
+func TestParallelMomentsMatchSerial(t *testing.T) {
+	b := testBodies(t, 6000, 9)
+	tr := BuildSerial(b.Pos, 8)
+	ComputeMomentsSerial(tr, data(b))
+	serialMass := tr.Store.Cell(tr.Root).Mass
+	serialCOM := tr.Store.Cell(tr.Root).COM
+
+	tr2 := BuildSerial(b.Pos, 8)
+	for _, w := range []int{1, 2, 4, 8} {
+		ComputeMomentsParallel(tr2, data(b), w)
+		if err := Check(tr2, data(b), CheckOptions{Moments: true, Tol: 1e-9}); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		c := tr2.Store.Cell(tr2.Root)
+		if !feq(c.Mass, serialMass, 1e-12) || !veq(c.COM, serialCOM, 1e-9) {
+			t.Fatalf("workers=%d: parallel moments diverge: %g/%v vs %g/%v",
+				w, c.Mass, c.COM, serialMass, serialCOM)
+		}
+	}
+}
+
+func TestCoincidentBodiesDepthCap(t *testing.T) {
+	// 20 coincident bodies cannot be separated by subdivision; the depth
+	// cap must stop recursion and produce one overflow leaf.
+	n := 20
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{X: 0.25, Y: 0.25, Z: 0.25}
+		mass[i] = 1
+	}
+	// A couple of distinct bodies so the tree is not a single stack.
+	pos = append(pos, vec.V3{X: 0.9, Y: 0.9, Z: 0.9}, vec.V3{X: 0.1, Y: 0.9, Z: 0.1})
+	mass = append(mass, 1, 1)
+
+	tr := BuildSerial(pos, 4)
+	d := BodyData{Pos: pos, Mass: mass}
+	ComputeMomentsSerial(tr, d)
+	if err := Check(tr, d, CheckOptions{Moments: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := CollectStats(tr)
+	if st.MaxDepth > tr.Store.MaxDepth {
+		t.Fatalf("depth %d exceeded cap %d", st.MaxDepth, tr.Store.MaxDepth)
+	}
+	if st.MaxLeafLen < n {
+		t.Fatalf("expected an overflow leaf with ≥%d bodies, max is %d", n, st.MaxLeafLen)
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	b := testBodies(t, 500, 11)
+	t1 := BuildSerial(b.Pos, 8)
+	t2 := BuildSerial(b.Pos, 8)
+	if err := Equal(t1, t2); err != nil {
+		t.Fatalf("identical builds compare unequal: %v", err)
+	}
+	t3 := BuildSerial(b.Pos, 4)
+	if err := Equal(t1, t3); err == nil {
+		t.Fatal("trees with different leaf caps compare equal")
+	}
+	b2 := testBodies(t, 500, 12)
+	t4 := BuildSerial(b2.Pos, 8)
+	if err := Equal(t1, t4); err == nil {
+		t.Fatal("trees over different bodies compare equal")
+	}
+}
+
+func TestWalkOrderDeterministic(t *testing.T) {
+	b := testBodies(t, 1000, 5)
+	tr := BuildSerial(b.Pos, 8)
+	var a, c []Ref
+	Walk(tr, func(r Ref, _ int) bool { a = append(a, r); return true })
+	Walk(tr, func(r Ref, _ int) bool { c = append(c, r); return true })
+	if len(a) != len(c) {
+		t.Fatal("walk lengths differ")
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("walk order differs at %d", i)
+		}
+	}
+	cells, leaves := CountNodes(tr)
+	if cells+leaves != len(a) {
+		t.Fatalf("CountNodes %d+%d != walk length %d", cells, leaves, len(a))
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	b := testBodies(t, 1000, 5)
+	tr := BuildSerial(b.Pos, 8)
+	count := 0
+	Walk(tr, func(r Ref, depth int) bool {
+		count++
+		return depth < 1 // visit root and its children only
+	})
+	if count > 9 {
+		t.Fatalf("prune failed: visited %d nodes", count)
+	}
+}
+
+func TestStoreReset(t *testing.T) {
+	b := testBodies(t, 2000, 2)
+	s := NewStore(1, 8)
+	cube := vec.BoundingCube(len(b.Pos), func(i int) vec.V3 { return b.Pos[i] }, 1e-4)
+	t1 := BuildSerialInto(s, cube, b.Pos)
+	c1, l1 := CountNodes(t1)
+	s.Reset()
+	t2 := BuildSerialInto(s, cube, b.Pos)
+	c2, l2 := CountNodes(t2)
+	if c1 != c2 || l1 != l2 {
+		t.Fatalf("rebuild after reset differs: %d/%d vs %d/%d", c1, l1, c2, l2)
+	}
+	ComputeMomentsSerial(t2, data(b))
+	if err := Check(t2, data(b), CheckOptions{Canonical: true, Moments: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedArenaConcurrentAlloc(t *testing.T) {
+	// The ORIG algorithm allocates all nodes from one shared arena; the
+	// allocation cursor must hand out distinct slots under contention.
+	s := NewStore(1, 8)
+	const perG, nG = 2000, 8
+	done := make(chan []Ref, nG)
+	for g := 0; g < nG; g++ {
+		go func(g int) {
+			refs := make([]Ref, 0, perG)
+			for i := 0; i < perG; i++ {
+				r, _ := s.AllocCell(0, vec.Cube{Size: 1}, Nil, g)
+				refs = append(refs, r)
+			}
+			done <- refs
+		}(g)
+	}
+	seen := make(map[Ref]bool)
+	for g := 0; g < nG; g++ {
+		for _, r := range <-done {
+			if seen[r] {
+				t.Fatalf("duplicate ref %v", r)
+			}
+			seen[r] = true
+		}
+	}
+	if s.CellsIn(0) != perG*nG {
+		t.Fatalf("allocated %d, want %d", s.CellsIn(0), perG*nG)
+	}
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	b := testBodies(t, 300, 4)
+	d := data(b)
+
+	tr := BuildSerial(b.Pos, 8)
+	ComputeMomentsSerial(tr, d)
+
+	// Corrupt a leaf's body list: duplicate a body.
+	leaves := LiveLeaves(tr)
+	l := tr.Store.Leaf(leaves[0])
+	saved := append([]int32(nil), l.Bodies...)
+	l.Bodies = append(l.Bodies, l.Bodies[0])
+	if err := Check(tr, d, CheckOptions{}); err == nil {
+		t.Fatal("Check accepted duplicated body")
+	}
+	l.Bodies = saved
+
+	// Corrupt moments.
+	tr.Store.Cell(tr.Root).Mass *= 2
+	if err := Check(tr, d, CheckOptions{Moments: true}); err == nil {
+		t.Fatal("Check accepted corrupted mass")
+	}
+	ComputeMomentsSerial(tr, d)
+
+	// Corrupt a parent link.
+	l = tr.Store.Leaf(leaves[1])
+	savedParent := l.Parent
+	l.Parent = Nil
+	if err := Check(tr, d, CheckOptions{}); err == nil {
+		t.Fatal("Check accepted broken parent link")
+	}
+	l.Parent = savedParent
+
+	if err := Check(tr, d, CheckOptions{Canonical: true, Moments: true}); err != nil {
+		t.Fatalf("restored tree fails: %v", err)
+	}
+}
+
+func TestStatsSane(t *testing.T) {
+	b := testBodies(t, 4096, 6)
+	tr := BuildSerial(b.Pos, 8)
+	st := CollectStats(tr)
+	if st.Bodies != 4096 {
+		t.Fatalf("bodies %d", st.Bodies)
+	}
+	if st.AvgOcc <= 0 || st.AvgOcc > 8 {
+		t.Fatalf("avg occupancy %f out of (0,8]", st.AvgOcc)
+	}
+	if st.MaxDepth < 3 {
+		t.Fatalf("suspiciously shallow tree: depth %d", st.MaxDepth)
+	}
+	if st.Leaves == 0 || st.Cells == 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+}

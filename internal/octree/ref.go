@@ -1,0 +1,78 @@
+// Package octree implements the adaptive Barnes-Hut octree shared by all
+// five of the paper's tree-building algorithms: node storage in
+// per-processor arenas, a canonical sequential builder, the center-of-mass
+// (moments) passes, invariant checkers, and tree statistics.
+//
+// Storage layout follows the paper's data structures. Internal cells and
+// leaves are distinct types held in distinct arrays (the SPLASH-2 "LOCAL"
+// layout); the SPLASH-1 "ORIG" layout — one global shared array with a
+// shared allocation cursor — is expressed as a single shared arena that all
+// processors allocate from. Nodes are addressed by a compact Ref rather
+// than a Go pointer so that the platform simulator can reuse the exact
+// same addresses when charging coherence costs.
+//
+// Concurrency contract: a node becomes visible to other goroutines only by
+// atomically publishing its Ref into a parent's child slot (or as the
+// root). All writes that initialize the node — including installing the
+// arena chunk that holds it — happen before that atomic store, so readers
+// that obtain the Ref through an atomic load may access the node's
+// immutable fields without further synchronization. Mutable fields (leaf
+// contents, retirement flags) are protected by the Store's striped locks.
+package octree
+
+import "fmt"
+
+// Ref is a compact node reference: 1 bit leaf flag, 6 bits arena, 25 bits
+// index within the arena. The zero-able all-ones value is reserved as Nil.
+type Ref uint32
+
+// Nil is the null node reference.
+const Nil Ref = 0xFFFFFFFF
+
+const (
+	leafBit    = 1 << 31
+	arenaShift = 25
+	arenaMask  = 0x3F              // 64 arenas
+	indexMask  = 1<<arenaShift - 1 // 32M nodes per arena
+
+	// MaxArenas is the largest number of distinct arenas a Store may hold
+	// (one shared arena plus one per processor comfortably fits).
+	MaxArenas = arenaMask + 1
+)
+
+// CellRef builds a reference to cell index idx in the given arena.
+func CellRef(arena, idx int) Ref {
+	return Ref(arena<<arenaShift) | Ref(idx)
+}
+
+// LeafRef builds a reference to leaf index idx in the given arena.
+func LeafRef(arena, idx int) Ref {
+	return Ref(leafBit) | Ref(arena<<arenaShift) | Ref(idx)
+}
+
+// IsNil reports whether r is the null reference.
+func (r Ref) IsNil() bool { return r == Nil }
+
+// IsLeaf reports whether r refers to a leaf (false for cells and Nil).
+func (r Ref) IsLeaf() bool { return r != Nil && r&leafBit != 0 }
+
+// IsCell reports whether r refers to an internal cell.
+func (r Ref) IsCell() bool { return r != Nil && r&leafBit == 0 }
+
+// Arena returns the arena number encoded in r.
+func (r Ref) Arena() int { return int(r>>arenaShift) & arenaMask }
+
+// Index returns the within-arena index encoded in r.
+func (r Ref) Index() int { return int(r & indexMask) }
+
+// String renders r for diagnostics.
+func (r Ref) String() string {
+	switch {
+	case r.IsNil():
+		return "nil"
+	case r.IsLeaf():
+		return fmt.Sprintf("leaf[%d:%d]", r.Arena(), r.Index())
+	default:
+		return fmt.Sprintf("cell[%d:%d]", r.Arena(), r.Index())
+	}
+}

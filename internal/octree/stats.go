@@ -1,0 +1,48 @@
+package octree
+
+import "fmt"
+
+// Stats summarizes a built tree for reports and regression tests.
+type Stats struct {
+	Cells      int     // live internal cells
+	Leaves     int     // live leaves
+	Bodies     int     // bodies across live leaves
+	MaxDepth   int     // deepest node
+	AvgDepth   float64 // mean leaf depth
+	AvgOcc     float64 // mean bodies per leaf
+	MaxLeafLen int     // largest leaf (>LeafCap only at MaxDepth)
+}
+
+// CollectStats walks the tree once and gathers Stats.
+func CollectStats(t *Tree) Stats {
+	var st Stats
+	var depthSum int64
+	Walk(t, func(r Ref, depth int) bool {
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		if r.IsLeaf() {
+			l := t.Store.Leaf(r)
+			st.Leaves++
+			st.Bodies += len(l.Bodies)
+			depthSum += int64(depth)
+			if len(l.Bodies) > st.MaxLeafLen {
+				st.MaxLeafLen = len(l.Bodies)
+			}
+		} else {
+			st.Cells++
+		}
+		return true
+	})
+	if st.Leaves > 0 {
+		st.AvgDepth = float64(depthSum) / float64(st.Leaves)
+		st.AvgOcc = float64(st.Bodies) / float64(st.Leaves)
+	}
+	return st
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("cells=%d leaves=%d bodies=%d maxDepth=%d avgDepth=%.1f avgOcc=%.2f maxLeaf=%d",
+		s.Cells, s.Leaves, s.Bodies, s.MaxDepth, s.AvgDepth, s.AvgOcc, s.MaxLeafLen)
+}

@@ -1,0 +1,230 @@
+package octree
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"partree/internal/vec"
+)
+
+const (
+	chunkShift = 12 // 4096 nodes per chunk
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+	maxChunks  = (indexMask + 1) >> chunkShift
+
+	// nLockStripes sizes the striped lock table. The SPLASH codes hash
+	// cells onto a fixed lock array the same way; 1024 stripes keeps
+	// false contention negligible for the processor counts studied.
+	nLockStripes = 1024
+
+	// DefaultMaxDepth bounds subdivision. Beyond it a leaf accepts any
+	// number of bodies, which keeps coincident bodies from recursing
+	// forever. 48 halvings of any realistic root cube reach below
+	// physical resolution long before this.
+	DefaultMaxDepth = 48
+)
+
+// arena holds the cells and leaves created by one allocator (one processor,
+// or everyone when shared). Chunks never move once installed, so a *Cell
+// or *Leaf obtained from a published Ref stays valid for the arena's
+// lifetime. The chunk directories are fixed-size arrays of atomic
+// pointers: installation races between allocators in a shared arena are
+// resolved with compare-and-swap, and readers get the necessary
+// happens-before edge from the atomic load.
+type arena struct {
+	cellChunks [maxChunks]atomic.Pointer[[chunkSize]Cell]
+	leafChunks [maxChunks]atomic.Pointer[[chunkSize]Leaf]
+	nCells     int64 // allocation cursors, atomic
+	nLeaves    int64
+}
+
+// Store owns the node arenas, the striped lock table, and the build
+// parameters shared by every tree built into it.
+type Store struct {
+	// LeafCap is k, the subdivision threshold: a leaf with more than
+	// LeafCap bodies splits (except at MaxDepth).
+	LeafCap int
+	// MaxDepth bounds subdivision depth.
+	MaxDepth int
+
+	arenas []arena
+	locks  [nLockStripes]sync.Mutex
+	// lockCount counts acquisitions per stripe owner; the builders keep
+	// their own per-processor counters, this one exists for cheap global
+	// sanity checks.
+	lockCount int64
+}
+
+// NewStore creates a store with nArenas arenas (arena 0 is conventionally
+// the shared/sequential arena; 1..P belong to processors) and subdivision
+// threshold leafCap.
+func NewStore(nArenas, leafCap int) *Store {
+	if nArenas < 1 || nArenas > MaxArenas {
+		panic(fmt.Sprintf("octree: nArenas %d out of range [1,%d]", nArenas, MaxArenas))
+	}
+	if leafCap < 1 {
+		panic("octree: leafCap must be ≥ 1")
+	}
+	return &Store{
+		LeafCap:  leafCap,
+		MaxDepth: DefaultMaxDepth,
+		arenas:   make([]arena, nArenas),
+	}
+}
+
+// NumArenas returns the number of arenas in the store.
+func (s *Store) NumArenas() int { return len(s.arenas) }
+
+// Cell resolves a cell reference. The reference must be a cell.
+func (s *Store) Cell(r Ref) *Cell {
+	if !r.IsCell() {
+		panic("octree: Cell() on " + r.String())
+	}
+	i := r.Index()
+	return &s.arenas[r.Arena()].cellChunks[i>>chunkShift].Load()[i&chunkMask]
+}
+
+// Leaf resolves a leaf reference. The reference must be a leaf.
+func (s *Store) Leaf(r Ref) *Leaf {
+	if !r.IsLeaf() {
+		panic("octree: Leaf() on " + r.String())
+	}
+	i := r.Index()
+	return &s.arenas[r.Arena()].leafChunks[i>>chunkShift].Load()[i&chunkMask]
+}
+
+// AllocCell allocates a new cell in the given arena with every child Nil.
+// Safe for concurrent use by multiple goroutines on the same arena (the
+// ORIG algorithm's single shared array); allocation order, and therefore
+// the Ref handed out, is then scheduling-dependent.
+func (s *Store) AllocCell(arenaID int, cube vec.Cube, parent Ref, owner int) (Ref, *Cell) {
+	a := &s.arenas[arenaID]
+	idx := int(atomic.AddInt64(&a.nCells, 1) - 1)
+	if idx > indexMask {
+		panic("octree: arena cell capacity exhausted")
+	}
+	ci := idx >> chunkShift
+	chunk := a.cellChunks[ci].Load()
+	if chunk == nil {
+		chunk = installChunk(&a.cellChunks[ci])
+	}
+	c := &chunk[idx&chunkMask]
+	c.initChildren()
+	c.Cube = cube
+	c.Parent = parent
+	c.Owner = int32(owner)
+	c.Mass, c.COM, c.NBody, c.Cost, c.pending = 0, vec.V3{}, 0, 0, 0
+	c.Quad = Quadrupole{}
+	return CellRef(arenaID, idx), c
+}
+
+// AllocLeaf allocates a new leaf in the given arena. Same concurrency
+// contract as AllocCell.
+func (s *Store) AllocLeaf(arenaID int, cube vec.Cube, parent Ref, owner int) (Ref, *Leaf) {
+	a := &s.arenas[arenaID]
+	idx := int(atomic.AddInt64(&a.nLeaves, 1) - 1)
+	if idx > indexMask {
+		panic("octree: arena leaf capacity exhausted")
+	}
+	ci := idx >> chunkShift
+	chunk := a.leafChunks[ci].Load()
+	if chunk == nil {
+		chunk = installChunk(&a.leafChunks[ci])
+	}
+	l := &chunk[idx&chunkMask]
+	l.Cube = cube
+	l.Parent = parent
+	l.Owner = int32(owner)
+	l.Retired = false
+	if l.Bodies == nil {
+		l.Bodies = make([]int32, 0, s.LeafCap)
+	} else {
+		l.Bodies = l.Bodies[:0]
+	}
+	l.Mass, l.COM, l.Cost = 0, vec.V3{}, 0
+	l.Quad = Quadrupole{}
+	return LeafRef(arenaID, idx), l
+}
+
+// installChunk publishes a fresh chunk into slot, keeping the winner if
+// several allocators race.
+func installChunk[T any](slot *atomic.Pointer[[chunkSize]T]) *[chunkSize]T {
+	fresh := new([chunkSize]T)
+	if slot.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return slot.Load()
+}
+
+// Lock acquires the striped lock guarding node r and returns it for the
+// caller to unlock. Distinct nodes may share a stripe; that is the same
+// compromise the SPLASH lock-hashing scheme makes and is safe (coarser
+// exclusion, never finer).
+func (s *Store) Lock(r Ref) *sync.Mutex {
+	m := &s.locks[lockStripe(r)]
+	m.Lock()
+	atomic.AddInt64(&s.lockCount, 1)
+	return m
+}
+
+// LockCount reports total striped-lock acquisitions since the last Reset.
+func (s *Store) LockCount() int64 { return atomic.LoadInt64(&s.lockCount) }
+
+func lockStripe(r Ref) int {
+	// Fibonacci hashing spreads sequential indices across stripes.
+	return int((uint32(r) * 2654435769) >> (32 - 10))
+}
+
+// CellsIn reports how many cells arena a has allocated.
+func (s *Store) CellsIn(a int) int { return int(atomic.LoadInt64(&s.arenas[a].nCells)) }
+
+// LeavesIn reports how many leaves arena a has allocated.
+func (s *Store) LeavesIn(a int) int { return int(atomic.LoadInt64(&s.arenas[a].nLeaves)) }
+
+// TotalCells reports the number of cells allocated across all arenas.
+func (s *Store) TotalCells() int {
+	n := 0
+	for i := range s.arenas {
+		n += s.CellsIn(i)
+	}
+	return n
+}
+
+// TotalLeaves reports the number of leaves allocated across all arenas.
+func (s *Store) TotalLeaves() int {
+	n := 0
+	for i := range s.arenas {
+		n += s.LeavesIn(i)
+	}
+	return n
+}
+
+// Reset rewinds every arena so the store's memory can be reused for the
+// next time step without reallocating chunks. Outstanding Refs become
+// invalid. The UPDATE algorithm does not call this — it keeps its tree.
+func (s *Store) Reset() {
+	for i := range s.arenas {
+		atomic.StoreInt64(&s.arenas[i].nCells, 0)
+		atomic.StoreInt64(&s.arenas[i].nLeaves, 0)
+	}
+	atomic.StoreInt64(&s.lockCount, 0)
+}
+
+// Tree couples a store with the root reference of a built tree.
+type Tree struct {
+	Store *Store
+	Root  Ref
+}
+
+// RootCube returns the cube of the root node.
+func (t *Tree) RootCube() vec.Cube {
+	if t.Root.IsNil() {
+		return vec.Cube{}
+	}
+	if t.Root.IsLeaf() {
+		return t.Store.Leaf(t.Root).Cube
+	}
+	return t.Store.Cell(t.Root).Cube
+}

@@ -1,0 +1,24 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+func BenchmarkCostzones(b *testing.B) {
+	for _, n := range []int{16384, 131072} {
+		bodies := phys.Generate(phys.ModelPlummer, n, 1)
+		tr := octree.BuildSerial(bodies.Pos, 8)
+		d := octree.BodyData{Pos: bodies.Pos, Mass: bodies.Mass, Cost: bodies.Cost}
+		octree.ComputeMomentsSerial(tr, d)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Costzones(tr, d, 16)
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Package partition implements the costzones partitioning scheme of Singh
+// et al. for hierarchical N-body methods: the tree's total interaction
+// cost is divided into P equal contiguous zones along the tree's in-order
+// leaf sequence, and each processor receives the bodies whose accumulated
+// cost falls inside its zone. Because nearby bodies sit close together in
+// tree order, the zones are spatially coherent, giving both load balance
+// and locality. The paper uses costzones for the force-calculation (and
+// update) phases of every algorithm; the previous step's zones are also
+// the tree-building partition for ORIG, LOCAL, UPDATE, and PARTREE.
+package partition
+
+import (
+	"fmt"
+
+	"partree/internal/octree"
+	"partree/internal/vec"
+)
+
+// Costzones splits the bodies under t into p zones of roughly equal cost.
+// The tree must have its moments (including Cost) computed. Every body
+// appears in exactly one zone; zones follow the deterministic in-order
+// traversal, so equal inputs give equal partitions.
+func Costzones(t *octree.Tree, d octree.BodyData, p int) [][]int32 {
+	out := make([][]int32, p)
+	if t.Root.IsNil() || p == 0 {
+		return out
+	}
+	total := rootCost(t)
+	if total <= 0 {
+		// Degenerate (e.g. zero bodies): nothing to hand out.
+		return out
+	}
+	// Zone w covers accumulated cost [w*total/p, (w+1)*total/p).
+	var acc int64
+	var rec func(r octree.Ref)
+	rec = func(r octree.Ref) {
+		if r.IsLeaf() {
+			l := t.Store.Leaf(r)
+			for _, b := range l.Bodies {
+				c := d.CostOf(b)
+				w := int(acc * int64(p) / total)
+				if w >= p {
+					w = p - 1
+				}
+				out[w] = append(out[w], b)
+				acc += c
+			}
+			return
+		}
+		c := t.Store.Cell(r)
+		// Whole-subtree skip: if this subtree fits entirely inside the
+		// current zone, it still has to be walked to collect bodies, so
+		// no shortcut — costzones' benefit is placement, not speed.
+		for o := vec.Octant(0); o < vec.NOctants; o++ {
+			if ch := c.Child(o); !ch.IsNil() {
+				rec(ch)
+			}
+		}
+	}
+	rec(t.Root)
+	return out
+}
+
+func rootCost(t *octree.Tree) int64 {
+	if t.Root.IsLeaf() {
+		return t.Store.Leaf(t.Root).Cost
+	}
+	return t.Store.Cell(t.Root).Cost
+}
+
+// Validate checks that assign covers bodies 0..n-1 exactly once.
+func Validate(assign [][]int32, n int) error {
+	seen := make([]bool, n)
+	for w, chunk := range assign {
+		for _, b := range chunk {
+			if b < 0 || int(b) >= n {
+				return fmt.Errorf("partition: processor %d has out-of-range body %d", w, b)
+			}
+			if seen[b] {
+				return fmt.Errorf("partition: body %d assigned twice", b)
+			}
+			seen[b] = true
+		}
+	}
+	for b, s := range seen {
+		if !s {
+			return fmt.Errorf("partition: body %d unassigned", b)
+		}
+	}
+	return nil
+}
+
+// Imbalance returns max/mean cost across processors (1.0 = perfect).
+func Imbalance(assign [][]int32, d octree.BodyData) float64 {
+	if len(assign) == 0 {
+		return 1
+	}
+	var total, max int64
+	for _, chunk := range assign {
+		var c int64
+		for _, b := range chunk {
+			c += d.CostOf(b)
+		}
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(assign))
+	return float64(max) / mean
+}

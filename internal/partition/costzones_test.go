@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"testing"
+
+	"partree/internal/force"
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+func prepared(t *testing.T, n int, seed int64, withCosts bool) (*phys.Bodies, *octree.Tree, octree.BodyData) {
+	t.Helper()
+	b := phys.Generate(phys.ModelPlummer, n, seed)
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+	octree.ComputeMomentsSerial(tr, d)
+	if withCosts {
+		// Run one real force pass so costs reflect actual interaction
+		// counts, then refresh the tree's cost moments.
+		force.ComputeAll(tr, b, [][]int32{allBodies(n)}, force.DefaultParams())
+		octree.ComputeMomentsSerial(tr, d)
+	}
+	return b, tr, d
+}
+
+func allBodies(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func TestCostzonesCoversAllBodies(t *testing.T) {
+	for _, p := range []int{1, 2, 7, 16} {
+		_, tr, d := prepared(t, 3000, 5, false)
+		assign := Costzones(tr, d, p)
+		if len(assign) != p {
+			t.Fatalf("p=%d: got %d zones", p, len(assign))
+		}
+		if err := Validate(assign, 3000); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestCostzonesBalanced(t *testing.T) {
+	_, tr, d := prepared(t, 20000, 7, true)
+	for _, p := range []int{4, 16} {
+		assign := Costzones(tr, d, p)
+		if err := Validate(assign, 20000); err != nil {
+			t.Fatal(err)
+		}
+		if imb := Imbalance(assign, d); imb > 1.10 {
+			t.Fatalf("p=%d: imbalance %.3f exceeds 1.10", p, imb)
+		}
+	}
+}
+
+func TestCostzonesDeterministic(t *testing.T) {
+	_, tr, d := prepared(t, 2000, 9, true)
+	a := Costzones(tr, d, 8)
+	b := Costzones(tr, d, 8)
+	for w := range a {
+		if len(a[w]) != len(b[w]) {
+			t.Fatalf("zone %d lengths differ", w)
+		}
+		for i := range a[w] {
+			if a[w][i] != b[w][i] {
+				t.Fatalf("zone %d element %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestCostzonesSpatialLocality(t *testing.T) {
+	// Zones follow tree order, so a zone's bodies should be clustered:
+	// the mean intra-zone spread must be well below the global spread.
+	b, tr, d := prepared(t, 8000, 11, true)
+	assign := Costzones(tr, d, 16)
+	globalSpread := meanDistToCentroid(b, allBodies(b.N()))
+	var zoneSpread float64
+	for _, zone := range assign {
+		zoneSpread += meanDistToCentroid(b, zone)
+	}
+	zoneSpread /= float64(len(assign))
+	if zoneSpread > 0.8*globalSpread {
+		t.Fatalf("zones not spatially coherent: zone spread %.3f vs global %.3f", zoneSpread, globalSpread)
+	}
+}
+
+func meanDistToCentroid(b *phys.Bodies, idx []int32) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var c = b.Pos[idx[0]]
+	for _, i := range idx[1:] {
+		c = c.Add(b.Pos[i])
+	}
+	c = c.Scale(1 / float64(len(idx)))
+	var sum float64
+	for _, i := range idx {
+		sum += b.Pos[i].Dist(c)
+	}
+	return sum / float64(len(idx))
+}
+
+func TestCostzonesEmptyAndTiny(t *testing.T) {
+	tr := octree.BuildSerial(nil, 8)
+	assign := Costzones(tr, octree.BodyData{}, 4)
+	if err := Validate(assign, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, tr2, d2 := prepared(t, 3, 1, false)
+	assign = Costzones(tr2, d2, 8)
+	if err := Validate(assign, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	if err := Validate([][]int32{{0, 1}, {1}}, 3); err == nil {
+		t.Fatal("accepted duplicate")
+	}
+	if err := Validate([][]int32{{0}}, 2); err == nil {
+		t.Fatal("accepted missing body")
+	}
+	if err := Validate([][]int32{{5}}, 2); err == nil {
+		t.Fatal("accepted out-of-range body")
+	}
+}

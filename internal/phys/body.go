@@ -1,0 +1,115 @@
+// Package phys holds the physical state of an N-body system: the bodies
+// themselves, initial-condition generators (Plummer sphere, uniform cube,
+// colliding clusters), the leapfrog integrator, and energy diagnostics.
+//
+// Bodies are stored in structure-of-arrays form. The SPLASH-2 BARNES code
+// keeps bodies in flat shared arrays for locality, and the paper's
+// tree-building algorithms are described in terms of body indices moving
+// between per-processor pointer arrays; a SoA store reproduces both the
+// access pattern and the sharing granularity that the platform simulator
+// needs to model.
+package phys
+
+import (
+	"fmt"
+
+	"partree/internal/vec"
+)
+
+// Bodies is a structure-of-arrays collection of N bodies.
+type Bodies struct {
+	Pos  []vec.V3  // position
+	Vel  []vec.V3  // velocity
+	Acc  []vec.V3  // acceleration from the most recent force pass
+	Mass []float64 // gravitational mass
+	// Cost is the interaction count each body incurred in the previous
+	// force pass. Costzones partitioning consumes it; the tree builders
+	// carry it across steps exactly as the SPLASH codes do.
+	Cost []int64
+}
+
+// NewBodies allocates storage for n bodies with zeroed state.
+func NewBodies(n int) *Bodies {
+	return &Bodies{
+		Pos:  make([]vec.V3, n),
+		Vel:  make([]vec.V3, n),
+		Acc:  make([]vec.V3, n),
+		Mass: make([]float64, n),
+		Cost: make([]int64, n),
+	}
+}
+
+// N returns the number of bodies.
+func (b *Bodies) N() int { return len(b.Pos) }
+
+// TotalMass returns the summed mass of all bodies.
+func (b *Bodies) TotalMass() float64 {
+	var m float64
+	for _, v := range b.Mass {
+		m += v
+	}
+	return m
+}
+
+// CenterOfMass returns the mass-weighted mean position, or the zero vector
+// for an empty or massless system.
+func (b *Bodies) CenterOfMass() vec.V3 {
+	var com vec.V3
+	var m float64
+	for i := range b.Pos {
+		com = com.MulAdd(b.Mass[i], b.Pos[i])
+		m += b.Mass[i]
+	}
+	if m == 0 {
+		return vec.V3{}
+	}
+	return com.Scale(1 / m)
+}
+
+// Momentum returns the total linear momentum.
+func (b *Bodies) Momentum() vec.V3 {
+	var p vec.V3
+	for i := range b.Vel {
+		p = p.MulAdd(b.Mass[i], b.Vel[i])
+	}
+	return p
+}
+
+// Bounds returns a cube containing all body positions, expanded by margin
+// (see vec.BoundingCube).
+func (b *Bodies) Bounds(margin float64) vec.Cube {
+	return vec.BoundingCube(b.N(), func(i int) vec.V3 { return b.Pos[i] }, margin)
+}
+
+// Clone deep-copies the body set.
+func (b *Bodies) Clone() *Bodies {
+	c := NewBodies(b.N())
+	copy(c.Pos, b.Pos)
+	copy(c.Vel, b.Vel)
+	copy(c.Acc, b.Acc)
+	copy(c.Mass, b.Mass)
+	copy(c.Cost, b.Cost)
+	return c
+}
+
+// Validate checks the store for internal consistency (parallel slices of
+// equal length, finite positions and velocities, non-negative masses).
+func (b *Bodies) Validate() error {
+	n := len(b.Pos)
+	if len(b.Vel) != n || len(b.Acc) != n || len(b.Mass) != n || len(b.Cost) != n {
+		return fmt.Errorf("phys: slice lengths diverge: pos=%d vel=%d acc=%d mass=%d cost=%d",
+			len(b.Pos), len(b.Vel), len(b.Acc), len(b.Mass), len(b.Cost))
+	}
+	for i := 0; i < n; i++ {
+		if !b.Pos[i].IsFinite() {
+			return fmt.Errorf("phys: body %d has non-finite position %v", i, b.Pos[i])
+		}
+		if !b.Vel[i].IsFinite() {
+			return fmt.Errorf("phys: body %d has non-finite velocity %v", i, b.Vel[i])
+		}
+		if b.Mass[i] < 0 {
+			return fmt.Errorf("phys: body %d has negative mass %g", i, b.Mass[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package phys
+
+import (
+	"math"
+	"math/rand"
+
+	"partree/internal/vec"
+)
+
+// Model selects an initial mass distribution.
+type Model int
+
+const (
+	// ModelPlummer is the Plummer (1911) sphere the SPLASH-2 BARNES code
+	// generates: strongly centrally condensed, which is what stresses
+	// adaptive subdivision depth in the tree build.
+	ModelPlummer Model = iota
+	// ModelUniform scatters bodies uniformly inside a unit cube — the
+	// best case for spatial partitioning, used by ablation benches.
+	ModelUniform
+	// ModelTwoClusters places two Plummer spheres on a collision course,
+	// the classic "galaxy collision" demo, and the worst case for a
+	// static spatial decomposition.
+	ModelTwoClusters
+)
+
+// String names the model for CLI flags and reports.
+func (m Model) String() string {
+	switch m {
+	case ModelPlummer:
+		return "plummer"
+	case ModelUniform:
+		return "uniform"
+	case ModelTwoClusters:
+		return "twoclusters"
+	}
+	return "unknown"
+}
+
+// ParseModel converts a CLI name into a Model.
+func ParseModel(s string) (Model, bool) {
+	switch s {
+	case "plummer":
+		return ModelPlummer, true
+	case "uniform":
+		return ModelUniform, true
+	case "twoclusters":
+		return ModelTwoClusters, true
+	}
+	return 0, false
+}
+
+// Generate builds an n-body system from the given model using a
+// deterministic stream seeded by seed. Total mass is 1 in model units
+// (G=1), matching the standard N-body convention.
+func Generate(m Model, n int, seed int64) *Bodies {
+	r := rand.New(rand.NewSource(seed))
+	switch m {
+	case ModelUniform:
+		return uniformCube(n, r)
+	case ModelTwoClusters:
+		return twoClusters(n, r)
+	default:
+		return plummer(n, r, vec.V3{}, vec.V3{}, 1.0)
+	}
+}
+
+// plummer samples n bodies from a Plummer sphere of total mass mtot
+// centered at center with bulk velocity drift, using the classic
+// Aarseth/Henon/Wielen (1974) rejection recipe. Positions use the scale
+// radius a=1; velocities are drawn from the isotropic distribution
+// consistent with the potential so the system starts near virial
+// equilibrium.
+func plummer(n int, r *rand.Rand, center, drift vec.V3, mtot float64) *Bodies {
+	b := NewBodies(n)
+	mPer := mtot / float64(n)
+	for i := 0; i < n; i++ {
+		// Radius from the cumulative mass profile. Clamp the mass
+		// fraction away from 1 to avoid unbounded radii.
+		x := r.Float64()
+		if x > 0.999 {
+			x = 0.999
+		}
+		rad := 1 / math.Sqrt(math.Pow(x, -2.0/3.0)-1)
+		b.Pos[i] = center.Add(isotropic(r).Scale(rad))
+
+		// Speed by von Neumann rejection against g(q) = q²(1-q²)^3.5.
+		var q float64
+		for {
+			q = r.Float64()
+			g := q * q * math.Pow(1-q*q, 3.5)
+			if 0.1*r.Float64() < g {
+				break
+			}
+		}
+		vesc := math.Sqrt(2) * math.Pow(1+rad*rad, -0.25) * math.Sqrt(mtot)
+		b.Vel[i] = drift.Add(isotropic(r).Scale(q * vesc))
+		b.Mass[i] = mPer
+		b.Cost[i] = 1
+	}
+	return b
+}
+
+// isotropic returns a unit vector uniformly distributed on the sphere.
+func isotropic(r *rand.Rand) vec.V3 {
+	z := 2*r.Float64() - 1
+	t := 2 * math.Pi * r.Float64()
+	s := math.Sqrt(1 - z*z)
+	return vec.V3{X: s * math.Cos(t), Y: s * math.Sin(t), Z: z}
+}
+
+func uniformCube(n int, r *rand.Rand) *Bodies {
+	b := NewBodies(n)
+	mPer := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		b.Pos[i] = vec.V3{X: r.Float64(), Y: r.Float64(), Z: r.Float64()}
+		b.Vel[i] = isotropic(r).Scale(0.05 * r.Float64())
+		b.Mass[i] = mPer
+		b.Cost[i] = 1
+	}
+	return b
+}
+
+func twoClusters(n int, r *rand.Rand) *Bodies {
+	n1 := n / 2
+	n2 := n - n1
+	sep := vec.V3{X: 6}
+	vrel := vec.V3{X: -0.25, Y: 0.05}
+	a := plummer(n1, r, sep.Scale(0.5), vrel.Scale(0.5), 0.5)
+	c := plummer(n2, r, sep.Scale(-0.5), vrel.Scale(-0.5), 0.5)
+	b := NewBodies(n)
+	copy(b.Pos, a.Pos)
+	copy(b.Pos[n1:], c.Pos)
+	copy(b.Vel, a.Vel)
+	copy(b.Vel[n1:], c.Vel)
+	copy(b.Mass, a.Mass)
+	copy(b.Mass[n1:], c.Mass)
+	copy(b.Cost, a.Cost)
+	copy(b.Cost[n1:], c.Cost)
+	return b
+}

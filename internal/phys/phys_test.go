@@ -1,0 +1,177 @@
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, m := range []Model{ModelPlummer, ModelUniform, ModelTwoClusters} {
+		a := Generate(m, 500, 7)
+		b := Generate(m, 500, 7)
+		for i := range a.Pos {
+			if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+				t.Fatalf("%v: generation not deterministic at body %d", m, i)
+			}
+		}
+		c := Generate(m, 500, 8)
+		same := true
+		for i := range a.Pos {
+			if a.Pos[i] != c.Pos[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%v: different seeds produced identical systems", m)
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, m := range []Model{ModelPlummer, ModelUniform, ModelTwoClusters} {
+		b := Generate(m, 2000, 1)
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got := b.TotalMass(); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("%v: total mass = %g, want 1", m, got)
+		}
+	}
+}
+
+func TestPlummerCentrallyCondensed(t *testing.T) {
+	b := Generate(ModelPlummer, 20000, 3)
+	com := b.CenterOfMass()
+	inner, outer := 0, 0
+	for i := range b.Pos {
+		if b.Pos[i].Dist(com) < 1 {
+			inner++
+		} else {
+			outer++
+		}
+	}
+	// A Plummer sphere holds ~35% of its mass inside one scale radius;
+	// uniform-in-bounding-cube would hold far less. Loose bound: >20%.
+	if frac := float64(inner) / float64(b.N()); frac < 0.20 {
+		t.Fatalf("inner-mass fraction %.3f too small for a Plummer sphere", frac)
+	}
+}
+
+func TestPlummerNearVirial(t *testing.T) {
+	b := Generate(ModelPlummer, 4000, 11)
+	ke := b.KineticEnergy()
+	pe := b.PotentialEnergy(0)
+	// Virial equilibrium: 2KE + PE = 0. Sampling noise allows slack.
+	q := -2 * ke / pe
+	if q < 0.6 || q > 1.4 {
+		t.Fatalf("virial ratio -2KE/PE = %.3f, want ≈1", q)
+	}
+}
+
+func TestUniformStaysInUnitCube(t *testing.T) {
+	b := Generate(ModelUniform, 5000, 5)
+	for i, p := range b.Pos {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 || p.Z < 0 || p.Z >= 1 {
+			t.Fatalf("body %d at %v escapes the unit cube", i, p)
+		}
+	}
+}
+
+func TestTwoClustersSeparated(t *testing.T) {
+	b := Generate(ModelTwoClusters, 4000, 9)
+	left, right := 0, 0
+	for _, p := range b.Pos {
+		if p.X > 1 {
+			right++
+		}
+		if p.X < -1 {
+			left++
+		}
+	}
+	if left < b.N()/4 || right < b.N()/4 {
+		t.Fatalf("clusters not separated: left=%d right=%d of %d", left, right, b.N())
+	}
+}
+
+func TestKickDrift(t *testing.T) {
+	b := NewBodies(2)
+	b.Mass[0], b.Mass[1] = 1, 1
+	b.Acc[0].X = 2
+	b.Vel[1].Y = 3
+	b.Kick(0, 2, 1.0) // half-kick: v += a*0.5
+	if b.Vel[0].X != 1 {
+		t.Fatalf("kick: vel = %v, want x=1", b.Vel[0])
+	}
+	b.Drift(0, 2, 2.0)
+	if b.Pos[0].X != 2 || b.Pos[1].Y != 6 {
+		t.Fatalf("drift: pos = %v %v", b.Pos[0], b.Pos[1])
+	}
+}
+
+func TestKickDriftRangeRespected(t *testing.T) {
+	b := NewBodies(4)
+	for i := range b.Acc {
+		b.Acc[i].X = 1
+		b.Vel[i].X = 1
+	}
+	b.Kick(1, 3, 2.0)
+	b.Drift(1, 3, 1.0)
+	if b.Vel[0].X != 1 || b.Vel[3].X != 1 || b.Pos[0].X != 0 || b.Pos[3].X != 0 {
+		t.Fatal("kick/drift touched bodies outside the range")
+	}
+	if b.Vel[1].X != 2 || b.Pos[2].X != 2 {
+		t.Fatal("kick/drift missed bodies inside the range")
+	}
+}
+
+func TestEnergyTwoBody(t *testing.T) {
+	b := NewBodies(2)
+	b.Mass[0], b.Mass[1] = 2, 3
+	b.Pos[1].X = 2
+	b.Vel[0].Y = 1
+	ke := b.KineticEnergy()
+	if ke != 1 { // ½·2·1²
+		t.Fatalf("KE = %g, want 1", ke)
+	}
+	pe := b.PotentialEnergy(0)
+	if pe != -3 { // -2·3/2
+		t.Fatalf("PE = %g, want -3", pe)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Generate(ModelUniform, 10, 1)
+	c := a.Clone()
+	c.Pos[0].X = 99
+	if a.Pos[0].X == 99 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	b := Generate(ModelUniform, 10, 1)
+	b.Pos[3].X = math.NaN()
+	if err := b.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN position")
+	}
+	b = Generate(ModelUniform, 10, 1)
+	b.Mass[2] = -1
+	if err := b.Validate(); err == nil {
+		t.Fatal("Validate accepted negative mass")
+	}
+	b = Generate(ModelUniform, 10, 1)
+	b.Vel = b.Vel[:5]
+	if err := b.Validate(); err == nil {
+		t.Fatal("Validate accepted diverging slice lengths")
+	}
+}
+
+func TestMomentumNearZero(t *testing.T) {
+	b := Generate(ModelPlummer, 10000, 2)
+	p := b.Momentum()
+	// Drift-free Plummer sphere: momentum is sampling noise ~ m*v/sqrt(N).
+	if p.Len() > 0.05 {
+		t.Fatalf("net momentum %v too large", p)
+	}
+}

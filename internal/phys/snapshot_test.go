@@ -1,0 +1,93 @@
+package phys
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := Generate(ModelTwoClusters, 1234, 9)
+	a.Acc[5].X = 3.25
+	a.Cost[7] = 42
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != a.N() {
+		t.Fatalf("count %d != %d", b.N(), a.N())
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] || a.Acc[i] != b.Acc[i] ||
+			a.Mass[i] != b.Mass[i] || a.Cost[i] != b.Cost[i] {
+			t.Fatalf("body %d differs after round trip", i)
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	a := Generate(ModelPlummer, 256, 3)
+	if err := a.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 256 || b.Pos[100] != a.Pos[100] {
+		t.Fatal("file round trip corrupted data")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty input")
+	}
+}
+
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	a := Generate(ModelUniform, 100, 1)
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadSnapshot(bytes.NewReader(cut)); err == nil {
+		t.Fatal("accepted truncated snapshot")
+	}
+}
+
+func TestSnapshotRejectsCorruptValues(t *testing.T) {
+	a := Generate(ModelUniform, 10, 1)
+	a.Pos[3].X = math.NaN()
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("accepted NaN positions")
+	}
+}
+
+func TestSnapshotEmptySystem(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBodies(0).WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 0 {
+		t.Fatalf("empty snapshot produced %d bodies", b.N())
+	}
+}

@@ -1,0 +1,86 @@
+// Package simalg re-expresses the paper's five tree-building algorithms —
+// and the force-calculation and update phases around them — as programs
+// over the memsim platform simulator. The algorithms operate on a real
+// octree (the engine serializes the simulated processors, so the shared
+// structure needs no real locks) while every shared access, lock, and
+// barrier is charged to the simulated machine. This is how the paper's
+// cross-platform tables and figures are regenerated; see DESIGN.md §2.2–2.3
+// for what is simulated event-by-event versus in aggregate.
+package simalg
+
+import (
+	"partree/internal/octree"
+)
+
+// Simulated address-space layout. Strides are powers of two so pages and
+// cache lines divide evenly. The layout mirrors the codes the paper
+// describes: one global region per data class, with per-processor arenas
+// at disjoint regions (so LOCAL-family allocations can be homed at their
+// owner, while ORIG's single shared arena interleaves processors within
+// pages).
+const (
+	bodyBase   = uint64(1) << 32
+	bodyStride = 128 // one body record (pos/vel/acc/mass/cost)
+	// LOCAL-family codes keep bodies in per-processor arrays and
+	// physically move a body when it is reassigned; each processor's
+	// array is a region homed at its node. ORIG keeps one global body
+	// array (only pointer arrays change hands), so it uses bodyBase
+	// directly with default round-robin page homes.
+	bodyRegionStride = uint64(1) << 26 // 64 MB per processor
+
+	arenaBase   = uint64(1) << 33
+	arenaStride = uint64(1) << 28 // 256 MB window per arena
+	cellStride  = 256
+	leafStride  = 256
+	leafRegion  = uint64(1) << 27 // leaves in the upper half of the window
+
+	// ORIG's shared bookkeeping: the global allocation cursor and the
+	// per-processor "cells used / leaves used" counters that SPLASH-1
+	// keeps in shared arrays (8 bytes apart: classic false sharing).
+	counterBase     = uint64(1) << 30
+	sharedStatsBase = counterBase + 4096
+
+	// LOCAL-family private counters: one page per processor.
+	privStatsBase = counterBase + uint64(1)<<20
+)
+
+// bodyAddr is the simulated address of body b's record in ORIG's single
+// global body array.
+func bodyAddr(b int32) uint64 { return bodyBase + uint64(b)*bodyStride }
+
+// bodySlotAddr is the address of slot i in processor w's body array.
+func bodySlotAddr(w int, slot int) uint64 {
+	return bodyBase + bodyRegionStride + uint64(w)*bodyRegionStride + uint64(slot)*bodyStride
+}
+
+// nodeAddr is the simulated address of a tree node.
+func nodeAddr(r octree.Ref) uint64 {
+	base := arenaBase + uint64(r.Arena())*arenaStride
+	if r.IsLeaf() {
+		return base + leafRegion + uint64(r.Index())*leafStride
+	}
+	return base + uint64(r.Index())*cellStride
+}
+
+// lockOf maps a node to its lock id. The SPLASH-era codes hash cells onto
+// a small fixed lock array; 64 locks reproduces that: under software
+// coherence, contention on these few locks meets critical sections dilated
+// by page faults, which is exactly the serialization the paper identifies.
+// Lock ids below 1024 are node locks; higher ids are special.
+func lockOf(r octree.Ref) int {
+	return int((uint32(r) * 2654435769) >> (32 - 6))
+}
+
+// Special lock ids.
+const (
+	lockAlloc = 1 << 20 // ORIG's shared allocation cursor lock
+)
+
+// sharedCounterAddr is ORIG's global allocation cursor.
+func sharedCounterAddr() uint64 { return counterBase }
+
+// sharedStatAddr is processor w's slot in ORIG's shared stats array.
+func sharedStatAddr(w int) uint64 { return sharedStatsBase + uint64(w)*8 }
+
+// privStatAddr is processor w's padded private counter page.
+func privStatAddr(w int) uint64 { return privStatsBase + uint64(w)*4096 }

@@ -1,0 +1,385 @@
+package simalg
+
+import (
+	"sort"
+
+	"partree/internal/octree"
+	"partree/internal/vec"
+)
+
+// ---- UPDATE -------------------------------------------------------------
+
+// updateMove is UPDATE's incremental step: check every owned body against
+// its leaf's refreshed bounds, move only the ones that crossed.
+func (st *runState) updateMove(sp *sproc) {
+	s := st.store
+	pos := st.bodies.Pos
+	for _, b := range st.assign[sp.w] {
+		lr := octree.Ref(st.bodyLeaf[b])
+		sp.mp.Read(sp.st.bodyAddrOf[b])
+		if st.visLocks {
+			// Under LRC the leaf's current state is only guaranteed
+			// visible through an acquire.
+			sp.lockNode(lockOf(lr))
+		}
+		sp.readNode(lr)
+		sp.compute(st.cfg.DescendCycles)
+		in := s.Leaf(lr).Cube.Contains(pos[b])
+		if st.visLocks {
+			sp.unlockNode(lockOf(lr))
+		}
+		if in {
+			continue
+		}
+		parent := sp.remove(b)
+		cur := parent
+		for {
+			c := s.Cell(cur)
+			sp.readNode(cur)
+			sp.compute(st.cfg.DescendCycles)
+			if c.Cube.Contains(pos[b]) || c.Parent.IsNil() {
+				break
+			}
+			cur = c.Parent
+		}
+		sp.insert(cur, depthOfCube(st.tree, s.Cell(cur).Cube), b)
+	}
+}
+
+// ---- PARTREE ------------------------------------------------------------
+
+// partreeBuild builds a private local tree (no synchronization at all) and
+// merges it into the global tree, cell/subtree at a time.
+func (st *runState) partreeBuild(sp *sproc) {
+	localRoot, _ := sp.allocCell(st.cube, octree.Nil)
+	for _, b := range st.assign[sp.w] {
+		sp.insertPrivate(localRoot, 0, b)
+	}
+	lc := st.store.Cell(localRoot)
+	for o := vec.Octant(0); o < vec.NOctants; o++ {
+		if ch := lc.Child(o); !ch.IsNil() {
+			sp.mergeChild(st.tree.Root, o, ch, 0)
+		}
+	}
+}
+
+// mergeChild merges the private node lc into the global tree under gcell's
+// octant o (gcell at depth gdepth). Mirrors core.inserter.mergeChild.
+func (sp *sproc) mergeChild(gcell octree.Ref, o vec.Octant, lc octree.Ref, gdepth int) {
+	st := sp.st
+	s := st.store
+	vis := st.visLocks
+	for {
+		sp.compute(st.cfg.DescendCycles)
+		c := s.Cell(gcell)
+		if vis {
+			sp.lockNode(lockOf(gcell))
+		}
+		sp.readNode(gcell)
+		slot := c.Child(o)
+		if vis && !slot.IsNil() {
+			sp.unlockNode(lockOf(gcell))
+		}
+		switch {
+		case slot.IsNil():
+			if !vis {
+				sp.lockNode(lockOf(gcell))
+			}
+			if !c.Child(o).IsNil() {
+				sp.unlockNode(lockOf(gcell))
+				continue
+			}
+			if lc.IsLeaf() {
+				s.Leaf(lc).Parent = gcell
+			} else {
+				s.Cell(lc).Parent = gcell
+			}
+			c.SetChild(o, lc)
+			sp.writeNode(gcell)
+			sp.unlockNode(lockOf(gcell))
+			return
+
+		case slot.IsLeaf():
+			sp.lockNode(lockOf(slot))
+			sp.readNode(slot)
+			if c.Child(o) != slot {
+				sp.unlockNode(lockOf(slot))
+				continue
+			}
+			l := s.Leaf(slot)
+			if lc.IsLeaf() {
+				ll := s.Leaf(lc)
+				if len(l.Bodies)+len(ll.Bodies) <= s.LeafCap || gdepth+2 >= s.MaxDepth {
+					l.Bodies = append(l.Bodies, ll.Bodies...)
+					sp.writeNode(slot)
+					sp.unlockNode(lockOf(slot))
+					return
+				}
+				cr, _ := sp.allocCell(l.Cube, gcell)
+				for _, ob := range l.Bodies {
+					sp.insertPrivate(cr, gdepth+1, ob)
+				}
+				for _, ob := range ll.Bodies {
+					sp.insertPrivate(cr, gdepth+1, ob)
+				}
+				l.Retired = true
+				c.SetChild(o, cr)
+				sp.writeNode(gcell)
+				sp.unlockNode(lockOf(slot))
+				return
+			}
+			for _, ob := range l.Bodies {
+				sp.insertPrivate(lc, gdepth+1, ob)
+			}
+			s.Cell(lc).Parent = gcell
+			l.Retired = true
+			c.SetChild(o, lc)
+			sp.writeNode(gcell)
+			sp.unlockNode(lockOf(slot))
+			return
+
+		default:
+			if lc.IsLeaf() {
+				for _, ob := range s.Leaf(lc).Bodies {
+					sp.insert(slot, gdepth+1, ob)
+				}
+				return
+			}
+			lcc := s.Cell(lc)
+			for oo := vec.Octant(0); oo < vec.NOctants; oo++ {
+				if ch := lcc.Child(oo); !ch.IsNil() {
+					sp.mergeChild(slot, oo, ch, gdepth+1)
+				}
+			}
+			return
+		}
+	}
+}
+
+// ---- SPACE --------------------------------------------------------------
+
+// spaceState is the shared state of SPACE's counting/partitioning rounds.
+type spaceState struct {
+	threshold int
+	frontier  []spaceFrontier
+	myBodies  [][]int32
+	myCell    [][]int32
+	counts    [][]int64
+	octs      [][]uint8
+	newIndex  []int32
+	subs      []spaceSub
+}
+
+type spaceFrontier struct {
+	ref   octree.Ref
+	cube  vec.Cube
+	depth int
+}
+
+type spaceSub struct {
+	parent octree.Ref
+	oct    vec.Octant
+	cube   vec.Cube
+	depth  int
+	count  int
+	owner  int
+	bodies []int32
+}
+
+func newSpaceState(st *runState) *spaceState {
+	p := st.cfg.P
+	n := st.bodies.N()
+	th := st.cfg.SpaceThreshold
+	if th <= 0 {
+		th = n / (4 * p)
+	}
+	if th < st.cfg.LeafCap {
+		th = st.cfg.LeafCap
+	}
+	ss := &spaceState{
+		threshold: th,
+		frontier:  []spaceFrontier{{st.tree.Root, st.tree.RootCube(), 0}},
+		myBodies:  make([][]int32, p),
+		myCell:    make([][]int32, p),
+		counts:    make([][]int64, p),
+		octs:      make([][]uint8, p),
+	}
+	for w := 0; w < p; w++ {
+		ss.myBodies[w] = append([]int32(nil), st.assign[w]...)
+		ss.myCell[w] = make([]int32, len(ss.myBodies[w]))
+	}
+	return ss
+}
+
+// spaceBuild runs SPACE's rounds and then builds and attaches the
+// processor's subtrees — with zero lock operations.
+func (st *runState) spaceBuild(sp *sproc, step int) {
+	ss := st.space
+	pos := st.bodies.Pos
+	p := st.cfg.P
+	s := st.store
+	round := 0
+	for {
+		if len(ss.frontier) == 0 {
+			break
+		}
+		f := len(ss.frontier)
+		w := sp.w
+		// Count my bodies against the frontier (private histogram).
+		ss.counts[w] = make([]int64, f*8)
+		if cap(ss.octs[w]) < len(ss.myBodies[w]) {
+			ss.octs[w] = make([]uint8, len(ss.myBodies[w]))
+		}
+		ss.octs[w] = ss.octs[w][:len(ss.myBodies[w])]
+		for i, b := range ss.myBodies[w] {
+			fc := ss.myCell[w][i]
+			o := ss.frontier[fc].cube.OctantOf(pos[b])
+			ss.octs[w][i] = uint8(o)
+			ss.counts[w][int(fc)*8+int(o)]++
+		}
+		sp.compute(float64(len(ss.myBodies[w])) * st.cfg.CountCycles)
+		sp.mp.Barrier(lbl("scount", step*1000+round))
+
+		// Processor 0 reduces and extends the prefix of the octree.
+		if w == 0 {
+			st.spaceReduce(sp)
+		}
+		sp.mp.Barrier(lbl("sreduce", step*1000+round))
+
+		// Re-bucket my bodies; no barrier needed before the next count,
+		// both touch only per-processor state plus the stable frontier.
+		st.spaceRebucket(sp)
+		sp.compute(float64(len(ss.myBodies[w])) * st.cfg.CountCycles / 2)
+		round++
+	}
+
+	// Assign subspaces (processor 0) and build them, lock-free.
+	if sp.w == 0 {
+		assignSpaceSubs(st.tree.RootCube(), ss.subs, p)
+	}
+	sp.mp.Barrier(lbl("sassign", step))
+	for i := range ss.subs {
+		sub := &ss.subs[i]
+		if sub.owner != sp.w {
+			continue
+		}
+		var node octree.Ref
+		if sub.count <= s.LeafCap || sub.depth >= s.MaxDepth {
+			lr, l := sp.allocLeaf(sub.cube, sub.parent)
+			l.Bodies = append(l.Bodies, sub.bodies...)
+			sp.readChunks(st.bodyAddrs(sub.bodies))
+			node = lr
+		} else {
+			cr, _ := sp.allocCell(sub.cube, sub.parent)
+			for _, b := range sub.bodies {
+				sp.insertPrivate(cr, sub.depth, b)
+			}
+			node = cr
+		}
+		s.Cell(sub.parent).SetChild(sub.oct, node)
+		sp.writeNode(sub.parent)
+	}
+}
+
+// spaceReduce (processor 0) merges the round's histograms, creates prefix
+// cells for over-threshold octants and finalizes the rest as subspaces.
+// The decisions are published via newIndex encoded into the frontier map:
+// handled directly in spaceRebucket through ss fields.
+func (st *runState) spaceReduce(sp *sproc) {
+	ss := st.space
+	p := st.cfg.P
+	s := st.store
+	f := len(ss.frontier)
+	ss.newIndex = make([]int32, f*8)
+	var next []spaceFrontier
+	for fc := 0; fc < f; fc++ {
+		for o := vec.Octant(0); o < vec.NOctants; o++ {
+			var total int64
+			for w := 0; w < p; w++ {
+				total += ss.counts[w][fc*8+int(o)]
+			}
+			slot := fc*8 + int(o)
+			switch {
+			case total == 0:
+				ss.newIndex[slot] = -1
+			case int(total) > ss.threshold && ss.frontier[fc].depth+1 < s.MaxDepth:
+				cr, _ := sp.allocCell(ss.frontier[fc].cube.Child(o), ss.frontier[fc].ref)
+				s.Cell(ss.frontier[fc].ref).SetChild(o, cr)
+				sp.writeNode(ss.frontier[fc].ref)
+				ss.newIndex[slot] = int32(len(next))
+				next = append(next, spaceFrontier{cr, ss.frontier[fc].cube.Child(o), ss.frontier[fc].depth + 1})
+			default:
+				ss.newIndex[slot] = int32(-2 - len(ss.subs))
+				ss.subs = append(ss.subs, spaceSub{
+					parent: ss.frontier[fc].ref,
+					oct:    o,
+					cube:   ss.frontier[fc].cube.Child(o),
+					depth:  ss.frontier[fc].depth + 1,
+					count:  int(total),
+				})
+			}
+		}
+	}
+	ss.frontier = next
+	sp.compute(float64(f*8) * st.cfg.CountCycles)
+}
+
+// spaceRebucket routes this processor's bodies per the reduce decisions.
+func (st *runState) spaceRebucket(sp *sproc) {
+	ss := st.space
+	w := sp.w
+	keepB := ss.myBodies[w][:0]
+	keepC := ss.myCell[w][:0]
+	for i, b := range ss.myBodies[w] {
+		slot := int(ss.myCell[w][i])*8 + int(ss.octs[w][i])
+		ni := ss.newIndex[slot]
+		switch {
+		case ni >= 0:
+			keepB = append(keepB, b)
+			keepC = append(keepC, ni)
+		case ni <= -2:
+			k := int(-2 - ni)
+			ss.subs[k].bodies = append(ss.subs[k].bodies, b)
+		default:
+			panic("simalg: body routed to an empty octant")
+		}
+	}
+	ss.myBodies[w] = keepB
+	ss.myCell[w] = keepC
+}
+
+// assignSpaceSubs assigns subspaces to processors in spatially contiguous
+// groups of roughly equal body count: subspaces sort by their Morton key
+// (depth-first tree order) and are cut into P cost zones, exactly the
+// grouping the paper's Figure 5 draws. Spatial contiguity keeps a
+// processor's build bodies — and the tree pages it writes — close to the
+// costzones region it will compute forces for, limiting the locality loss
+// SPACE trades for its zero locking.
+func assignSpaceSubs(root vec.Cube, subs []spaceSub, p int) {
+	order := make([]int, len(subs))
+	total := 0
+	for i := range order {
+		order[i] = i
+		total += subs[i].count
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka := root.Morton(subs[order[a]].cube.Center)
+		kb := root.Morton(subs[order[b]].cube.Center)
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	if total == 0 {
+		return
+	}
+	acc := 0
+	for _, i := range order {
+		w := acc * p / total
+		if w >= p {
+			w = p - 1
+		}
+		subs[i].owner = w
+		acc += subs[i].count
+	}
+}

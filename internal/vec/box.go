@@ -1,0 +1,77 @@
+package vec
+
+import "math"
+
+// Box is a general axis-aligned box (unlike Cube it need not be square).
+// The message-passing baseline's orthogonal recursive bisection produces
+// boxes, and the locally-essential-tree criterion needs point-to-box and
+// box-to-box distances.
+type Box struct {
+	Lo, Hi V3
+}
+
+// BoxOf returns the bounding box of the positions.
+func BoxOf(n int, pos func(i int) V3) Box {
+	if n == 0 {
+		return Box{}
+	}
+	b := Box{Lo: pos(0), Hi: pos(0)}
+	for i := 1; i < n; i++ {
+		p := pos(i)
+		b.Lo = b.Lo.Min(p)
+		b.Hi = b.Hi.Max(p)
+	}
+	return b
+}
+
+// Contains reports whether p is inside the closed box.
+func (b Box) Contains(p V3) bool {
+	return p.X >= b.Lo.X && p.X <= b.Hi.X &&
+		p.Y >= b.Lo.Y && p.Y <= b.Hi.Y &&
+		p.Z >= b.Lo.Z && p.Z <= b.Hi.Z
+}
+
+// Dist returns the minimum distance from p to the box (0 if inside).
+func (b Box) Dist(p V3) float64 {
+	dx := axisDist(p.X, b.Lo.X, b.Hi.X)
+	dy := axisDist(p.Y, b.Lo.Y, b.Hi.Y)
+	dz := axisDist(p.Z, b.Lo.Z, b.Hi.Z)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+func axisDist(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo - x
+	}
+	if x > hi {
+		return x - hi
+	}
+	return 0
+}
+
+// LongestAxis returns 0, 1, or 2 for the box's longest extent.
+func (b Box) LongestAxis() int {
+	d := b.Hi.Sub(b.Lo)
+	if d.X >= d.Y && d.X >= d.Z {
+		return 0
+	}
+	if d.Y >= d.Z {
+		return 1
+	}
+	return 2
+}
+
+// Split cuts the box at coordinate c along the axis, returning the low
+// and high halves.
+func (b Box) Split(axis int, c float64) (Box, Box) {
+	lo, hi := b, b
+	switch axis {
+	case 0:
+		lo.Hi.X, hi.Lo.X = c, c
+	case 1:
+		lo.Hi.Y, hi.Lo.Y = c, c
+	default:
+		lo.Hi.Z, hi.Lo.Z = c, c
+	}
+	return lo, hi
+}

@@ -1,0 +1,137 @@
+package vec
+
+import "fmt"
+
+// Cube is an axis-aligned cube described by its center and edge length.
+// Barnes-Hut octrees subdivide cubes, never general boxes, so a center plus
+// a single size is the exact representation: it halves without rounding
+// drift and an octant index recovers a child exactly.
+type Cube struct {
+	Center V3
+	Size   float64 // full edge length
+}
+
+// Octant identifies one of the eight children of a cube. Bit 0 selects the
+// +X half, bit 1 the +Y half, bit 2 the +Z half.
+type Octant uint8
+
+// NOctants is the number of children of an internal octree cell.
+const NOctants = 8
+
+// OctantOf returns the octant of c that contains p. Points exactly on a
+// splitting plane go to the positive side, so every point in the cube maps
+// to exactly one octant.
+func (c Cube) OctantOf(p V3) Octant {
+	var o Octant
+	if p.X >= c.Center.X {
+		o |= 1
+	}
+	if p.Y >= c.Center.Y {
+		o |= 2
+	}
+	if p.Z >= c.Center.Z {
+		o |= 4
+	}
+	return o
+}
+
+// Child returns the sub-cube for octant o.
+func (c Cube) Child(o Octant) Cube {
+	q := c.Size / 4
+	ctr := c.Center
+	if o&1 != 0 {
+		ctr.X += q
+	} else {
+		ctr.X -= q
+	}
+	if o&2 != 0 {
+		ctr.Y += q
+	} else {
+		ctr.Y -= q
+	}
+	if o&4 != 0 {
+		ctr.Z += q
+	} else {
+		ctr.Z -= q
+	}
+	return Cube{Center: ctr, Size: c.Size / 2}
+}
+
+// Contains reports whether p lies inside c under the octree's half-open
+// convention: the low faces are inclusive, the high faces exclusive. This
+// matches OctantOf, so Contains(p) implies Child(OctantOf(p)).Contains(p).
+func (c Cube) Contains(p V3) bool {
+	h := c.Size / 2
+	return p.X >= c.Center.X-h && p.X < c.Center.X+h &&
+		p.Y >= c.Center.Y-h && p.Y < c.Center.Y+h &&
+		p.Z >= c.Center.Z-h && p.Z < c.Center.Z+h
+}
+
+// Min returns the low corner of the cube.
+func (c Cube) Min() V3 {
+	h := c.Size / 2
+	return V3{c.Center.X - h, c.Center.Y - h, c.Center.Z - h}
+}
+
+// Max returns the high corner of the cube.
+func (c Cube) Max() V3 {
+	h := c.Size / 2
+	return V3{c.Center.X + h, c.Center.Y + h, c.Center.Z + h}
+}
+
+// String renders the cube for diagnostics.
+func (c Cube) String() string {
+	return fmt.Sprintf("cube{center=%v size=%g}", c.Center, c.Size)
+}
+
+// Morton returns the Z-order (Morton) key of p within the cube, using 16
+// bits per axis. Sorting spatial regions by their Morton key recovers the
+// octree's depth-first order, so contiguous key ranges are spatially
+// compact — which is how SPACE keeps its subspace-to-processor assignment
+// coherent (paper Figure 5 groups neighbouring subspaces per processor).
+func (c Cube) Morton(p V3) uint64 {
+	const bits = 16
+	scale := float64(uint64(1)<<bits) / c.Size
+	min := c.Min()
+	qx := quantize((p.X - min.X) * scale)
+	qy := quantize((p.Y - min.Y) * scale)
+	qz := quantize((p.Z - min.Z) * scale)
+	var key uint64
+	for i := 0; i < bits; i++ {
+		key |= (qx>>i&1)<<(3*i) | (qy>>i&1)<<(3*i+1) | (qz>>i&1)<<(3*i+2)
+	}
+	return key
+}
+
+func quantize(x float64) uint64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 65535 {
+		return 65535
+	}
+	return uint64(x)
+}
+
+// BoundingCube returns the smallest cube, expanded by the given relative
+// margin, that contains every position produced by the iterator. The cube
+// is centered on the midpoint of the positions' bounding box. A margin of
+// e.g. 1e-3 keeps extreme bodies strictly inside the half-open root so the
+// builders never have to grow the root mid-build (the SPLASH codes size the
+// root once per step the same way).
+func BoundingCube(n int, pos func(i int) V3, margin float64) Cube {
+	if n == 0 {
+		return Cube{Size: 1}
+	}
+	lo, hi := pos(0), pos(0)
+	for i := 1; i < n; i++ {
+		p := pos(i)
+		lo = lo.Min(p)
+		hi = hi.Max(p)
+	}
+	size := hi.Sub(lo).MaxComponent() * (1 + margin)
+	if size <= 0 {
+		size = 1 // all bodies coincide; any positive size works
+	}
+	return Cube{Center: lo.Add(hi).Scale(0.5), Size: size}
+}

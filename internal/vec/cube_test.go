@@ -1,0 +1,126 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOctantOfCorners(t *testing.T) {
+	c := Cube{Center: V3{0, 0, 0}, Size: 2}
+	cases := []struct {
+		p    V3
+		want Octant
+	}{
+		{V3{-0.5, -0.5, -0.5}, 0},
+		{V3{0.5, -0.5, -0.5}, 1},
+		{V3{-0.5, 0.5, -0.5}, 2},
+		{V3{0.5, 0.5, -0.5}, 3},
+		{V3{-0.5, -0.5, 0.5}, 4},
+		{V3{0.5, -0.5, 0.5}, 5},
+		{V3{-0.5, 0.5, 0.5}, 6},
+		{V3{0.5, 0.5, 0.5}, 7},
+	}
+	for _, tc := range cases {
+		if got := c.OctantOf(tc.p); got != tc.want {
+			t.Errorf("OctantOf(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestOctantBoundaryGoesPositive(t *testing.T) {
+	c := Cube{Center: V3{0, 0, 0}, Size: 2}
+	if got := c.OctantOf(V3{0, 0, 0}); got != 7 {
+		t.Fatalf("center point octant = %d, want 7 (all positive)", got)
+	}
+}
+
+// Property: for points inside the cube, the child selected by OctantOf
+// contains the point, the child's volume is 1/8 of the parent, and the
+// eight children partition the parent (each point is in exactly one child).
+func TestChildPartitionProperty(t *testing.T) {
+	f := func(cx, cy, cz, fx, fy, fz float64, sizeSeed float64) bool {
+		size := 1 + mod1(sizeSeed)*10
+		ctr := V3{mod1(cx)*200 - 100, mod1(cy)*200 - 100, mod1(cz)*200 - 100}
+		c := Cube{Center: ctr, Size: size}
+		// Map f* into [0,1) then into the cube interior.
+		p := V3{
+			c.Center.X + (mod1(fx)-0.5)*size*0.999,
+			c.Center.Y + (mod1(fy)-0.5)*size*0.999,
+			c.Center.Z + (mod1(fz)-0.5)*size*0.999,
+		}
+		if !c.Contains(p) {
+			return true // point landed on an excluded face due to rounding
+		}
+		inCount := 0
+		for o := Octant(0); o < NOctants; o++ {
+			if c.Child(o).Contains(p) {
+				inCount++
+			}
+		}
+		return inCount == 1 && c.Child(c.OctantOf(p)).Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mod1(x float64) float64 {
+	if x != x || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Mod(x, 1)
+	if x < 0 {
+		x++
+	}
+	return x
+}
+
+func TestChildSizeHalves(t *testing.T) {
+	c := Cube{Center: V3{1, 2, 3}, Size: 8}
+	for o := Octant(0); o < NOctants; o++ {
+		ch := c.Child(o)
+		if ch.Size != 4 {
+			t.Fatalf("child size = %v, want 4", ch.Size)
+		}
+		if !c.Contains(ch.Center) {
+			t.Fatalf("child center %v escapes parent %v", ch.Center, c)
+		}
+	}
+}
+
+func TestMinMaxCorners(t *testing.T) {
+	c := Cube{Center: V3{1, 1, 1}, Size: 2}
+	if c.Min() != (V3{0, 0, 0}) || c.Max() != (V3{2, 2, 2}) {
+		t.Fatalf("corners wrong: %v %v", c.Min(), c.Max())
+	}
+}
+
+func TestBoundingCubeContainsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	pts := make([]V3, 1000)
+	for i := range pts {
+		pts[i] = V3{r.NormFloat64() * 10, r.NormFloat64() * 2, r.NormFloat64() * 30}
+	}
+	c := BoundingCube(len(pts), func(i int) V3 { return pts[i] }, 1e-3)
+	for i, p := range pts {
+		if !c.Contains(p) {
+			t.Fatalf("point %d %v not in bounding cube %v", i, p, c)
+		}
+	}
+}
+
+func TestBoundingCubeDegenerate(t *testing.T) {
+	// Zero points.
+	c := BoundingCube(0, nil, 0)
+	if c.Size <= 0 {
+		t.Fatal("empty bounding cube has nonpositive size")
+	}
+	// All coincident points.
+	p := V3{3, 3, 3}
+	c = BoundingCube(5, func(int) V3 { return p }, 1e-3)
+	if c.Size <= 0 || !c.Contains(p) {
+		t.Fatalf("coincident bounding cube %v does not contain %v", c, p)
+	}
+}
