@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race check repro
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent layers: the native builders and the runner's
+# worker pool / result cache.
+race:
+	$(GO) test -race ./internal/core ./internal/runner
+
+# check is the tier-1+ gate: everything must pass before a PR lands.
+check: build vet test race
+
+# repro regenerates the paper's tables and figures into ./results.
+repro:
+	$(GO) run ./cmd/paperrepro -out results

@@ -5,61 +5,84 @@
 // Usage:
 //
 //	nbody [-n 16384] [-steps 5] [-p 8] [-alg SPACE] [-model plummer]
-//	      [-theta 1.0] [-leafcap 8] [-dt 0.025] [-verify] [-energy]
+//	      [-theta 1.0] [-leafcap 8] [-dt 0.025] [-timeout 0] [-json]
+//	      [-verify] [-energy] [-quad] [-fmm] [-load f] [-save f]
+//
+// With -json the run goes through the shared internal/runner engine and
+// emits one Result record (partial, with an error field, on timeout).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"partree/internal/core"
 	"partree/internal/nbody"
 	"partree/internal/phys"
+	"partree/internal/runner"
 )
 
 func main() {
+	sf := runner.RegisterSpecFlags(flag.CommandLine, runner.Spec{
+		Backend: runner.Native,
+		Alg:     core.SPACE,
+		Bodies:  16384,
+		Procs:   runtime.GOMAXPROCS(0),
+		Steps:   5,
+		Seed:    1,
+	})
 	var (
-		n       = flag.Int("n", 16384, "number of bodies")
-		steps   = flag.Int("steps", 5, "time steps to run")
-		p       = flag.Int("p", runtime.GOMAXPROCS(0), "processors (goroutines)")
-		algName = flag.String("alg", "SPACE", "tree builder: ORIG, LOCAL, UPDATE, PARTREE, SPACE")
-		model   = flag.String("model", "plummer", "mass model: plummer, uniform, twoclusters")
-		theta   = flag.Float64("theta", 1.0, "Barnes-Hut opening angle")
-		leafCap = flag.Int("leafcap", 8, "bodies per leaf (k)")
-		dt      = flag.Float64("dt", 0.025, "time step")
-		seed    = flag.Int64("seed", 1, "random seed")
-		verify  = flag.Bool("verify", false, "check tree invariants every step")
-		energy  = flag.Bool("energy", false, "report energy drift (O(N²), slow for large N)")
-		quad    = flag.Bool("quad", false, "use quadrupole cell expansions (better accuracy per θ)")
-		useFMM  = flag.Bool("fmm", false, "use the cell-cell fast summation solver instead of Barnes-Hut traversal")
-		load    = flag.String("load", "", "restart from a snapshot file instead of generating bodies")
-		save    = flag.String("save", "", "write a snapshot file after the last step")
+		verify = flag.Bool("verify", false, "check tree invariants every step")
+		energy = flag.Bool("energy", false, "report energy drift (O(N²), slow for large N)")
+		quad   = flag.Bool("quad", false, "use quadrupole cell expansions (better accuracy per θ)")
+		useFMM = flag.Bool("fmm", false, "use the cell-cell fast summation solver instead of Barnes-Hut traversal")
+		load   = flag.String("load", "", "restart from a snapshot file instead of generating bodies")
+		save   = flag.String("save", "", "write a snapshot file after the last step")
 	)
 	flag.Parse()
 
-	alg, ok := core.ParseAlgorithm(*algName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "nbody: unknown algorithm %q\n", *algName)
-		os.Exit(2)
-	}
-	m, ok := phys.ParseModel(*model)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "nbody: unknown model %q\n", *model)
+	spec, err := sf.Spec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
 		os.Exit(2)
 	}
 
+	if sf.JSON() {
+		for name, set := range map[string]bool{
+			"-verify": *verify, "-energy": *energy, "-quad": *quad,
+			"-fmm": *useFMM, "-load": *load != "", "-save": *save != "",
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "nbody: %s is not supported with -json (the spec grid covers the standard path)\n", name)
+				os.Exit(2)
+			}
+		}
+		res := runner.New(1).Run(context.Background(), spec)
+		if err := runner.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
+			os.Exit(1)
+		}
+		if res.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	m, _ := phys.ParseModel(spec.Model)
 	opts := nbody.DefaultOptions()
-	opts.N = *n
-	opts.P = *p
-	opts.Alg = alg
 	opts.Model = m
-	opts.LeafCap = *leafCap
-	opts.Dt = *dt
-	opts.Seed = *seed
+	opts.N = spec.Bodies
+	opts.P = spec.Procs
+	opts.Alg = spec.Alg
+	opts.LeafCap = spec.LeafCap
+	opts.Dt = spec.Dt
+	opts.Seed = spec.Seed
 	opts.Verify = *verify
-	opts.Force.Theta = *theta
+	opts.Force.Theta = spec.Theta
 	opts.Force.Quadrupole = *quad
 	opts.FMM = *useFMM
 
@@ -77,13 +100,21 @@ func main() {
 		sim = nbody.New(opts)
 	}
 	fmt.Printf("nbody: %d bodies (%s), %d procs, builder %v, θ=%.2f, k=%d\n",
-		opts.N, m, *p, alg, *theta, *leafCap)
+		opts.N, m, opts.P, spec.Alg, spec.Theta, spec.LeafCap)
 
 	var e0 float64
 	if *energy {
 		_, _, e0 = sim.Energy()
 	}
-	for i := 0; i < *steps; i++ {
+	deadline := time.Time{}
+	if spec.Timeout > 0 {
+		deadline = time.Now().Add(spec.Timeout)
+	}
+	for i := 0; i < spec.Steps; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "nbody: timeout after %d/%d steps\n", i, spec.Steps)
+			break
+		}
 		st := sim.Step()
 		fmt.Printf("%v  [%v]\n", st, st.Build)
 	}

@@ -1,13 +1,17 @@
 // Command paperrepro regenerates every table and figure from the paper's
 // evaluation section on the simulated platforms, writing each experiment's
-// output under -out and echoing it to stdout.
+// output under -out and echoing it to stdout. Each experiment's sweep
+// cells run concurrently across the runner's worker pool; rendering stays
+// serial so output is identical to a serial run.
 //
 // Usage:
 //
-//	paperrepro [-exp T1,F6,...|all] [-sizes 4096,8192] [-large] [-steps 2] [-out results]
+//	paperrepro [-exp T1,F6,...|all] [-sizes 4096,8192] [-large] [-steps 2]
+//	           [-workers 0] [-out results] [-json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"partree/internal/harness"
+	"partree/internal/runner"
 )
 
 func main() {
@@ -28,8 +33,10 @@ func main() {
 		steps    = flag.Int("steps", 2, "measured time steps per run")
 		seed     = flag.Int64("seed", 1998, "random seed for the Plummer model")
 		leafCap  = flag.Int("leafcap", 8, "bodies per leaf (k)")
+		workers  = flag.Int("workers", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
 		outDir   = flag.String("out", "results", "directory for per-experiment output files")
 		csvOut   = flag.Bool("csv", true, "also write every computed outcome to <out>/outcomes.csv")
+		jsonOut  = flag.Bool("json", false, "also write every computed Result record to <out>/outcomes.jsonl")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -46,6 +53,7 @@ func main() {
 	opts.MeasuredSteps = *steps
 	opts.Seed = *seed
 	opts.LeafCap = *leafCap
+	opts.Workers = *workers
 	if *sizes != "" {
 		opts.Sizes = nil
 		for _, f := range strings.Split(*sizes, ",") {
@@ -77,6 +85,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx := context.Background()
 	session := harness.NewSession(opts)
 	for _, e := range exps {
 		start := time.Now()
@@ -89,7 +98,7 @@ func main() {
 		w := io.MultiWriter(os.Stdout, f)
 		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
 		fmt.Fprintf(w, "expected shape: %s\n\n", e.Shape)
-		e.Run(session, w)
+		session.RunExperiment(ctx, e, w)
 		fmt.Fprintf(w, "\n[regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
 		f.Close()
 	}
@@ -102,6 +111,20 @@ func main() {
 			os.Exit(1)
 		}
 		if err := session.DumpCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *jsonOut {
+		path := filepath.Join(*outDir, "outcomes.jsonl")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runner.WriteJSON(f, session.Runner().Results()...); err != nil {
 			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,71 +1,74 @@
 // Command simbench runs one whole-application configuration on a simulated
 // platform and prints the detailed breakdown: per-phase simulated time,
 // speedup over the platform's sequential baseline, per-processor lock
-// counts, and coherence-protocol counters.
+// counts, and coherence-protocol counters. The spec and its baseline run
+// concurrently through the shared internal/runner engine.
 //
 // Usage:
 //
-//	simbench [-platform typhoon-hlrc] [-alg SPACE] [-n 16384] [-p 16] [-steps 2]
+//	simbench [-platform typhoon-hlrc] [-alg SPACE] [-n 16384] [-p 16]
+//	         [-steps 2] [-timeout 0] [-json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"partree/internal/core"
-	"partree/internal/memsim"
-	"partree/internal/phys"
-	"partree/internal/simalg"
+	"partree/internal/runner"
 	"partree/internal/stats"
 )
 
-func platformByName(name string, p int) (memsim.Platform, bool) {
-	switch name {
-	case "challenge":
-		return memsim.Challenge(), true
-	case "origin":
-		return memsim.Origin2000(p), true
-	case "paragon":
-		return memsim.Paragon(), true
-	case "typhoon-hlrc":
-		return memsim.TyphoonHLRC(), true
-	case "typhoon-sc":
-		return memsim.TyphoonSC(), true
-	}
-	return memsim.Platform{}, false
-}
-
 func main() {
-	var (
-		platName = flag.String("platform", "typhoon-hlrc", "challenge, origin, paragon, typhoon-hlrc, typhoon-sc")
-		algName  = flag.String("alg", "SPACE", "ORIG, LOCAL, UPDATE, PARTREE, SPACE")
-		n        = flag.Int("n", 16384, "number of bodies")
-		p        = flag.Int("p", 16, "simulated processors")
-		steps    = flag.Int("steps", 2, "measured time steps")
-		leafCap  = flag.Int("leafcap", 8, "bodies per leaf (k)")
-		seed     = flag.Int64("seed", 1998, "random seed")
-		noSeq    = flag.Bool("noseq", false, "skip the sequential baseline (faster)")
-	)
+	sf := runner.RegisterSpecFlags(flag.CommandLine, runner.Spec{
+		Backend:  runner.Simulated,
+		Platform: "typhoon-hlrc",
+		Alg:      core.SPACE,
+		Bodies:   16384,
+		Procs:    16,
+		Steps:    2,
+	}, "dt", "theta")
+	noSeq := flag.Bool("noseq", false, "skip the sequential baseline (faster)")
 	flag.Parse()
 
-	pl, ok := platformByName(*platName, *p)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "simbench: unknown platform %q\n", *platName)
+	spec, err := sf.Spec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 		os.Exit(2)
 	}
-	alg, ok := core.ParseAlgorithm(*algName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "simbench: unknown algorithm %q\n", *algName)
-		os.Exit(2)
-	}
+	seqSpec := spec
+	seqSpec.Alg = core.LOCAL
+	seqSpec.Procs = 1
+	seqSpec.Sequential = true
 
-	bodies := phys.Generate(phys.ModelPlummer, *n, *seed)
-	cfg := simalg.Config{Platform: pl, P: *p, LeafCap: *leafCap, MeasuredSteps: *steps}
-	o := simalg.Run(alg, bodies, cfg)
+	r := runner.New(0)
+	specs := []runner.Spec{spec}
+	if !*noSeq {
+		specs = append(specs, seqSpec)
+	}
+	results := r.RunAll(context.Background(), specs)
+	res := results[0]
+
+	if sf.JSON() {
+		if err := runner.WriteJSON(os.Stdout, results...); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		if res.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+	if res.Failed() {
+		fmt.Fprintf(os.Stderr, "simbench: %s\n", res.Err)
+		os.Exit(1)
+	}
+	o, _ := res.Outcome()
 
 	fmt.Printf("%v on %s: %d bodies, %d processors, %d measured steps\n\n",
-		alg, pl.Name, *n, *p, *steps)
+		spec.Alg, o.Platform, spec.Bodies, spec.Procs, spec.Steps)
 	t := stats.NewTable("phase", "simulated time", "share")
 	total := o.TotalNs()
 	for _, row := range []struct {
@@ -83,11 +86,13 @@ func main() {
 	t.Write(os.Stdout)
 
 	if !*noSeq {
-		seq := simalg.Run(core.LOCAL, bodies, simalg.Config{
-			Platform: pl, P: 1, LeafCap: *leafCap, MeasuredSteps: *steps, Sequential: true,
-		})
+		seq := results[1]
+		if seq.Failed() {
+			fmt.Fprintf(os.Stderr, "simbench: baseline: %s\n", seq.Err)
+			os.Exit(1)
+		}
 		fmt.Printf("\nsequential baseline: %s  ->  speedup %.2fx\n",
-			stats.Seconds(seq.TotalNs()), seq.TotalNs()/total)
+			stats.Seconds(seq.TotalNs), seq.TotalNs/total)
 	}
 
 	locks := stats.Summarize(o.LocksPerProc)

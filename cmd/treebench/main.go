@@ -1,13 +1,17 @@
 // Command treebench benchmarks the five native tree builders on this
 // machine: wall-clock per build, lock counts, and tree statistics across
-// algorithms and processor counts.
+// algorithms and processor counts. Each (algorithm, procs) cell is a
+// build-only spec executed through the shared internal/runner engine
+// (serially, so wall-clock timings stay honest).
 //
 // Usage:
 //
 //	treebench [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8] [-model plummer]
+//	          [-timeout 0] [-json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,28 +20,33 @@ import (
 	"time"
 
 	"partree/internal/core"
-	"partree/internal/octree"
-	"partree/internal/phys"
+	"partree/internal/runner"
 	"partree/internal/stats"
 )
 
 func main() {
+	sf := runner.RegisterSpecFlags(flag.CommandLine, runner.Spec{
+		Backend:   runner.Native,
+		Bodies:    65536,
+		Seed:      1,
+		BuildOnly: true,
+	}, "alg", "p", "steps", "theta", "dt")
 	var (
-		n       = flag.Int("n", 65536, "number of bodies")
 		procs   = flag.String("p", "1,2,4,8", "comma-separated processor counts")
 		reps    = flag.Int("reps", 5, "builds per configuration (best time reported)")
-		leafCap = flag.Int("leafcap", 8, "bodies per leaf (k)")
-		model   = flag.String("model", "plummer", "mass model")
-		seed    = flag.Int64("seed", 1, "random seed")
 		spatial = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
 	)
 	flag.Parse()
 
-	m, ok := phys.ParseModel(*model)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "treebench: unknown model %q\n", *model)
+	base, err := sf.Spec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
 		os.Exit(2)
 	}
+	base.BuildOnly = true
+	base.Steps = *reps
+	base.Spatial = *spatial
+
 	var ps []int
 	for _, f := range strings.Split(*procs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
@@ -48,8 +57,35 @@ func main() {
 		ps = append(ps, v)
 	}
 
-	bodies := phys.Generate(m, *n, *seed)
-	fmt.Printf("treebench: %d bodies (%s), k=%d, best of %d builds\n\n", *n, m, *leafCap, *reps)
+	var specs []runner.Spec
+	for _, alg := range core.Algorithms() {
+		for _, p := range ps {
+			spec := base
+			spec.Alg = alg
+			spec.Procs = p
+			specs = append(specs, spec)
+		}
+	}
+
+	// One worker: concurrent wall-clock benchmarks would contend for the
+	// same cores and corrupt each other's timings.
+	results := runner.New(1).RunAll(context.Background(), specs)
+
+	if sf.JSON() {
+		if err := runner.WriteJSON(os.Stdout, results...); err != nil {
+			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			if r.Failed() {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("treebench: %d bodies (%s), k=%d, best of %d builds\n\n",
+		base.Bodies, base.Model, base.LeafCap, base.Steps)
 
 	header := []string{"algorithm"}
 	for _, p := range ps {
@@ -58,33 +94,24 @@ func main() {
 	header = append(header, "locks(8p)", "tree")
 	t := stats.NewTable(header...)
 
+	i := 0
 	for _, alg := range core.Algorithms() {
 		row := []any{alg.String()}
 		var locks int64
 		var treeDesc string
-		for _, p := range ps {
-			bld := core.New(alg, core.Config{P: p, LeafCap: *leafCap})
-			assign := core.EvenAssign(*n, p)
-			if *spatial {
-				assign = core.SpatialAssign(bodies, p)
+		for pi, p := range ps {
+			res := results[i]
+			i++
+			if res.Failed() {
+				fmt.Fprintf(os.Stderr, "treebench: %s\n", res.Err)
+				row = append(row, "-")
+				continue
 			}
-			in := &core.Input{Bodies: bodies, Assign: assign}
-			best := time.Duration(1 << 62)
-			for r := 0; r < *reps; r++ {
-				in.Step = r
-				start := time.Now()
-				tree, metrics := bld.Build(in)
-				el := time.Since(start)
-				if el < best {
-					best = el
-				}
-				if p == 8 || (p == ps[len(ps)-1] && locks == 0) {
-					locks = metrics.TotalLocks()
-					st := octree.CollectStats(tree)
-					treeDesc = fmt.Sprintf("%dc/%dl d%d", st.Cells, st.Leaves, st.MaxDepth)
-				}
+			if p == 8 || (pi == len(ps)-1 && locks == 0) {
+				locks = res.LocksTotal
+				treeDesc = fmt.Sprintf("%dc/%dl d%d", res.Cells, res.Leaves, res.MaxDepth)
 			}
-			row = append(row, best.Round(10*time.Microsecond).String())
+			row = append(row, time.Duration(res.TreeNs).Round(10*time.Microsecond).String())
 		}
 		row = append(row, locks, treeDesc)
 		t.Row(row...)

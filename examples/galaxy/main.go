@@ -26,9 +26,9 @@ func main() {
 	)
 	flag.Parse()
 
-	a, ok := core.ParseAlgorithm(*alg)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "galaxy: unknown algorithm %q\n", *alg)
+	a, err := core.ParseAlgorithm(*alg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "galaxy: %v\n", err)
 		os.Exit(2)
 	}
 	opts := nbody.DefaultOptions()

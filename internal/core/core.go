@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"partree/internal/octree"
@@ -68,15 +69,38 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm converts a CLI name (case-sensitive, as printed by
-// String) to an Algorithm.
-func ParseAlgorithm(s string) (Algorithm, bool) {
+// ParseAlgorithm converts a CLI name (case-insensitive) to an
+// Algorithm. The error lists the valid names.
+func ParseAlgorithm(s string) (Algorithm, error) {
 	for a := Algorithm(0); int(a) < NumAlgorithms; a++ {
-		if a.String() == s {
-			return a, true
+		if strings.EqualFold(a.String(), s) {
+			return a, nil
 		}
 	}
-	return 0, false
+	return 0, fmt.Errorf("unknown algorithm %q (valid: %s)", s, strings.Join(AlgorithmNames(), ", "))
+}
+
+// AlgorithmNames lists the five algorithm names in the paper's order.
+func AlgorithmNames() []string {
+	names := make([]string, 0, NumAlgorithms)
+	for _, a := range Algorithms() {
+		names = append(names, a.String())
+	}
+	return names
+}
+
+// MarshalText renders the algorithm by name (so JSON specs say "SPACE",
+// not 4).
+func (a Algorithm) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText parses an algorithm name, case-insensitively.
+func (a *Algorithm) UnmarshalText(b []byte) error {
+	v, err := ParseAlgorithm(string(b))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
 }
 
 // Algorithms lists all five in the paper's order.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"partree/internal/octree"
@@ -222,13 +223,23 @@ func TestEvenAssignCoversAll(t *testing.T) {
 
 func TestParseAlgorithm(t *testing.T) {
 	for _, alg := range Algorithms() {
-		got, ok := ParseAlgorithm(alg.String())
-		if !ok || got != alg {
-			t.Fatalf("round trip failed for %v", alg)
+		got, err := ParseAlgorithm(alg.String())
+		if err != nil || got != alg {
+			t.Fatalf("round trip failed for %v: %v", alg, err)
+		}
+		lower, err := ParseAlgorithm(strings.ToLower(alg.String()))
+		if err != nil || lower != alg {
+			t.Fatalf("case-insensitive parse failed for %v: %v", alg, err)
 		}
 	}
-	if _, ok := ParseAlgorithm("bogus"); ok {
+	_, err := ParseAlgorithm("bogus")
+	if err == nil {
 		t.Fatal("parsed bogus algorithm")
+	}
+	for _, name := range AlgorithmNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list %s", err, name)
+		}
 	}
 }
 

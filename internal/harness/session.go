@@ -4,16 +4,18 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
-	"strings"
+	"sync"
 
 	"partree/internal/core"
 	"partree/internal/memsim"
 	"partree/internal/phys"
+	"partree/internal/runner"
 	"partree/internal/simalg"
 )
 
@@ -30,6 +32,8 @@ type Options struct {
 	LeafCap int
 	// MeasuredSteps per run (the paper times a few steps after warmup).
 	MeasuredSteps int
+	// Workers bounds the runner's concurrent sweep cells (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultOptions returns the quick configuration.
@@ -62,12 +66,17 @@ func (o Options) MaxSize() int {
 	return max
 }
 
-// Session memoizes simulation outcomes so experiments can share runs (the
-// speedup figures and the phase-share figures reuse the same sweeps).
+// Session executes experiments over a shared runner.Runner, whose
+// concurrency-safe cache lets experiments share sweeps (the speedup
+// figures and the phase-share figures reuse the same runs) and lets
+// whole figures compute their cells concurrently via RunExperiment.
 type Session struct {
-	Opts   Options
-	bodies map[int]*phys.Bodies
-	cache  map[string]simalg.Outcome
+	Opts Options
+	r    *runner.Runner
+
+	mu         sync.Mutex
+	collecting bool
+	pending    map[string]runner.Spec
 }
 
 // NewSession creates a session.
@@ -84,52 +93,65 @@ func NewSession(opts Options) *Session {
 	if len(opts.Sizes) == 0 {
 		opts.Sizes = DefaultOptions().Sizes
 	}
-	return &Session{Opts: opts, bodies: map[int]*phys.Bodies{}, cache: map[string]simalg.Outcome{}}
+	return &Session{Opts: opts, r: runner.New(opts.Workers)}
 }
+
+// Runner exposes the session's execution engine (for result dumps).
+func (s *Session) Runner() *runner.Runner { return s.r }
 
 // Bodies returns the memoized Plummer system of size n.
 func (s *Session) Bodies(n int) *phys.Bodies {
-	b := s.bodies[n]
-	if b == nil {
-		b = phys.Generate(phys.ModelPlummer, n, s.Opts.Seed)
-		s.bodies[n] = b
+	return s.r.Bodies(phys.ModelPlummer, n, s.Opts.Seed)
+}
+
+// spec maps one sweep cell onto the runner's typed Spec.
+func (s *Session) spec(pl memsim.Platform, alg core.Algorithm, p, n int, seq bool) runner.Spec {
+	name, ok := runner.CanonicalPlatform(pl.Name)
+	if !ok {
+		name = pl.Name
 	}
-	return b
+	return runner.Spec{
+		Backend:    runner.Simulated,
+		Platform:   name,
+		Alg:        alg,
+		Procs:      p,
+		Bodies:     n,
+		LeafCap:    s.Opts.LeafCap,
+		Steps:      s.Opts.MeasuredSteps,
+		Seed:       s.Opts.Seed,
+		Sequential: seq,
+	}
+}
+
+// outcome runs (or recalls) one cell. During an experiment's collect
+// pass it only records the cell and returns a placeholder, so the real
+// runs can then be fanned out concurrently.
+func (s *Session) outcome(spec runner.Spec) simalg.Outcome {
+	s.mu.Lock()
+	if s.collecting {
+		s.pending[spec.Key()] = spec
+		s.mu.Unlock()
+		return simalg.Outcome{
+			Alg: spec.Alg, Platform: spec.Platform, P: spec.Procs, N: spec.Bodies,
+			LocksPerProc:     make([]int64, spec.Procs),
+			BarrierNsPerProc: make([]float64, spec.Procs),
+		}
+	}
+	s.mu.Unlock()
+	o, _ := s.r.Run(context.Background(), spec).Outcome()
+	return o
 }
 
 // Outcome runs (or recalls) algorithm alg on the platform with p simulated
 // processors and n bodies.
 func (s *Session) Outcome(pl memsim.Platform, alg core.Algorithm, p, n int) simalg.Outcome {
-	key := fmt.Sprintf("%s|%v|%d|%d", pl.Name, alg, p, n)
-	if o, ok := s.cache[key]; ok {
-		return o
-	}
-	o := simalg.Run(alg, s.Bodies(n), simalg.Config{
-		Platform:      pl,
-		P:             p,
-		LeafCap:       s.Opts.LeafCap,
-		MeasuredSteps: s.Opts.MeasuredSteps,
-	})
-	s.cache[key] = o
-	return o
+	return s.outcome(s.spec(pl, alg, p, n, false))
 }
 
 // Seq returns the best-sequential baseline on the platform at size n: one
 // processor, no locking anywhere (the paper's speedup denominator).
 func (s *Session) Seq(pl memsim.Platform, n int) simalg.Outcome {
-	key := fmt.Sprintf("%s|seq|%d", pl.Name, n)
-	if o, ok := s.cache[key]; ok {
-		return o
-	}
-	o := simalg.Run(core.LOCAL, s.Bodies(n), simalg.Config{
-		Platform:      pl,
-		P:             1,
-		LeafCap:       s.Opts.LeafCap,
-		MeasuredSteps: s.Opts.MeasuredSteps,
-		Sequential:    true,
-	})
-	s.cache[key] = o
-	return o
+	return s.outcome(s.spec(pl, core.LOCAL, 1, n, true))
 }
 
 // Speedup is whole-application speedup over the platform's sequential run.
@@ -143,8 +165,43 @@ func (s *Session) TreeSpeedup(pl memsim.Platform, alg core.Algorithm, p, n int) 
 	return s.Seq(pl, n).TreeNs / s.Outcome(pl, alg, p, n).TreeNs
 }
 
-// DumpCSV writes every outcome the session has computed as CSV, for
-// external plotting. Rows are sorted by cache key so output is stable.
+// RunExperiment renders one experiment, computing its sweep cells
+// concurrently: a first silent pass records which cells the experiment
+// reads, the runner fans them out across its worker pool, and a second
+// pass renders from the now-warm cache. Output is identical to a serial
+// run because rendering is serial and the cache is keyed by spec.
+func (s *Session) RunExperiment(ctx context.Context, e Experiment, w io.Writer) {
+	s.mu.Lock()
+	s.collecting = true
+	s.pending = map[string]runner.Spec{}
+	s.mu.Unlock()
+	func() {
+		defer func() {
+			s.mu.Lock()
+			s.collecting = false
+			s.mu.Unlock()
+		}()
+		e.Run(s, io.Discard)
+	}()
+	s.mu.Lock()
+	specs := make([]runner.Spec, 0, len(s.pending))
+	keys := make([]string, 0, len(s.pending))
+	for k := range s.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		specs = append(specs, s.pending[k])
+	}
+	s.pending = nil
+	s.mu.Unlock()
+	s.r.RunAll(ctx, specs)
+	e.Run(s, w)
+}
+
+// DumpCSV writes every simulated outcome the session has computed as CSV,
+// for external plotting. Rows are sorted by (platform, algorithm, procs,
+// bodies) so output is stable regardless of execution order.
 func (s *Session) DumpCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
@@ -156,15 +213,30 @@ func (s *Session) DumpCSV(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	keys := make([]string, 0, len(s.cache))
-	for k := range s.cache {
-		keys = append(keys, k)
+	type row struct {
+		key string
+		o   simalg.Outcome
+		seq bool
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		o := s.cache[k]
+	var rows []row
+	for _, res := range s.r.Results() {
+		o, ok := res.Outcome()
+		if !ok {
+			continue
+		}
+		// Legacy sort key (pre-runner cache key) keeps row order stable
+		// for downstream consumers of this file.
+		key := fmt.Sprintf("%s|%v|%d|%d", o.Platform, o.Alg, o.P, o.N)
+		if res.Spec.Sequential {
+			key = fmt.Sprintf("%s|seq|%d", o.Platform, o.N)
+		}
+		rows = append(rows, row{key, o, res.Spec.Sequential})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	for _, r := range rows {
+		o := r.o
 		alg := o.Alg.String()
-		if strings.Contains(k, "|seq|") {
+		if r.seq {
 			alg = "SEQUENTIAL"
 		}
 		rec := []string{

@@ -105,21 +105,21 @@ func (pl *Platform) numNodes(p int) int {
 
 // ProtocolStats counts protocol events over a run.
 type ProtocolStats struct {
-	Accesses      int64
-	Hits          int64
-	ColdMisses    int64
-	CoherenceMiss int64 // misses caused by invalidation
-	LocalMisses   int64
-	RemoteMisses  int64
-	DirtyMisses   int64
-	Invalidations int64
-	ContentionNs  float64 // time spent waiting for bus/hub occupancy
+	Accesses      int64   `json:"accesses"`
+	Hits          int64   `json:"hits"`
+	ColdMisses    int64   `json:"cold_misses"`
+	CoherenceMiss int64   `json:"coherence_misses"` // misses caused by invalidation
+	LocalMisses   int64   `json:"local_misses"`
+	RemoteMisses  int64   `json:"remote_misses"`
+	DirtyMisses   int64   `json:"dirty_misses"`
+	Invalidations int64   `json:"invalidations"`
+	ContentionNs  float64 `json:"contention_ns"` // time spent waiting for bus/hub occupancy
 
 	// HLRC.
-	PageFaults   int64
-	Twins        int64
-	Diffs        int64
-	WriteNotices int64 // notices applied (pages invalidated at sync)
+	PageFaults   int64 `json:"page_faults"`
+	Twins        int64 `json:"twins"`
+	Diffs        int64 `json:"diffs"`
+	WriteNotices int64 `json:"write_notices"` // notices applied (pages invalidated at sync)
 }
 
 // Protocol is one coherence model under the engine.

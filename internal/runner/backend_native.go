@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/force"
+	"partree/internal/nbody"
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+// runNative executes the real concurrent implementation. Steps are
+// natural preemption points, so cancellation and timeouts yield a
+// partial Result carrying whatever completed.
+func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
+	if spec.BuildOnly {
+		return runNativeBuild(ctx, spec, bodies)
+	}
+	m, _ := phys.ParseModel(spec.Model)
+	opts := nbody.DefaultOptions()
+	opts.Model = m
+	opts.N = bodies.N()
+	opts.Seed = spec.Seed
+	opts.P = spec.Procs
+	opts.Alg = spec.Alg
+	opts.LeafCap = spec.LeafCap
+	opts.Dt = spec.Dt
+	opts.Force = force.DefaultParams()
+	opts.Force.Theta = spec.Theta
+	sim := nbody.NewFromBodies(opts, bodies.Clone())
+
+	res := Result{Spec: spec, LocksPerProc: make([]int64, spec.Procs)}
+	finalize := func() Result {
+		res.TotalNs = res.TreeNs + res.PartNs + res.ForceNs + res.UpdateNs
+		if res.TotalNs > 0 {
+			res.TreeShare = res.TreeNs / res.TotalNs
+		}
+		return res
+	}
+	for i := 0; i < spec.Steps; i++ {
+		if err := ctx.Err(); err != nil {
+			res.Err = fmt.Sprintf("native run %s: %v after %d/%d steps", spec, err, i, spec.Steps)
+			return finalize()
+		}
+		st := sim.Step()
+		res.TreeNs += float64(st.TreeBuild)
+		res.PartNs += float64(st.Partition)
+		res.ForceNs += float64(st.Force)
+		res.UpdateNs += float64(st.Update)
+		res.LocksTotal += st.Build.TotalLocks()
+		res.Retries += st.Build.TotalRetries()
+		for w, l := range st.Build.LocksPerProc() {
+			res.LocksPerProc[w] += l
+		}
+		res.Cells = int64(st.TreeStats.Cells)
+		res.Leaves = int64(st.TreeStats.Leaves)
+		res.MaxDepth = int64(st.TreeStats.MaxDepth)
+		res.Interactions += st.Phase.Interactions
+		res.StepsDone = i + 1
+	}
+	return finalize()
+}
+
+// runNativeBuild benchmarks just the tree-building phase: Steps
+// repetitions of one build, reporting the best wall-clock time (what
+// cmd/treebench measures).
+func runNativeBuild(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
+	bld := core.New(spec.Alg, core.Config{P: spec.Procs, LeafCap: spec.LeafCap})
+	assign := core.EvenAssign(bodies.N(), spec.Procs)
+	if spec.Spatial {
+		assign = core.SpatialAssign(bodies, spec.Procs)
+	}
+	in := &core.Input{Bodies: bodies.Clone(), Assign: assign}
+	res := Result{Spec: spec}
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < spec.Steps; rep++ {
+		if err := ctx.Err(); err != nil {
+			res.Err = fmt.Sprintf("native build %s: %v after %d/%d reps", spec, err, rep, spec.Steps)
+			return res
+		}
+		in.Step = rep
+		start := time.Now()
+		tree, metrics := bld.Build(in)
+		if el := time.Since(start); el < best {
+			best = el
+		}
+		st := octree.CollectStats(tree)
+		res.Cells = int64(st.Cells)
+		res.Leaves = int64(st.Leaves)
+		res.MaxDepth = int64(st.MaxDepth)
+		res.LocksTotal = metrics.TotalLocks()
+		res.LocksPerProc = metrics.LocksPerProc()
+		res.Retries = metrics.TotalRetries()
+		res.StepsDone = rep + 1
+	}
+	res.TreeNs = float64(best)
+	res.TotalNs = res.TreeNs
+	res.TreeShare = 1
+	return res
+}

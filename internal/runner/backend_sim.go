@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"partree/internal/phys"
+	"partree/internal/simalg"
+)
+
+// runSimulated replays the whole application on the platform model.
+// simalg.Run has no internal preemption points, so cancellation is
+// implemented by racing the run against the context: on timeout the
+// caller gets a partial Result immediately and the abandoned run is left
+// to finish on its goroutine (it only touches its own clone of bodies).
+func runSimulated(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
+	pl, err := ParsePlatform(spec.Platform, spec.Procs)
+	if err != nil {
+		return Result{Err: err.Error()}
+	}
+	cfg := simalg.Config{
+		Platform:      pl,
+		P:             spec.Procs,
+		LeafCap:       spec.LeafCap,
+		Theta:         spec.Theta,
+		Dt:            spec.Dt,
+		MeasuredSteps: spec.Steps,
+		Sequential:    spec.Sequential,
+	}
+	ch := make(chan simalg.Outcome, 1)
+	go func() { ch <- simalg.Run(spec.Alg, bodies, cfg) }()
+	select {
+	case o := <-ch:
+		return resultFromOutcome(spec, o)
+	case <-ctx.Done():
+		return Result{Err: fmt.Sprintf("simulated run %s: %v", spec, ctx.Err())}
+	}
+}

@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"flag"
+	"strings"
+	"time"
+
+	"partree/internal/core"
+)
+
+// SpecFlags binds the shared CLI surface — one flag per Spec field plus
+// -json — so every binary parses specs identically. Register the flags,
+// flag.Parse, then call Spec().
+type SpecFlags struct {
+	backend  Backend
+	alg      *string
+	platform *string
+	model    *string
+	n        *int
+	p        *int
+	steps    *int
+	leafCap  *int
+	theta    *float64
+	dt       *float64
+	seed     *int64
+	timeout  *time.Duration
+	json     *bool
+}
+
+// RegisterSpecFlags registers the shared spec flags on fs with defaults
+// taken from def. Flag names listed in skip are left for the binary to
+// define itself (e.g. cmd/treebench's sweep-valued -p).
+func RegisterSpecFlags(fs *flag.FlagSet, def Spec, skip ...string) *SpecFlags {
+	skipped := map[string]bool{}
+	for _, s := range skip {
+		skipped[s] = true
+	}
+	def = def.withDefaults()
+	sf := &SpecFlags{backend: def.Backend}
+	if !skipped["alg"] {
+		sf.alg = fs.String("alg", def.Alg.String(),
+			"tree builder: "+strings.Join(core.AlgorithmNames(), ", "))
+	}
+	if def.Backend == Simulated && !skipped["platform"] {
+		sf.platform = fs.String("platform", def.Platform,
+			"platform model: "+strings.Join(PlatformNames(), ", "))
+	}
+	if def.Backend == Native && !skipped["model"] {
+		sf.model = fs.String("model", def.Model, "mass model: plummer, uniform, twoclusters")
+	}
+	if !skipped["n"] {
+		sf.n = fs.Int("n", def.Bodies, "number of bodies")
+	}
+	if !skipped["p"] {
+		sf.p = fs.Int("p", def.Procs, "processors")
+	}
+	if !skipped["steps"] {
+		what := "measured time steps"
+		if def.BuildOnly {
+			what = "builds per configuration (best time reported)"
+		}
+		sf.steps = fs.Int("steps", def.Steps, what)
+	}
+	if !skipped["leafcap"] {
+		sf.leafCap = fs.Int("leafcap", def.LeafCap, "bodies per leaf (k)")
+	}
+	if !skipped["theta"] {
+		sf.theta = fs.Float64("theta", def.Theta, "Barnes-Hut opening angle")
+	}
+	if !skipped["dt"] {
+		sf.dt = fs.Float64("dt", def.Dt, "time step")
+	}
+	if !skipped["seed"] {
+		sf.seed = fs.Int64("seed", def.Seed, "random seed")
+	}
+	if !skipped["timeout"] {
+		sf.timeout = fs.Duration("timeout", def.Timeout, "per-spec timeout (0 = none)")
+	}
+	if !skipped["json"] {
+		sf.json = fs.Bool("json", false, "emit one JSON Result record per spec instead of text")
+	}
+	return sf
+}
+
+// JSON reports whether -json was set.
+func (sf *SpecFlags) JSON() bool { return sf.json != nil && *sf.json }
+
+// Spec assembles the parsed flags into a validated Spec.
+func (sf *SpecFlags) Spec() (Spec, error) {
+	spec := Spec{Backend: sf.backend}
+	if sf.alg != nil {
+		a, err := core.ParseAlgorithm(*sf.alg)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Alg = a
+	}
+	if sf.platform != nil {
+		spec.Platform = *sf.platform
+	}
+	if sf.model != nil {
+		spec.Model = *sf.model
+	}
+	if sf.n != nil {
+		spec.Bodies = *sf.n
+	}
+	if sf.p != nil {
+		spec.Procs = *sf.p
+	}
+	if sf.steps != nil {
+		spec.Steps = *sf.steps
+	}
+	if sf.leafCap != nil {
+		spec.LeafCap = *sf.leafCap
+	}
+	if sf.theta != nil {
+		spec.Theta = *sf.theta
+	}
+	if sf.dt != nil {
+		spec.Dt = *sf.dt
+	}
+	if sf.seed != nil {
+		spec.Seed = *sf.seed
+	}
+	if sf.timeout != nil {
+		spec.Timeout = *sf.timeout
+	}
+	spec = spec.withDefaults()
+	return spec, spec.Validate()
+}

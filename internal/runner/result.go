@@ -1,0 +1,88 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+
+	"partree/internal/memsim"
+	"partree/internal/simalg"
+)
+
+// Result is the structured outcome of one spec. Time fields are
+// simulated nanoseconds for the simulated backend and wall-clock
+// nanoseconds for the native backend; WallNs is always the real time the
+// run took on this machine. A cancelled or timed-out spec yields a
+// partial Result with Err set and whatever was measured before the cut.
+type Result struct {
+	Spec Spec `json:"spec"`
+
+	TreeNs    float64 `json:"tree_ns"`
+	PartNs    float64 `json:"partition_ns"`
+	ForceNs   float64 `json:"force_ns"`
+	UpdateNs  float64 `json:"update_ns"`
+	TotalNs   float64 `json:"total_ns"`
+	TreeShare float64 `json:"tree_share"`
+
+	LocksTotal    int64   `json:"locks_total"`
+	LocksPerProc  []int64 `json:"locks_per_proc,omitempty"`
+	Retries       int64   `json:"retries,omitempty"`
+	Cells         int64   `json:"cells,omitempty"`
+	Leaves        int64   `json:"leaves,omitempty"`
+	MaxDepth      int64   `json:"max_depth,omitempty"`
+	BarrierNsMean float64 `json:"barrier_ns_mean,omitempty"`
+	Interactions  int64   `json:"interactions,omitempty"`
+
+	// StepsDone counts the steps (or build repetitions) that completed;
+	// it falls short of Spec.Steps only on cancellation or timeout.
+	StepsDone int `json:"steps_done"`
+
+	Protocol *memsim.ProtocolStats `json:"protocol,omitempty"`
+
+	WallNs int64  `json:"wall_ns"`
+	Err    string `json:"error,omitempty"`
+
+	sim *simalg.Outcome
+}
+
+// Outcome returns the full simulated outcome behind a simulated-backend
+// result (per-processor barrier times and protocol counters included).
+func (r Result) Outcome() (simalg.Outcome, bool) {
+	if r.sim == nil {
+		return simalg.Outcome{}, false
+	}
+	return *r.sim, true
+}
+
+// Failed reports whether the spec did not run to completion.
+func (r Result) Failed() bool { return r.Err != "" }
+
+func resultFromOutcome(spec Spec, o simalg.Outcome) Result {
+	return Result{
+		Spec:          spec,
+		TreeNs:        o.TreeNs,
+		PartNs:        o.PartNs,
+		ForceNs:       o.ForceNs,
+		UpdateNs:      o.UpdateNs,
+		TotalNs:       o.TotalNs(),
+		TreeShare:     o.TreeShare(),
+		LocksTotal:    o.TotalLocks(),
+		LocksPerProc:  o.LocksPerProc,
+		BarrierNsMean: o.MeanBarrierNs(),
+		Interactions:  o.Interactions,
+		StepsDone:     o.Steps,
+		Protocol:      &o.Protocol,
+		sim:           &o,
+	}
+}
+
+// WriteJSON emits one JSON record per result, newline-delimited, for
+// downstream tooling (the -json flag of every binary).
+func WriteJSON(w io.Writer, results ...Result) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"partree/internal/phys"
+)
+
+// Runner executes specs with a bounded worker pool and a memoizing,
+// concurrency-safe result cache. Identical specs share one execution no
+// matter how many goroutines request them; distinct specs run
+// concurrently up to the worker bound. Bodies are memoized per
+// (model, n, seed) and shared read-only across runs, so every backend
+// sees the same deterministic initial conditions.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+
+	mu     sync.Mutex
+	cache  map[string]*entry
+	bodies map[string]*bodiesEntry
+}
+
+type entry struct {
+	spec Spec // normalized
+	done chan struct{}
+	res  Result
+}
+
+type bodiesEntry struct {
+	done chan struct{}
+	b    *phys.Bodies
+}
+
+// New creates a runner; workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cache:   map[string]*entry{},
+		bodies:  map[string]*bodiesEntry{},
+	}
+}
+
+// Workers returns the pool bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Run executes (or recalls) one spec. It blocks until the spec's result
+// is available or ctx is done; on cancellation it returns immediately
+// with an error Result while any in-flight execution completes into the
+// cache for later callers. The per-spec Timeout bounds the execution
+// itself, independently of the caller's context.
+func (r *Runner) Run(ctx context.Context, spec Spec) Result {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return Result{Spec: spec, Err: err.Error()}
+	}
+	key := spec.Key()
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if !ok {
+		e = &entry{spec: spec, done: make(chan struct{})}
+		r.cache[key] = e
+		go r.execute(e)
+	}
+	r.mu.Unlock()
+	select {
+	case <-e.done:
+		return e.res
+	case <-ctx.Done():
+		return Result{Spec: spec, Err: fmt.Sprintf("runner: %v", ctx.Err())}
+	}
+}
+
+// RunAll fans the specs out across the worker pool and returns their
+// results in spec order — concurrency never reorders or drops cells.
+func (r *Runner) RunAll(ctx context.Context, specs []Spec) []Result {
+	out := make([]Result, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s Spec) {
+			defer wg.Done()
+			out[i] = r.Run(ctx, s)
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}
+
+// execute runs one cache entry to completion under a worker slot.
+func (r *Runner) execute(e *entry) {
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	ctx := context.Background()
+	if e.spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.spec.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res := r.runSpec(ctx, e.spec)
+	res.Spec = e.spec
+	res.WallNs = time.Since(start).Nanoseconds()
+	e.res = res
+	close(e.done)
+}
+
+func (r *Runner) runSpec(ctx context.Context, spec Spec) Result {
+	bodies := r.bodiesFor(spec.Model, spec.Bodies, spec.Seed)
+	switch spec.Backend {
+	case Native:
+		return runNative(ctx, spec, bodies)
+	default:
+		return runSimulated(ctx, spec, bodies)
+	}
+}
+
+// Bodies returns the memoized body system for (model, n, seed). The
+// returned slice set is shared and must be treated as read-only;
+// backends clone before mutating.
+func (r *Runner) Bodies(model phys.Model, n int, seed int64) *phys.Bodies {
+	return r.bodiesFor(model.String(), n, seed)
+}
+
+func (r *Runner) bodiesFor(model string, n int, seed int64) *phys.Bodies {
+	key := fmt.Sprintf("%s|%d|%d", model, n, seed)
+	r.mu.Lock()
+	be, ok := r.bodies[key]
+	if !ok {
+		be = &bodiesEntry{done: make(chan struct{})}
+		r.bodies[key] = be
+		r.mu.Unlock()
+		m, _ := phys.ParseModel(model)
+		be.b = phys.Generate(m, n, seed)
+		close(be.done)
+		return be.b
+	}
+	r.mu.Unlock()
+	<-be.done
+	return be.b
+}
+
+// Results snapshots every completed result in the cache, sorted by spec
+// key, for CSV/JSON dumps.
+func (r *Runner) Results() []Result {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.cache))
+	for _, e := range r.cache {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	var out []Result
+	for _, e := range entries {
+		select {
+		case <-e.done:
+			out = append(out, e.res)
+		default:
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Key() < out[j].Spec.Key() })
+	return out
+}

@@ -1,0 +1,238 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/memsim"
+	"partree/internal/phys"
+	"partree/internal/simalg"
+)
+
+func simSpec(alg core.Algorithm, p, n int) Spec {
+	return Spec{Backend: Simulated, Platform: "challenge", Alg: alg, Procs: p, Bodies: n, Steps: 1, Seed: 7}
+}
+
+func TestSimulatedMatchesDirectRun(t *testing.T) {
+	spec := simSpec(core.SPACE, 4, 512)
+	res := New(0).Run(context.Background(), spec)
+	if res.Failed() {
+		t.Fatalf("run failed: %s", res.Err)
+	}
+	direct := simalg.Run(core.SPACE, phys.Generate(phys.ModelPlummer, 512, 7), simalg.Config{
+		Platform: memsim.Challenge(), P: 4, LeafCap: 8, MeasuredSteps: 1,
+	})
+	if res.TotalNs != direct.TotalNs() {
+		t.Fatalf("runner %v != direct %v", res.TotalNs, direct.TotalNs())
+	}
+	if o, ok := res.Outcome(); !ok || o.TotalLocks() != direct.TotalLocks() {
+		t.Fatalf("outcome mismatch: %v vs %v", o, direct)
+	}
+	if res.WallNs <= 0 || res.StepsDone != 1 {
+		t.Fatalf("bookkeeping wrong: wall=%d steps=%d", res.WallNs, res.StepsDone)
+	}
+}
+
+func TestMemoizesAndSharesExecution(t *testing.T) {
+	r := New(2)
+	spec := simSpec(core.LOCAL, 2, 256)
+	const callers = 16
+	results := make([]Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run(context.Background(), spec)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.Failed() {
+			t.Fatalf("caller %d failed: %s", i, res.Err)
+		}
+		if res.TotalNs != results[0].TotalNs {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+	if got := len(r.Results()); got != 1 {
+		t.Fatalf("want one cached execution, got %d", got)
+	}
+}
+
+func TestRunAllKeepsSpecOrder(t *testing.T) {
+	r := New(0)
+	var specs []Spec
+	for _, alg := range core.Algorithms() {
+		specs = append(specs, simSpec(alg, 2, 256))
+	}
+	results := r.RunAll(context.Background(), specs)
+	if len(results) != len(specs) {
+		t.Fatalf("want %d results, got %d", len(specs), len(results))
+	}
+	for i, res := range results {
+		if res.Failed() {
+			t.Fatalf("%v failed: %s", specs[i], res.Err)
+		}
+		if res.Spec.Alg != specs[i].Alg {
+			t.Fatalf("result %d is for %v, want %v", i, res.Spec.Alg, specs[i].Alg)
+		}
+	}
+	// Deterministic: a fresh runner reproduces the same numbers.
+	again := New(1).RunAll(context.Background(), specs)
+	for i := range results {
+		if results[i].TotalNs != again[i].TotalNs || results[i].LocksTotal != again[i].LocksTotal {
+			t.Fatalf("nondeterministic result for %v", specs[i])
+		}
+	}
+}
+
+func TestCancelledContextReturnsError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := New(0).Run(ctx, simSpec(core.ORIG, 4, 2048))
+	if !res.Failed() || !strings.Contains(res.Err, "context canceled") {
+		t.Fatalf("want cancellation error, got %+v", res)
+	}
+}
+
+func TestTimeoutYieldsPartialNativeResult(t *testing.T) {
+	spec := Spec{Backend: Native, Alg: core.SPACE, Procs: 2, Bodies: 1024, Steps: 8, Seed: 3, Timeout: time.Nanosecond}
+	res := New(0).Run(context.Background(), spec)
+	if !res.Failed() {
+		t.Fatal("want timeout error")
+	}
+	if !strings.Contains(res.Err, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", res.Err)
+	}
+	if res.StepsDone >= spec.Steps {
+		t.Fatalf("partial result claims %d/%d steps", res.StepsDone, spec.Steps)
+	}
+}
+
+func TestTimeoutSimulated(t *testing.T) {
+	spec := simSpec(core.LOCAL, 4, 4096)
+	spec.Timeout = time.Nanosecond
+	res := New(0).Run(context.Background(), spec)
+	if !res.Failed() {
+		t.Fatal("want timeout error")
+	}
+}
+
+func TestNativeWholeApp(t *testing.T) {
+	spec := Spec{Backend: Native, Alg: core.LOCAL, Procs: 2, Bodies: 512, Steps: 2, Seed: 3}
+	res := New(0).Run(context.Background(), spec)
+	if res.Failed() {
+		t.Fatalf("native run failed: %s", res.Err)
+	}
+	if res.TotalNs <= 0 || res.StepsDone != 2 || res.Cells == 0 || res.Interactions == 0 {
+		t.Fatalf("implausible native result: %+v", res)
+	}
+}
+
+func TestBuildOnly(t *testing.T) {
+	r := New(1)
+	mk := func(alg core.Algorithm) Spec {
+		return Spec{Backend: Native, Alg: alg, Procs: 4, Bodies: 2048, Steps: 2, Seed: 3, BuildOnly: true, Spatial: true}
+	}
+	local := r.Run(context.Background(), mk(core.LOCAL))
+	space := r.Run(context.Background(), mk(core.SPACE))
+	if local.Failed() || space.Failed() {
+		t.Fatalf("build-only runs failed: %q %q", local.Err, space.Err)
+	}
+	if local.LocksTotal == 0 {
+		t.Fatal("LOCAL build should take locks")
+	}
+	if space.LocksTotal != 0 {
+		t.Fatalf("SPACE build took %d locks", space.LocksTotal)
+	}
+	if space.Cells == 0 || space.Leaves == 0 || space.TreeNs <= 0 {
+		t.Fatalf("implausible build-only result: %+v", space)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	res := New(0).Run(context.Background(), Spec{Backend: Simulated, Platform: "cray"})
+	if !res.Failed() {
+		t.Fatal("bogus platform accepted")
+	}
+	for _, name := range PlatformNames() {
+		if !strings.Contains(res.Err, name) {
+			t.Fatalf("error %q does not list platform %s", res.Err, name)
+		}
+	}
+	res = New(0).Run(context.Background(), Spec{Backend: Simulated, Platform: "origin", BuildOnly: true})
+	if !res.Failed() {
+		t.Fatal("simulated build-only accepted")
+	}
+	res = New(0).Run(context.Background(), Spec{Backend: "quantum"})
+	if !res.Failed() {
+		t.Fatal("bogus backend accepted")
+	}
+}
+
+func TestParsePlatformForms(t *testing.T) {
+	for _, name := range []string{"origin", "ORIGIN", "Origin2000"} {
+		pl, err := ParsePlatform(name, 8)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if pl.Name != "Origin2000" {
+			t.Fatalf("%q resolved to %s", name, pl.Name)
+		}
+	}
+	if _, err := ParsePlatform("typhoon-hlrc", 16); err != nil {
+		t.Fatal(err)
+	}
+	if canon, ok := CanonicalPlatform("Typhoon-0/HLRC"); !ok || canon != "typhoon-hlrc" {
+		t.Fatalf("display-name canonicalization broken: %q %v", canon, ok)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := New(0).Run(context.Background(), simSpec(core.PARTREE, 2, 256))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.Contains(line, `"algorithm":"PARTREE"`) {
+		t.Fatalf("algorithm not serialized by name: %s", line)
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.Alg != core.PARTREE || back.TotalNs != res.TotalNs || back.LocksTotal != res.LocksTotal {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, res)
+	}
+}
+
+func TestKeyDistinguishesSpecs(t *testing.T) {
+	base := simSpec(core.LOCAL, 2, 256)
+	variants := []func(Spec) Spec{
+		func(s Spec) Spec { s.Alg = core.SPACE; return s },
+		func(s Spec) Spec { s.Procs = 4; return s },
+		func(s Spec) Spec { s.Bodies = 512; return s },
+		func(s Spec) Spec { s.Sequential = true; s.Procs = 1; return s },
+		func(s Spec) Spec { s.Platform = "origin"; return s },
+		func(s Spec) Spec { s.Backend = Native; s.Platform = ""; return s },
+		func(s Spec) Spec { s.LeafCap = 16; return s },
+		func(s Spec) Spec { s.Seed = 8; return s },
+		func(s Spec) Spec { s.Timeout = time.Second; return s },
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, v := range variants {
+		k := v(base).Key()
+		if seen[k] {
+			t.Fatalf("variant %d collides: %s", i, k)
+		}
+		seen[k] = true
+	}
+}
