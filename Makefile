@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check repro
+.PHONY: all build vet test race smoke check repro
 
 all: build
 
@@ -13,13 +13,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent layers: the native builders and the runner's
-# worker pool / result cache.
+# Race-check the concurrent layers: the native builders, the runner's
+# worker pool / result cache, and the differential verifier's algorithm
+# cross-product.
 race:
-	$(GO) test -race ./internal/core ./internal/runner
+	$(GO) test -race ./internal/core ./internal/runner ./internal/verify
+
+# smoke builds real trees with every algorithm and verifies each against
+# the sequential reference (-check), end to end through cmd/treebench.
+smoke:
+	$(GO) run ./cmd/treebench -n 4096 -p 1,2 -reps 1 -check
 
 # check is the tier-1+ gate: everything must pass before a PR lands.
-check: build vet test race
+check: build vet test race smoke
 
 # repro regenerates the paper's tables and figures into ./results.
 repro:

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	nbody [-n 16384] [-steps 5] [-p 8] [-alg SPACE] [-model plummer]
-//	      [-theta 1.0] [-leafcap 8] [-dt 0.025] [-timeout 0] [-json]
+//	      [-theta 1.0] [-leafcap 8] [-dt 0.025] [-timeout 0] [-check] [-json]
 //	      [-verify] [-energy] [-quad] [-fmm] [-load f] [-save f]
 //
 // With -json the run goes through the shared internal/runner engine and
@@ -82,6 +82,7 @@ func main() {
 	opts.Dt = spec.Dt
 	opts.Seed = spec.Seed
 	opts.Verify = *verify
+	opts.Check = spec.Check
 	opts.Force.Theta = spec.Theta
 	opts.Force.Quadrupole = *quad
 	opts.FMM = *useFMM
@@ -117,6 +118,10 @@ func main() {
 		}
 		st := sim.Step()
 		fmt.Printf("%v  [%v]\n", st, st.Build)
+		if st.CheckErr != nil {
+			fmt.Fprintf(os.Stderr, "nbody: verification failed: %v\n", st.CheckErr)
+			os.Exit(1)
+		}
 	}
 	if *energy {
 		_, _, e1 := sim.Energy()

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	paperrepro [-exp T1,F6,...|all] [-sizes 4096,8192] [-large] [-steps 2]
-//	           [-workers 0] [-out results] [-json]
+//	           [-workers 0] [-out results] [-check] [-json]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 		seed     = flag.Int64("seed", 1998, "random seed for the Plummer model")
 		leafCap  = flag.Int("leafcap", 8, "bodies per leaf (k)")
 		workers  = flag.Int("workers", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
+		check    = flag.Bool("check", false, "verify every sweep cell's tree against the serial reference")
 		outDir   = flag.String("out", "results", "directory for per-experiment output files")
 		csvOut   = flag.Bool("csv", true, "also write every computed outcome to <out>/outcomes.csv")
 		jsonOut  = flag.Bool("json", false, "also write every computed Result record to <out>/outcomes.jsonl")
@@ -54,6 +55,7 @@ func main() {
 	opts.Seed = *seed
 	opts.LeafCap = *leafCap
 	opts.Workers = *workers
+	opts.Check = *check
 	if *sizes != "" {
 		opts.Sizes = nil
 		for _, f := range strings.Split(*sizes, ",") {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	simbench [-platform typhoon-hlrc] [-alg SPACE] [-n 16384] [-p 16]
-//	         [-steps 2] [-timeout 0] [-json]
+//	         [-steps 2] [-timeout 0] [-check] [-json]
 package main
 
 import (
@@ -62,7 +62,7 @@ func main() {
 		return
 	}
 	if res.Failed() {
-		fmt.Fprintf(os.Stderr, "simbench: %s\n", res.Err)
+		fmt.Fprintf(os.Stderr, "simbench: %s\n", res.FailureMessage())
 		os.Exit(1)
 	}
 	o, _ := res.Outcome()
@@ -88,7 +88,7 @@ func main() {
 	if !*noSeq {
 		seq := results[1]
 		if seq.Failed() {
-			fmt.Fprintf(os.Stderr, "simbench: baseline: %s\n", seq.Err)
+			fmt.Fprintf(os.Stderr, "simbench: baseline: %s\n", seq.FailureMessage())
 			os.Exit(1)
 		}
 		fmt.Printf("\nsequential baseline: %s  ->  speedup %.2fx\n",

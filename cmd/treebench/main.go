@@ -7,7 +7,7 @@
 // Usage:
 //
 //	treebench [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8] [-model plummer]
-//	          [-timeout 0] [-json]
+//	          [-timeout 0] [-check] [-json]
 package main
 
 import (
@@ -103,7 +103,7 @@ func main() {
 			res := results[i]
 			i++
 			if res.Failed() {
-				fmt.Fprintf(os.Stderr, "treebench: %s\n", res.Err)
+				fmt.Fprintf(os.Stderr, "treebench: %s\n", res.FailureMessage())
 				row = append(row, "-")
 				continue
 			}

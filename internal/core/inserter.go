@@ -222,8 +222,7 @@ func (ins *inserter) remove(b int32) octree.Ref {
 		if len(l.Bodies) == 0 {
 			// Reclaim the leaf, as the paper does.
 			pc := s.Cell(parent)
-			o := pc.Cube.OctantOf(l.Cube.Center)
-			if pc.Child(o) == lr {
+			if o, ok := pc.SlotOf(lr); ok {
 				pc.SetChild(o, octree.Nil)
 			}
 			l.Retired = true

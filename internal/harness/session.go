@@ -34,6 +34,9 @@ type Options struct {
 	MeasuredSteps int
 	// Workers bounds the runner's concurrent sweep cells (0 = GOMAXPROCS).
 	Workers int
+	// Check verifies every sweep cell's tree against the serial reference
+	// (a native companion build per cell; see runner.Spec.Check).
+	Check bool
 }
 
 // DefaultOptions returns the quick configuration.
@@ -120,6 +123,7 @@ func (s *Session) spec(pl memsim.Platform, alg core.Algorithm, p, n int, seq boo
 		Steps:      s.Opts.MeasuredSteps,
 		Seed:       s.Opts.Seed,
 		Sequential: seq,
+		Check:      s.Opts.Check,
 	}
 }
 

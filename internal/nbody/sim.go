@@ -16,6 +16,7 @@ import (
 	"partree/internal/octree"
 	"partree/internal/partition"
 	"partree/internal/phys"
+	"partree/internal/verify"
 )
 
 // Options configure a simulation.
@@ -42,6 +43,14 @@ type Options struct {
 	// (and canonicality for the rebuilding algorithms) before using it,
 	// panicking on violation. For tests and debugging.
 	Verify bool
+
+	// Check runs the full differential verification (internal/verify) on
+	// every freshly built tree — structural invariants, node-for-node
+	// equality with the serial reference for rebuilding steps, and the
+	// metrics conservation laws — reporting the first violation in
+	// StepStats.CheckErr instead of panicking. Check time is excluded
+	// from every measured phase.
+	Check bool
 }
 
 // DefaultOptions mirror the SPLASH-2 BARNES defaults at a small size.
@@ -68,6 +77,10 @@ type StepStats struct {
 	Build     *core.Metrics
 	Phase     force.PhaseStats
 	TreeStats octree.Stats
+
+	// CheckErr is the first verification violation found when the
+	// simulation runs with Options.Check (nil otherwise).
+	CheckErr error
 }
 
 // Total is the step's wall-clock total.
@@ -147,6 +160,7 @@ func (s *Simulation) Step() StepStats {
 	t1 := time.Now()
 	s.Tree = tree
 	st.Build = m
+	st.TreeBuild = t1.Sub(t0)
 
 	d := octree.BodyData{Pos: s.Bodies.Pos, Mass: s.Bodies.Mass, Cost: s.Bodies.Cost}
 	if s.Opts.Verify {
@@ -154,6 +168,12 @@ func (s *Simulation) Step() StepStats {
 		if err := octree.Check(tree, d, octree.CheckOptions{Canonical: canonical, Moments: true, Tol: 1e-9}); err != nil {
 			panic(fmt.Sprintf("nbody: step %d tree verification failed: %v", s.step, err))
 		}
+	}
+	if s.Opts.Check {
+		st.CheckErr = verify.Build(s.Opts.Alg, tree, m, s.Bodies, s.step)
+		// The serial reference build is not part of the step; restart the
+		// clock so it is not charged to the partition phase.
+		t1 = time.Now()
 	}
 	assign := partition.Costzones(tree, d, s.Opts.P)
 	t2 := time.Now()
@@ -191,7 +211,6 @@ func (s *Simulation) Step() StepStats {
 	s.assign = assign
 	s.step++
 
-	st.TreeBuild = t1.Sub(t0)
 	st.Partition = t2.Sub(t1)
 	st.Force = t3.Sub(t2)
 	st.Update = t4.Sub(t3)

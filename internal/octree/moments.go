@@ -105,18 +105,19 @@ func leafMoments(l *Leaf, d BodyData) {
 
 // isLive reports whether node r is currently linked into tree t. Arenas
 // accumulate garbage nodes (CAS losers from concurrent builds, leaves
-// retired by subdivision or by UPDATE); a node is live iff its parent's
-// child slot still points at it, or it is the root. Garbage is never
-// pointed to, so one level suffices.
-func isLive(t *Tree, r Ref, cube vec.Cube, parent Ref) bool {
+// retired by subdivision or by UPDATE); a node is live iff some child
+// slot of its parent still points at it, or it is the root. Garbage is
+// never pointed to, so one level suffices. The slot scan must be by link,
+// not by geometry (see Cell.SlotOf).
+func isLive(t *Tree, r Ref, parent Ref) bool {
 	if r == t.Root {
 		return true
 	}
 	if parent.IsNil() || !parent.IsCell() {
 		return false
 	}
-	pc := t.Store.Cell(parent)
-	return pc.Child(pc.Cube.OctantOf(cube.Center)) == r
+	_, ok := t.Store.Cell(parent).SlotOf(r)
+	return ok
 }
 
 // ComputeMomentsParallel computes the same moments with nWorkers
@@ -141,7 +142,7 @@ func ComputeMomentsParallel(t *Tree, d BodyData, nWorkers int) {
 		go func(w int) {
 			defer wg.Done()
 			forOwnedCells(s, w, nWorkers, func(r Ref, c *Cell) {
-				if !isLive(t, r, c.Cube, c.Parent) {
+				if !isLive(t, r, c.Parent) {
 					c.pending = -1
 					return
 				}
@@ -169,7 +170,7 @@ func ComputeMomentsParallel(t *Tree, d BodyData, nWorkers int) {
 		go func(w int) {
 			defer wg.Done()
 			forOwnedLeaves(s, w, nWorkers, func(r Ref, l *Leaf) {
-				if l.Retired || !isLive(t, r, l.Cube, l.Parent) {
+				if l.Retired || !isLive(t, r, l.Parent) {
 					return
 				}
 				leafMoments(l, d)

@@ -89,6 +89,22 @@ func (c *Cell) SetChild(o vec.Octant, r Ref) {
 	atomic.StoreUint32(&c.child[o], uint32(r))
 }
 
+// SlotOf scans the child slots for r and returns its octant. Identifying
+// a child's slot geometrically — OctantOf(child.Cube.Center) — breaks
+// down at extreme depth: once the cube size drops below an ulp of the
+// center coordinates, Child's center±size/4 rounds back onto the parent
+// center and OctantOf picks the all-high octant regardless of where the
+// child actually hangs. Coincident bodies drive cubes that small, so any
+// "which slot holds this node" question must go through the links.
+func (c *Cell) SlotOf(r Ref) (vec.Octant, bool) {
+	for o := vec.Octant(0); o < vec.NOctants; o++ {
+		if c.Child(o) == r {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
 // CASChild atomically replaces the child in octant o if it still equals
 // old. The concurrent builders use it to publish a freshly created node
 // without holding the cell lock across allocation.

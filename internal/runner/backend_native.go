@@ -10,6 +10,7 @@ import (
 	"partree/internal/nbody"
 	"partree/internal/octree"
 	"partree/internal/phys"
+	"partree/internal/verify"
 )
 
 // runNative executes the real concurrent implementation. Steps are
@@ -30,6 +31,7 @@ func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 	opts.Dt = spec.Dt
 	opts.Force = force.DefaultParams()
 	opts.Force.Theta = spec.Theta
+	opts.Check = spec.Check
 	sim := nbody.NewFromBodies(opts, bodies.Clone())
 
 	res := Result{Spec: spec, LocksPerProc: make([]int64, spec.Procs)}
@@ -60,6 +62,12 @@ func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 		res.MaxDepth = int64(st.TreeStats.MaxDepth)
 		res.Interactions += st.Phase.Interactions
 		res.StepsDone = i + 1
+		if st.CheckErr != nil {
+			// A wrong tree makes every later step's timing meaningless;
+			// stop here with what was measured.
+			res.CheckFailure = st.CheckErr.Error()
+			return finalize()
+		}
 	}
 	return finalize()
 }
@@ -86,6 +94,13 @@ func runNativeBuild(ctx context.Context, spec Spec, bodies *phys.Bodies) Result 
 		tree, metrics := bld.Build(in)
 		if el := time.Since(start); el < best {
 			best = el
+		}
+		if spec.Check {
+			if err := verify.Build(spec.Alg, tree, metrics, in.Bodies, rep); err != nil {
+				res.CheckFailure = err.Error()
+				res.StepsDone = rep + 1
+				return res
+			}
 		}
 		st := octree.CollectStats(tree)
 		res.Cells = int64(st.Cells)

@@ -6,6 +6,7 @@ import (
 
 	"partree/internal/phys"
 	"partree/internal/simalg"
+	"partree/internal/verify"
 )
 
 // runSimulated replays the whole application on the platform model.
@@ -26,6 +27,15 @@ func runSimulated(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 		Dt:            spec.Dt,
 		MeasuredSteps: spec.Steps,
 		Sequential:    spec.Sequential,
+	}
+	if spec.Check && !spec.Sequential {
+		// The replay's tree lives inside the platform model, so run the
+		// native companion check of the same algorithm and workload. A
+		// wrong algorithm makes the replayed timing meaningless, so skip
+		// the replay on failure.
+		if cerr := verify.Algorithm(spec.Alg, bodies, spec.Procs, spec.LeafCap); cerr != nil {
+			return Result{CheckFailure: cerr.Error()}
+		}
 	}
 	ch := make(chan simalg.Outcome, 1)
 	go func() { ch <- simalg.Run(spec.Alg, bodies, cfg) }()

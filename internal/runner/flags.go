@@ -24,6 +24,7 @@ type SpecFlags struct {
 	dt       *float64
 	seed     *int64
 	timeout  *time.Duration
+	check    *bool
 	json     *bool
 }
 
@@ -76,6 +77,10 @@ func RegisterSpecFlags(fs *flag.FlagSet, def Spec, skip ...string) *SpecFlags {
 	if !skipped["timeout"] {
 		sf.timeout = fs.Duration("timeout", def.Timeout, "per-spec timeout (0 = none)")
 	}
+	if !skipped["check"] {
+		sf.check = fs.Bool("check", def.Check,
+			"verify every built tree against the serial reference and audit metrics invariants")
+	}
 	if !skipped["json"] {
 		sf.json = fs.Bool("json", false, "emit one JSON Result record per spec instead of text")
 	}
@@ -124,6 +129,9 @@ func (sf *SpecFlags) Spec() (Spec, error) {
 	}
 	if sf.timeout != nil {
 		spec.Timeout = *sf.timeout
+	}
+	if sf.check != nil {
+		spec.Check = *sf.check
 	}
 	spec = spec.withDefaults()
 	return spec, spec.Validate()

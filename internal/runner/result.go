@@ -38,8 +38,16 @@ type Result struct {
 
 	Protocol *memsim.ProtocolStats `json:"protocol,omitempty"`
 
-	WallNs int64  `json:"wall_ns"`
+	// WallNs is the real time the execution took on this machine,
+	// excluding memoized body generation, which is reported separately as
+	// GenNs (the full generation time for this spec's body set, charged
+	// identically to every spec that shares it).
+	WallNs int64 `json:"wall_ns"`
+	GenNs  int64 `json:"gen_ns,omitempty"`
 	Err    string `json:"error,omitempty"`
+	// CheckFailure is the first tree-verification violation found when
+	// the spec ran with Check set (empty otherwise).
+	CheckFailure string `json:"check_failure,omitempty"`
 
 	sim *simalg.Outcome
 }
@@ -53,8 +61,21 @@ func (r Result) Outcome() (simalg.Outcome, bool) {
 	return *r.sim, true
 }
 
-// Failed reports whether the spec did not run to completion.
-func (r Result) Failed() bool { return r.Err != "" }
+// Failed reports whether the spec did not run to completion, or ran but
+// produced a tree that failed verification.
+func (r Result) Failed() bool { return r.Err != "" || r.CheckFailure != "" }
+
+// FailureMessage renders the failure for error output (empty when the
+// spec succeeded).
+func (r Result) FailureMessage() string {
+	if r.Err != "" {
+		return r.Err
+	}
+	if r.CheckFailure != "" {
+		return "verification failed: " + r.CheckFailure
+	}
+	return ""
+}
 
 func resultFromOutcome(spec Spec, o simalg.Outcome) Result {
 	return Result{

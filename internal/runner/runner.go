@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"partree/internal/phys"
@@ -21,6 +22,10 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 
+	// execs counts spec executions (not cache hits); tests assert a spec
+	// requested from many goroutines runs exactly once.
+	execs int64
+
 	mu     sync.Mutex
 	cache  map[string]*entry
 	bodies map[string]*bodiesEntry
@@ -33,8 +38,10 @@ type entry struct {
 }
 
 type bodiesEntry struct {
-	done chan struct{}
-	b    *phys.Bodies
+	done  chan struct{}
+	b     *phys.Bodies
+	genNs int64
+	err   error
 }
 
 // New creates a runner; workers <= 0 selects GOMAXPROCS.
@@ -56,12 +63,17 @@ func (r *Runner) Workers() int { return r.workers }
 // Run executes (or recalls) one spec. It blocks until the spec's result
 // is available or ctx is done; on cancellation it returns immediately
 // with an error Result while any in-flight execution completes into the
-// cache for later callers. The per-spec Timeout bounds the execution
-// itself, independently of the caller's context.
+// cache for later callers. A context that is already cancelled on entry
+// always yields the cancellation error, even if the result is cached.
+// The per-spec Timeout bounds the execution itself, independently of
+// the caller's context.
 func (r *Runner) Run(ctx context.Context, spec Spec) Result {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return Result{Spec: spec, Err: err.Error()}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Spec: spec, Err: fmt.Sprintf("runner: %v", err)}
 	}
 	key := spec.Key()
 	r.mu.Lock()
@@ -82,56 +94,82 @@ func (r *Runner) Run(ctx context.Context, spec Spec) Result {
 
 // RunAll fans the specs out across the worker pool and returns their
 // results in spec order — concurrency never reorders or drops cells.
+// Fan-out is bounded at the worker count: a full paperrepro sweep must
+// not park one goroutine per grid cell, so a fixed set of launchers
+// pulls spec indices from a shared counter instead. Launchers block in
+// Run (not on a worker slot), so duplicated specs sharing one memoized
+// execution cannot deadlock the pool.
 func (r *Runner) RunAll(ctx context.Context, specs []Spec) []Result {
 	out := make([]Result, len(specs))
+	launchers := r.workers
+	if launchers > len(specs) {
+		launchers = len(specs)
+	}
+	next := int64(-1)
 	var wg sync.WaitGroup
-	for i, s := range specs {
+	for w := 0; w < launchers; w++ {
 		wg.Add(1)
-		go func(i int, s Spec) {
+		go func() {
 			defer wg.Done()
-			out[i] = r.Run(ctx, s)
-		}(i, s)
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(specs) {
+					return
+				}
+				out[i] = r.Run(ctx, specs[i])
+			}
+		}()
 	}
 	wg.Wait()
 	return out
 }
 
-// execute runs one cache entry to completion under a worker slot.
+// execute runs one cache entry to completion under a worker slot. Body
+// generation happens before the wall clock starts: body sets are memoized
+// across specs, so charging generation to whichever spec ran first would
+// make sweep-cell wall times incomparable. GenNs instead reports the full
+// generation time of the spec's body set, identically on every spec that
+// shares it.
 func (r *Runner) execute(e *entry) {
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
+	atomic.AddInt64(&r.execs, 1)
 	ctx := context.Background()
 	if e.spec.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.spec.Timeout)
 		defer cancel()
 	}
+	bodies, genNs, err := r.bodiesFor(e.spec.Model, e.spec.Bodies, e.spec.Seed)
+	if err != nil {
+		e.res = Result{Spec: e.spec, Err: err.Error()}
+		close(e.done)
+		return
+	}
 	start := time.Now()
-	res := r.runSpec(ctx, e.spec)
+	var res Result
+	switch e.spec.Backend {
+	case Native:
+		res = runNative(ctx, e.spec, bodies)
+	default:
+		res = runSimulated(ctx, e.spec, bodies)
+	}
 	res.Spec = e.spec
+	res.GenNs = genNs
 	res.WallNs = time.Since(start).Nanoseconds()
 	e.res = res
 	close(e.done)
-}
-
-func (r *Runner) runSpec(ctx context.Context, spec Spec) Result {
-	bodies := r.bodiesFor(spec.Model, spec.Bodies, spec.Seed)
-	switch spec.Backend {
-	case Native:
-		return runNative(ctx, spec, bodies)
-	default:
-		return runSimulated(ctx, spec, bodies)
-	}
 }
 
 // Bodies returns the memoized body system for (model, n, seed). The
 // returned slice set is shared and must be treated as read-only;
 // backends clone before mutating.
 func (r *Runner) Bodies(model phys.Model, n int, seed int64) *phys.Bodies {
-	return r.bodiesFor(model.String(), n, seed)
+	b, _, _ := r.bodiesFor(model.String(), n, seed) // typed models always parse
+	return b
 }
 
-func (r *Runner) bodiesFor(model string, n int, seed int64) *phys.Bodies {
+func (r *Runner) bodiesFor(model string, n int, seed int64) (*phys.Bodies, int64, error) {
 	key := fmt.Sprintf("%s|%d|%d", model, n, seed)
 	r.mu.Lock()
 	be, ok := r.bodies[key]
@@ -139,14 +177,20 @@ func (r *Runner) bodiesFor(model string, n int, seed int64) *phys.Bodies {
 		be = &bodiesEntry{done: make(chan struct{})}
 		r.bodies[key] = be
 		r.mu.Unlock()
-		m, _ := phys.ParseModel(model)
-		be.b = phys.Generate(m, n, seed)
+		if m, ok := phys.ParseModel(model); ok {
+			start := time.Now()
+			be.b = phys.Generate(m, n, seed)
+			be.genNs = time.Since(start).Nanoseconds()
+		} else {
+			be.err = fmt.Errorf("runner: unknown mass model %q (valid: %s, %s, %s)",
+				model, phys.ModelPlummer, phys.ModelUniform, phys.ModelTwoClusters)
+		}
 		close(be.done)
-		return be.b
+		return be.b, be.genNs, be.err
 	}
 	r.mu.Unlock()
 	<-be.done
-	return be.b
+	return be.b, be.genNs, be.err
 }
 
 // Results snapshots every completed result in the cache, sorted by spec

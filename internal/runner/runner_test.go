@@ -226,6 +226,7 @@ func TestKeyDistinguishesSpecs(t *testing.T) {
 		func(s Spec) Spec { s.LeafCap = 16; return s },
 		func(s Spec) Spec { s.Seed = 8; return s },
 		func(s Spec) Spec { s.Timeout = time.Second; return s },
+		func(s Spec) Spec { s.Check = true; return s },
 	}
 	seen := map[string]bool{base.Key(): true}
 	for i, v := range variants {

@@ -61,7 +61,13 @@ type Spec struct {
 	BuildOnly bool `json:"build_only,omitempty"`
 	// Spatial uses a Morton-ordered body assignment for BuildOnly runs,
 	// standing in for a settled costzones partition.
-	Spatial bool          `json:"spatial,omitempty"`
+	Spatial bool `json:"spatial,omitempty"`
+	// Check verifies every tree built during the run against the serial
+	// reference (internal/verify) and audits the metrics conservation
+	// laws; a violation is recorded in Result.CheckFailure. Simulated
+	// specs run a native companion check of the same algorithm and
+	// workload, since the platform replay's tree is internal to it.
+	Check   bool          `json:"check,omitempty"`
 	Timeout time.Duration `json:"timeout_ns,omitempty"`
 }
 
@@ -131,9 +137,9 @@ func (s Spec) Validate() error {
 // produce interchangeable results.
 func (s Spec) Key() string {
 	s = s.withDefaults()
-	return fmt.Sprintf("%s|%s|%s|p%d|n%d|k%d|th%g|dt%g|s%d|seed%d|%s|seq%t|build%t|spat%t|to%d",
+	return fmt.Sprintf("%s|%s|%s|p%d|n%d|k%d|th%g|dt%g|s%d|seed%d|%s|seq%t|build%t|spat%t|chk%t|to%d",
 		s.Backend, s.Platform, s.Alg, s.Procs, s.Bodies, s.LeafCap, s.Theta, s.Dt,
-		s.Steps, s.Seed, s.Model, s.Sequential, s.BuildOnly, s.Spatial, int64(s.Timeout))
+		s.Steps, s.Seed, s.Model, s.Sequential, s.BuildOnly, s.Spatial, s.Check, int64(s.Timeout))
 }
 
 // String renders the spec compactly for logs and labels.

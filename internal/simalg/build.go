@@ -269,8 +269,7 @@ func (sp *sproc) remove(b int32) octree.Ref {
 		parent := l.Parent
 		if len(l.Bodies) == 0 {
 			pc := s.Cell(parent)
-			o := pc.Cube.OctantOf(l.Cube.Center)
-			if pc.Child(o) == lr {
+			if o, ok := pc.SlotOf(lr); ok {
 				pc.SetChild(o, octree.Nil)
 				sp.writeNode(parent)
 			}

@@ -1,0 +1,59 @@
+package verify
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"partree/internal/core"
+	"partree/internal/phys"
+	"partree/internal/vec"
+)
+
+// FuzzOrigInsert drives the ORIG concurrent insert path (the richest
+// locking discipline: nil→leaf races, leaf subdivision under lock,
+// retry-on-invalidation) with fuzzer-chosen body positions and leaf cap,
+// and differentially verifies the resulting tree against the serial
+// reference. Byte layout: byte 0 is the leaf cap (1..16), then 6 bytes
+// per body, two per coordinate, mapped onto [-1, 1]. Degenerate inputs —
+// coincident bodies, collinear clusters, a single point — are exactly
+// what shakes out MaxDepth overflow and deep-subdivision races.
+func FuzzOrigInsert(f *testing.F) {
+	f.Add([]byte{8, 0, 0, 0, 0, 0, 0})
+	// Two coincident bodies and one far away.
+	f.Add([]byte{1, 1, 2, 3, 4, 5, 6, 1, 2, 3, 4, 5, 6, 255, 255, 255, 255, 255, 255})
+	// A spread of bodies at cap 2.
+	seed := []byte{2}
+	for i := 0; i < 64; i++ {
+		seed = append(seed, byte(i*37), byte(i*11), byte(i*53), byte(i*7), byte(i*101), byte(i*13))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		leafCap := 1 + int(data[0]%16)
+		data = data[1:]
+		n := len(data) / 6
+		if n > 512 {
+			n = 512
+		}
+		bodies := phys.NewBodies(n)
+		for i := 0; i < n; i++ {
+			rec := data[i*6 : i*6+6]
+			coord := func(k int) float64 {
+				return float64(binary.LittleEndian.Uint16(rec[k*2:]))/32767.5 - 1
+			}
+			bodies.Pos[i] = vec.V3{X: coord(0), Y: coord(1), Z: coord(2)}
+			bodies.Mass[i] = 1 / float64(n)
+			bodies.Cost[i] = 1
+		}
+		const p = 4
+		bld := core.New(core.ORIG, core.Config{P: p, LeafCap: leafCap})
+		in := &core.Input{Bodies: bodies, Assign: core.EvenAssign(n, p)}
+		tree, m := bld.Build(in)
+		if err := Build(core.ORIG, tree, m, bodies, 0); err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, leafCap, err)
+		}
+	})
+}

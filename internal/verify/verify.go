@@ -1,0 +1,199 @@
+// Package verify is the differential-testing and invariant-audit layer
+// behind the -check flag: every tree a parallel builder produces can be
+// compared structurally against the sequential reference build
+// (octree.BuildSerial), and every build's core.Metrics audited against
+// conservation laws. The paper's timing comparisons are only meaningful
+// because all five algorithms produce the same octree as the sequential
+// code; this package turns that assumption into an always-on oracle
+// (Dubinski's parallel tree code validates against a serial build the
+// same way).
+//
+// The checks are layered:
+//
+//   - Tree: structural invariants (every body in exactly one live leaf,
+//     body-in-cube containment, parent/child link consistency, octant
+//     sub-cube geometry, no reachable retired nodes, leaf-cap respected)
+//     plus, for canonical builds, node-for-node equality with the serial
+//     reference — same cells, same leaf body-sets up to ordering — and,
+//     optionally, moments recomputation.
+//   - Metrics: per-processor counter conservation (BodiesBuilt sums to
+//     n, allocation counters consistent with the live tree, SPACE's
+//     zero-lock guarantee).
+//   - Build: Tree + Metrics for one Builder.Build outcome.
+//   - Algorithm: a self-contained companion check that builds a fresh
+//     tree with the given algorithm and verifies it (what simulated
+//     specs run, since the platform simulator's tree is internal).
+//
+// UPDATE repairs the previous step's tree rather than rebuilding, so
+// after step 0 its tree is legitimately non-canonical (cells are never
+// collapsed); differential equality is only demanded of rebuilding
+// steps, structural invariants always.
+package verify
+
+import (
+	"fmt"
+
+	"partree/internal/core"
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+// Options select which layers Tree verifies.
+type Options struct {
+	// Canonical demands node-for-node equality with the serial reference
+	// tree (and minimality). True for every rebuilding build; false for
+	// UPDATE's repair steps.
+	Canonical bool
+	// Moments additionally recomputes Mass/COM/NBody/Cost from the body
+	// data and compares within Tol.
+	Moments bool
+	// Tol is the relative tolerance for moment comparison (default 1e-9).
+	Tol float64
+}
+
+// Canonical reports whether a build of alg at the given time step must
+// reproduce the serial reference tree exactly: every algorithm rebuilds
+// from scratch except UPDATE after its first step.
+func Canonical(alg core.Algorithm, step int) bool {
+	return alg != core.UPDATE || step == 0
+}
+
+// Tree verifies one built tree against the body data it was built from.
+// It checks the structural invariants, and — when opt.Canonical — builds
+// the serial reference over the same positions and demands structural
+// equality (same cells, same leaf body-sets up to ordering) and matching
+// live node counts. The first violation found is returned.
+func Tree(t *octree.Tree, bodies *phys.Bodies, opt Options) error {
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	d := octree.BodyData{Pos: bodies.Pos, Mass: bodies.Mass, Cost: bodies.Cost}
+	if err := octree.Check(t, d, octree.CheckOptions{
+		Canonical: opt.Canonical, Moments: opt.Moments, Tol: opt.Tol,
+	}); err != nil {
+		return fmt.Errorf("verify: invariants: %w", err)
+	}
+	if !opt.Canonical {
+		return nil
+	}
+	ref := octree.BuildSerial(bodies.Pos, t.Store.LeafCap)
+	if err := octree.Equal(t, ref); err != nil {
+		return fmt.Errorf("verify: differs from serial reference: %w", err)
+	}
+	// Equality implies matching shape; pin the aggregate counts too so a
+	// regression in Equal itself cannot silently pass.
+	got, want := octree.CollectStats(t), octree.CollectStats(ref)
+	if got.Cells != want.Cells || got.Leaves != want.Leaves || got.MaxDepth != want.MaxDepth {
+		return fmt.Errorf("verify: stats diverge from serial reference: %dc/%dl d%d vs %dc/%dl d%d",
+			got.Cells, got.Leaves, got.MaxDepth, want.Cells, want.Leaves, want.MaxDepth)
+	}
+	return nil
+}
+
+// Metrics audits one build's counters against the conservation laws the
+// builders guarantee. t is the tree the metrics describe, n the number of
+// bodies loaded, rebuild whether this build started from an empty store
+// (every algorithm's every step except UPDATE's repair steps, whose
+// counters are incremental and carry no whole-tree laws).
+//
+// Laws, in order of generality:
+//
+//  1. Σ_p BodiesBuilt == n — every body loaded exactly once, whichever
+//     processor did it (all algorithms, all steps).
+//  2. SPACE takes zero tree-build locks and therefore zero retries (the
+//     algorithm's entire point).
+//  3. Rebuilds allocate every live node this step: TotalLeaves ≥ live
+//     leaves, and TotalCells ≥ live cells − 1 (the root is allocated by
+//     the builder directly, outside the per-processor counters).
+//  4. ORIG, LOCAL, and SPACE never discard an allocated cell, so for
+//     them law 3's cell bound is an equality; PARTREE drops local roots
+//     and cells whose subspace already exists globally, so only the
+//     inequality holds.
+//  5. For ORIG and LOCAL every allocated cell replaced exactly one
+//     subdivided (retired) leaf: TotalLeaves == live leaves + TotalCells.
+//     They also lock at least once per body loaded.
+func Metrics(m *core.Metrics, t *octree.Tree, n int, rebuild bool) error {
+	var built int64
+	for i := range m.PerP {
+		built += m.PerP[i].BodiesBuilt
+	}
+	if built != int64(n) {
+		return fmt.Errorf("verify: metrics: BodiesBuilt sums to %d, want %d", built, n)
+	}
+	if m.Alg == core.SPACE {
+		if l := m.TotalLocks(); l != 0 {
+			return fmt.Errorf("verify: metrics: SPACE took %d tree-build locks, want 0", l)
+		}
+		if r := m.TotalRetries(); r != 0 {
+			return fmt.Errorf("verify: metrics: SPACE reports %d retries without locking", r)
+		}
+	}
+	if !rebuild {
+		return nil
+	}
+	live := octree.CollectStats(t)
+	cells, leaves := m.TotalCells(), m.TotalLeaves()
+	liveCells := int64(live.Cells - 1) // root uncounted
+	if liveCells < 0 {
+		liveCells = 0
+	}
+	if leaves < int64(live.Leaves) {
+		return fmt.Errorf("verify: metrics: %d leaves allocated < %d live leaves", leaves, live.Leaves)
+	}
+	if cells < liveCells {
+		return fmt.Errorf("verify: metrics: %d cells allocated < %d live non-root cells", cells, liveCells)
+	}
+	switch m.Alg {
+	case core.ORIG, core.LOCAL, core.UPDATE, core.SPACE:
+		// UPDATE only reaches here on its full-rebuild step, which uses
+		// the ORIG/LOCAL load path.
+		if cells != liveCells {
+			return fmt.Errorf("verify: metrics: %s allocated %d cells, want exactly %d (live non-root)",
+				m.Alg, cells, liveCells)
+		}
+	}
+	switch m.Alg {
+	case core.ORIG, core.LOCAL, core.UPDATE:
+		if leaves != int64(live.Leaves)+cells {
+			return fmt.Errorf("verify: metrics: %s allocated %d leaves, want live %d + subdivided %d",
+				m.Alg, leaves, live.Leaves, cells)
+		}
+		if n > 0 && m.TotalLocks() < int64(n) {
+			return fmt.Errorf("verify: metrics: %s took %d locks for %d bodies (at least one per body expected)",
+				m.Alg, m.TotalLocks(), n)
+		}
+	}
+	return nil
+}
+
+// Build verifies one Builder.Build outcome end to end: the tree against
+// the bodies (differentially, when the step is a rebuild) and the
+// metrics against the conservation laws.
+func Build(alg core.Algorithm, t *octree.Tree, m *core.Metrics, bodies *phys.Bodies, step int) error {
+	canonical := Canonical(alg, step)
+	if err := Tree(t, bodies, Options{Canonical: canonical, Moments: true}); err != nil {
+		return fmt.Errorf("%s step %d: %w", alg, step, err)
+	}
+	if m != nil {
+		if err := Metrics(m, t, bodies.N(), canonical); err != nil {
+			return fmt.Errorf("%s step %d: %w", alg, step, err)
+		}
+	}
+	return nil
+}
+
+// Algorithm is the self-contained companion check: it builds one fresh
+// tree over bodies with the given algorithm and configuration and
+// verifies it differentially. Simulated specs run this (the platform
+// simulator's tree is internal to the replay), and it is the cheapest
+// way to assert "this algorithm is correct for this workload" without a
+// whole simulation.
+func Algorithm(alg core.Algorithm, bodies *phys.Bodies, p, leafCap int) error {
+	if p <= 0 {
+		p = 1
+	}
+	bld := core.New(alg, core.Config{P: p, LeafCap: leafCap})
+	in := &core.Input{Bodies: bodies, Assign: core.EvenAssign(bodies.N(), p)}
+	t, m := bld.Build(in)
+	return Build(alg, t, m, bodies, 0)
+}
