@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke check repro
+.PHONY: all build vet test race smoke check repro bench
 
 all: build
 
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent layers: the native builders, the runner's
-# worker pool / result cache, and the differential verifier's algorithm
-# cross-product.
+# worker pool / result cache, the differential verifier's algorithm
+# cross-product, and the tracing layer's emit path under all five
+# builders.
 race:
-	$(GO) test -race ./internal/core ./internal/runner ./internal/verify
+	$(GO) test -race ./internal/core ./internal/runner ./internal/verify ./internal/trace
 
 # smoke builds real trees with every algorithm and verifies each against
 # the sequential reference (-check), end to end through cmd/treebench.
@@ -30,3 +31,9 @@ check: build vet test race smoke
 # repro regenerates the paper's tables and figures into ./results.
 repro:
 	$(GO) run ./cmd/paperrepro -out results
+
+# bench refreshes the committed native tree-build baseline: best-of-3
+# ns per build for every algorithm at p in {1,4,8} on 10k bodies.
+# Compare a fresh run against the committed file to spot regressions.
+bench:
+	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -benchout BENCH_treebuild.json

@@ -24,6 +24,7 @@ import (
 	"partree/internal/nbody"
 	"partree/internal/phys"
 	"partree/internal/runner"
+	"partree/internal/trace"
 )
 
 func main() {
@@ -86,6 +87,14 @@ func main() {
 	opts.Force.Theta = spec.Theta
 	opts.Force.Quadrupole = *quad
 	opts.FMM = *useFMM
+	var rec *trace.Recorder
+	if spec.Trace != "" {
+		// Every build resets the recorder, so the file written at exit
+		// covers the last completed step's tree build.
+		rec = trace.New(spec.Procs)
+		rec.SetEnabled(true)
+		opts.Trace = rec
+	}
 
 	var sim *nbody.Simulation
 	if *load != "" {
@@ -126,6 +135,13 @@ func main() {
 	if *energy {
 		_, _, e1 := sim.Energy()
 		fmt.Printf("energy: %.6f -> %.6f (drift %.3f%%)\n", e0, e1, 100*(e1-e0)/e0)
+	}
+	if rec != nil {
+		if err := rec.WriteFile(spec.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", spec.Trace)
 	}
 	if *save != "" {
 		if err := sim.Bodies.SaveSnapshot(*save); err != nil {

@@ -35,6 +35,7 @@ func main() {
 		leafCap  = flag.Int("leafcap", 8, "bodies per leaf (k)")
 		workers  = flag.Int("workers", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
 		check    = flag.Bool("check", false, "verify every sweep cell's tree against the serial reference")
+		traceDir = flag.String("trace", "", "write one Chrome trace_event file per sweep cell into this directory")
 		outDir   = flag.String("out", "results", "directory for per-experiment output files")
 		csvOut   = flag.Bool("csv", true, "also write every computed outcome to <out>/outcomes.csv")
 		jsonOut  = flag.Bool("json", false, "also write every computed Result record to <out>/outcomes.jsonl")
@@ -56,6 +57,13 @@ func main() {
 	opts.LeafCap = *leafCap
 	opts.Workers = *workers
 	opts.Check = *check
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		opts.TraceDir = *traceDir
+	}
 	if *sizes != "" {
 		opts.Sizes = nil
 		for _, f := range strings.Split(*sizes, ",") {

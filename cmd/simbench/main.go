@@ -42,6 +42,9 @@ func main() {
 	seqSpec.Alg = core.LOCAL
 	seqSpec.Procs = 1
 	seqSpec.Sequential = true
+	// Both cells run concurrently; only the spec under study writes the
+	// trace file (the baseline would race it onto the same path).
+	seqSpec.Trace = ""
 
 	r := runner.New(0)
 	specs := []runner.Spec{spec}

@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	treebench [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8] [-model plummer]
-//	          [-timeout 0] [-check] [-json]
+//	treebench [-alg all] [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8]
+//	          [-model plummer] [-timeout 0] [-check] [-trace out.json]
+//	          [-benchout BENCH_treebuild.json] [-json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,34 @@ import (
 	"partree/internal/stats"
 )
 
+// benchFile is the machine-readable regression baseline -benchout emits
+// (committed as BENCH_treebuild.json; `make bench` regenerates it).
+type benchFile struct {
+	Bodies  int         `json:"bodies"`
+	LeafCap int         `json:"leafcap"`
+	Reps    int         `json:"reps"`
+	Spatial bool        `json:"spatial"`
+	Cells   []benchCell `json:"cells"`
+}
+
+type benchCell struct {
+	Alg        string `json:"alg"`
+	P          int    `json:"p"`
+	NsPerBuild int64  `json:"ns_per_build"`
+	Locks      int64  `json:"locks"`
+}
+
+// traceName derives a per-cell trace filename from the -trace argument
+// when the sweep has more than one cell (base.json -> base_ORIG_p4.json).
+func traceName(base string, alg core.Algorithm, p int) string {
+	ext := ".json"
+	stem := base
+	if i := strings.LastIndex(base, "."); i > 0 {
+		stem, ext = base[:i], base[i:]
+	}
+	return fmt.Sprintf("%s_%s_p%d%s", stem, alg, p, ext)
+}
+
 func main() {
 	sf := runner.RegisterSpecFlags(flag.CommandLine, runner.Spec{
 		Backend:   runner.Native,
@@ -32,9 +62,11 @@ func main() {
 		BuildOnly: true,
 	}, "alg", "p", "steps", "theta", "dt")
 	var (
-		procs   = flag.String("p", "1,2,4,8", "comma-separated processor counts")
-		reps    = flag.Int("reps", 5, "builds per configuration (best time reported)")
-		spatial = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
+		algFlag  = flag.String("alg", "", "restrict the sweep to one tree builder: "+strings.Join(core.AlgorithmNames(), ", ")+" (default all)")
+		procs    = flag.String("p", "1,2,4,8", "comma-separated processor counts")
+		reps     = flag.Int("reps", 5, "builds per configuration (best time reported)")
+		spatial  = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
+		benchout = flag.String("benchout", "", "write a machine-readable ns-per-build baseline to this JSON file")
 	)
 	flag.Parse()
 
@@ -47,6 +79,16 @@ func main() {
 	base.Steps = *reps
 	base.Spatial = *spatial
 
+	algs := core.Algorithms()
+	if *algFlag != "" {
+		a, err := core.ParseAlgorithm(*algFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			os.Exit(2)
+		}
+		algs = []core.Algorithm{a}
+	}
+
 	var ps []int
 	for _, f := range strings.Split(*procs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
@@ -58,11 +100,16 @@ func main() {
 	}
 
 	var specs []runner.Spec
-	for _, alg := range core.Algorithms() {
+	for _, alg := range algs {
 		for _, p := range ps {
 			spec := base
 			spec.Alg = alg
 			spec.Procs = p
+			if spec.Trace != "" && (len(algs) > 1 || len(ps) > 1) {
+				// One file per sweep cell, so cells don't overwrite each
+				// other's traces.
+				spec.Trace = traceName(base.Trace, alg, p)
+			}
 			specs = append(specs, spec)
 		}
 	}
@@ -70,6 +117,30 @@ func main() {
 	// One worker: concurrent wall-clock benchmarks would contend for the
 	// same cores and corrupt each other's timings.
 	results := runner.New(1).RunAll(context.Background(), specs)
+
+	if *benchout != "" {
+		bf := benchFile{Bodies: base.Bodies, LeafCap: base.LeafCap, Reps: base.Steps, Spatial: base.Spatial}
+		for _, r := range results {
+			if r.Failed() {
+				fmt.Fprintf(os.Stderr, "treebench: %s\n", r.FailureMessage())
+				os.Exit(1)
+			}
+			bf.Cells = append(bf.Cells, benchCell{
+				Alg: r.Spec.Alg.String(), P: r.Spec.Procs,
+				NsPerBuild: int64(r.TreeNs), Locks: r.LocksTotal,
+			})
+		}
+		buf, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchout, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "treebench: wrote %s\n", *benchout)
+	}
 
 	if sf.JSON() {
 		if err := runner.WriteJSON(os.Stdout, results...); err != nil {
@@ -95,7 +166,7 @@ func main() {
 	t := stats.NewTable(header...)
 
 	i := 0
-	for _, alg := range core.Algorithms() {
+	for _, alg := range algs {
 		row := []any{alg.String()}
 		var locks int64
 		var treeDesc string

@@ -20,6 +20,7 @@ import (
 
 	"partree/internal/octree"
 	"partree/internal/phys"
+	"partree/internal/trace"
 	"partree/internal/vec"
 )
 
@@ -144,6 +145,13 @@ type Config struct {
 	// Margin expands the root bounding cube (relative); all builders use
 	// the same value so trees stay comparable.
 	Margin float64
+	// Trace, when non-nil and enabled, records per-processor phase spans
+	// and lock events for every build (see internal/trace). The recorder
+	// is reset at the start of each traced build, so it always holds the
+	// most recent Build call, and its summary is surfaced on
+	// Metrics.Trace. A nil or disabled recorder costs one pointer
+	// comparison per hook on the hot path.
+	Trace *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -221,14 +229,33 @@ func SpatialAssign(b *phys.Bodies, p int) [][]int32 {
 	return out
 }
 
+// traceStart opens a fresh trace window for one build and returns the
+// recorder, or nil when tracing is off. Builders thread the returned
+// value through their phases so the untraced path stays a nil check.
+func (c Config) traceStart() *trace.Recorder {
+	if !c.Trace.Active() {
+		return nil
+	}
+	c.Trace.Reset()
+	return c.Trace
+}
+
+// traceNow is tr.Now() tolerating a nil recorder.
+func traceNow(tr *trace.Recorder) int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.Now()
+}
+
 // parallelBounds computes the root bounding cube with one goroutine per
 // processor's body list, mirroring how the real codes size the root.
-func parallelBounds(in *Input, margin float64) vec.Cube {
+func parallelBounds(in *Input, margin float64, tr *trace.Recorder) vec.Cube {
 	p := in.P()
 	mins := make([]vec.V3, p)
 	maxs := make([]vec.V3, p)
 	any := make([]bool, p)
-	parallelDo(p, func(w int) {
+	tracedDo(tr, trace.PhasePartition, p, func(w int) {
 		first := true
 		var lo, hi vec.V3
 		for _, b := range in.Assign[w] {
@@ -285,6 +312,45 @@ func parallelDo(p int, fn func(w int)) {
 	}
 	for w := 0; w < p; w++ {
 		<-done
+	}
+}
+
+// tracedDo is parallelDo with tracing: each worker's execution becomes
+// one ph span, and the gap between a worker finishing and the slowest
+// worker finishing (the implicit join barrier) is charged to the worker
+// as barrier wait — the native analogue of the simulator's per-barrier
+// wait times, and the paper's load-imbalance signal. With tr nil it
+// falls straight through to parallelDo.
+func tracedDo(tr *trace.Recorder, ph trace.Phase, p int, fn func(w int)) {
+	if tr == nil {
+		parallelDo(p, fn)
+		return
+	}
+	finish := make([]int64, p)
+	parallelDo(p, func(w int) {
+		tp := tr.Proc(w)
+		start := tp.Now()
+		fn(w)
+		end := tp.Now()
+		finish[w] = end
+		tp.SpanAt(ph, start, end)
+	})
+	join := tr.Now()
+	for w := 0; w < p; w++ {
+		tr.Proc(w).SpanAt(trace.PhaseBarrier, finish[w], join)
+	}
+}
+
+// spanAll charges one fork/join interval to every processor — used for
+// the moments pass, which parallelizes inside internal/octree where the
+// per-worker split is not visible to this package.
+func spanAll(tr *trace.Recorder, ph trace.Phase, start int64, p int) {
+	if tr == nil {
+		return
+	}
+	end := tr.Now()
+	for w := 0; w < p; w++ {
+		tr.Proc(w).SpanAt(ph, start, end)
 	}
 }
 

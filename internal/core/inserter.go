@@ -1,9 +1,11 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"partree/internal/octree"
+	"partree/internal/trace"
 	"partree/internal/vec"
 )
 
@@ -34,6 +36,33 @@ type inserter struct {
 	// stale bodyLeaf entries.
 	freeLeaves   []octree.Ref
 	deferredFree []octree.Ref
+	// tp is this processor's trace handle (nil or disabled = tracing
+	// off). The pending lock timestamps live on the handle: the inserter
+	// holds exactly one striped lock at a time, so one slot suffices.
+	tp *trace.P
+}
+
+// lockNode acquires r's striped lock, counting the acquisition and —
+// when tracing — stamping the wait interval. All builder lock sites
+// funnel through here so the trace's lock-event count equals
+// procCounters.Locks by construction.
+func (ins *inserter) lockNode(r octree.Ref) *sync.Mutex {
+	if ins.tp.Active() {
+		start := ins.tp.Now()
+		mu := ins.s.Lock(r)
+		ins.tp.LockAcquired(start)
+		ins.pc.Locks++
+		return mu
+	}
+	mu := ins.s.Lock(r)
+	ins.pc.Locks++
+	return mu
+}
+
+// unlockNode releases the lock and emits the pending lock event.
+func (ins *inserter) unlockNode(mu *sync.Mutex) {
+	mu.Unlock()
+	ins.tp.LockReleased()
 }
 
 // promoteFreed moves the step's retired leaves onto the reusable free
@@ -89,11 +118,10 @@ func (ins *inserter) insert(from octree.Ref, fromDepth int, b int32, pos []vec.V
 		ch := c.Child(o)
 		switch {
 		case ch.IsNil():
-			mu := s.Lock(cur)
-			ins.pc.Locks++
+			mu := ins.lockNode(cur)
 			if got := c.Child(o); !got.IsNil() {
 				// Lost the race; someone filled the slot.
-				mu.Unlock()
+				ins.unlockNode(mu)
 				ins.pc.Retries++
 				continue
 			}
@@ -101,16 +129,15 @@ func (ins *inserter) insert(from octree.Ref, fromDepth int, b int32, pos []vec.V
 			l.Bodies = append(l.Bodies, b)
 			ins.setBodyLeaf(b, lr)
 			c.SetChild(o, lr)
-			mu.Unlock()
+			ins.unlockNode(mu)
 			return
 
 		case ch.IsLeaf():
-			mu := s.Lock(ch)
-			ins.pc.Locks++
+			mu := ins.lockNode(ch)
 			if c.Child(o) != ch {
 				// The leaf was subdivided, reclaimed, or replaced
 				// between our read and our lock.
-				mu.Unlock()
+				ins.unlockNode(mu)
 				ins.pc.Retries++
 				continue
 			}
@@ -118,14 +145,14 @@ func (ins *inserter) insert(from octree.Ref, fromDepth int, b int32, pos []vec.V
 			if len(l.Bodies) < s.LeafCap || depth+1 >= s.MaxDepth {
 				l.Bodies = append(l.Bodies, b)
 				ins.setBodyLeaf(b, ch)
-				mu.Unlock()
+				ins.unlockNode(mu)
 				return
 			}
 			// Subdivide: build the replacement subtree privately,
 			// then publish it in place of the leaf.
 			cr := ins.subdivide(cur, ch, l, depth, pos)
 			c.SetChild(o, cr)
-			mu.Unlock()
+			ins.unlockNode(mu)
 			cur = cr
 			depth++
 
@@ -140,6 +167,11 @@ func (ins *inserter) insert(from octree.Ref, fromDepth int, b int32, pos []vec.V
 // cell subtree holding the leaf's bodies, retires the leaf, and returns
 // the new cell. The caller publishes the result and unlocks.
 func (ins *inserter) subdivide(parent, lr octree.Ref, l *octree.Leaf, depth int, pos []vec.V3) octree.Ref {
+	var t0 int64
+	traced := ins.tp.Active()
+	if traced {
+		t0 = ins.tp.Now()
+	}
 	cr, _ := ins.allocCell(l.Cube, parent)
 	for _, ob := range l.Bodies {
 		ins.insertPrivate(cr, depth+1, ob, pos)
@@ -149,6 +181,9 @@ func (ins *inserter) subdivide(parent, lr octree.Ref, l *octree.Leaf, depth int,
 		// The rebuilding algorithms reset their stores each step; only
 		// UPDATE recycles, and only from the next step barrier onward.
 		ins.deferredFree = append(ins.deferredFree, lr)
+	}
+	if traced {
+		ins.tp.Span(trace.PhaseSubdivide, t0)
 	}
 	return cr
 }
@@ -196,10 +231,9 @@ func (ins *inserter) remove(b int32) octree.Ref {
 	s := ins.s
 	for {
 		lr := ins.getBodyLeaf(b)
-		mu := s.Lock(lr)
-		ins.pc.Locks++
+		mu := ins.lockNode(lr)
 		if ins.getBodyLeaf(b) != lr {
-			mu.Unlock()
+			ins.unlockNode(mu)
 			ins.pc.Retries++
 			continue
 		}
@@ -228,7 +262,7 @@ func (ins *inserter) remove(b int32) octree.Ref {
 			l.Retired = true
 			ins.deferredFree = append(ins.deferredFree, lr)
 		}
-		mu.Unlock()
+		ins.unlockNode(mu)
 		return parent
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"partree/internal/octree"
 	"partree/internal/phys"
+	"partree/internal/trace"
 )
 
 // loadBuilder is the shared skeleton of ORIG and LOCAL: every processor
@@ -55,20 +56,22 @@ func buildShared(store *octree.Store, in *Input, cfg Config, m *Metrics,
 	arenaFor func(int) int, bodyLeaf []uint32) *octree.Tree {
 
 	p := in.P()
+	tr := cfg.traceStart()
 	t0 := time.Now()
-	cube := parallelBounds(in, cfg.Margin)
+	cube := parallelBounds(in, cfg.Margin, tr)
 	store.Reset()
 	tree := octree.NewTree(store, arenaFor(0), 0, cube)
 	t1 := time.Now()
 
 	pos := in.Bodies.Pos
-	parallelDo(p, func(w int) {
+	tracedDo(tr, trace.PhaseInsert, p, func(w int) {
 		ins := &inserter{
 			s:        store,
 			arena:    arenaFor(w),
 			proc:     w,
 			pc:       &m.PerP[w],
 			bodyLeaf: bodyLeaf,
+			tp:       tr.Proc(w),
 		}
 		for _, b := range in.Assign[w] {
 			ins.insert(tree.Root, 0, b, pos)
@@ -77,12 +80,17 @@ func buildShared(store *octree.Store, in *Input, cfg Config, m *Metrics,
 	})
 	t2 := time.Now()
 
+	mt := traceNow(tr)
 	octree.ComputeMomentsParallel(tree, bodyData(in.Bodies), p)
+	spanAll(tr, trace.PhaseMoments, mt, p)
 	t3 := time.Now()
 
 	m.Timing.Bounds += t1.Sub(t0)
 	m.Timing.Insert += t2.Sub(t1)
 	m.Timing.Moments += t3.Sub(t2)
+	if tr != nil {
+		m.Trace = tr.Summarize()
+	}
 	return tree
 }
 

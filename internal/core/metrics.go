@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"partree/internal/trace"
+)
 
 // procCounters is one processor's event counts, padded so that counters
 // for different processors never share a cache line (the very false
@@ -23,6 +27,11 @@ type Metrics struct {
 	Alg    Algorithm
 	PerP   []procCounters
 	Timing Timing
+	// Trace is the per-processor trace summary of this build when the
+	// builder ran with an enabled Config.Trace recorder; nil otherwise.
+	// Its per-processor lock-event counts must equal PerP[w].Locks —
+	// internal/verify audits that as a conservation law.
+	Trace *trace.Summary
 }
 
 func newMetrics(a Algorithm, p int) *Metrics {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"partree/internal/octree"
+	"partree/internal/trace"
 	"partree/internal/vec"
 )
 
@@ -31,15 +32,16 @@ func (pb *partreeBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 	m := newMetrics(PARTREE, p)
 	s := pb.store
 
+	tr := pb.cfg.traceStart()
 	t0 := time.Now()
-	cube := parallelBounds(in, pb.cfg.Margin)
+	cube := parallelBounds(in, pb.cfg.Margin, tr)
 	s.Reset()
 	tree := octree.NewTree(s, 0, 0, cube)
 	t1 := time.Now()
 
 	pos := in.Bodies.Pos
-	parallelDo(p, func(w int) {
-		ins := &inserter{s: s, arena: w, proc: w, pc: &m.PerP[w]}
+	tracedDo(tr, trace.PhaseInsert, p, func(w int) {
+		ins := &inserter{s: s, arena: w, proc: w, pc: &m.PerP[w], tp: tr.Proc(w)}
 
 		// Phase 1: private local tree; InsertParticlesInTree in the
 		// paper's skeleton. The local root's dimensions are precomputed
@@ -61,12 +63,17 @@ func (pb *partreeBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 	})
 	t2 := time.Now()
 
+	mt := traceNow(tr)
 	octree.ComputeMomentsParallel(tree, bodyData(in.Bodies), p)
+	spanAll(tr, trace.PhaseMoments, mt, p)
 	t3 := time.Now()
 
 	m.Timing.Bounds += t1.Sub(t0)
 	m.Timing.Insert += t2.Sub(t1)
 	m.Timing.Moments += t3.Sub(t2)
+	if tr != nil {
+		m.Trace = tr.Summarize()
+	}
 	return tree, m
 }
 
@@ -84,10 +91,9 @@ func (ins *inserter) mergeChild(gcell octree.Ref, o vec.Octant, lc octree.Ref, g
 		switch {
 		case slot.IsNil():
 			// Transplant the whole private subtree in one shot.
-			mu := s.Lock(gcell)
-			ins.pc.Locks++
+			mu := ins.lockNode(gcell)
 			if !c.Child(o).IsNil() {
-				mu.Unlock()
+				ins.unlockNode(mu)
 				ins.pc.Retries++
 				continue
 			}
@@ -98,14 +104,13 @@ func (ins *inserter) mergeChild(gcell octree.Ref, o vec.Octant, lc octree.Ref, g
 			}
 			c.SetChild(o, lc)
 			ins.pc.Attached++
-			mu.Unlock()
+			ins.unlockNode(mu)
 			return
 
 		case slot.IsLeaf():
-			mu := s.Lock(slot)
-			ins.pc.Locks++
+			mu := ins.lockNode(slot)
 			if c.Child(o) != slot {
-				mu.Unlock()
+				ins.unlockNode(mu)
 				ins.pc.Retries++
 				continue
 			}
@@ -118,7 +123,7 @@ func (ins *inserter) mergeChild(gcell octree.Ref, o vec.Octant, lc octree.Ref, g
 					for _, b := range ll.Bodies {
 						ins.setBodyLeaf(b, slot)
 					}
-					mu.Unlock()
+					ins.unlockNode(mu)
 					return
 				}
 				// Overflow: replace the global leaf with a private
@@ -132,7 +137,7 @@ func (ins *inserter) mergeChild(gcell octree.Ref, o vec.Octant, lc octree.Ref, g
 				}
 				l.Retired = true
 				c.SetChild(o, cr)
-				mu.Unlock()
+				ins.unlockNode(mu)
 				return
 			}
 			// Global leaf vs local cell: push the leaf's bodies down
@@ -145,7 +150,7 @@ func (ins *inserter) mergeChild(gcell octree.Ref, o vec.Octant, lc octree.Ref, g
 			l.Retired = true
 			c.SetChild(o, lc)
 			ins.pc.Attached++
-			mu.Unlock()
+			ins.unlockNode(mu)
 			return
 
 		default: // global cell

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"partree/internal/octree"
+	"partree/internal/trace"
 	"partree/internal/vec"
 )
 
@@ -65,17 +66,18 @@ func (sb *spaceBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 	s := sb.store
 	pos := in.Bodies.Pos
 
+	tr := sb.cfg.traceStart()
 	t0 := time.Now()
-	cube := parallelBounds(in, sb.cfg.Margin)
+	cube := parallelBounds(in, sb.cfg.Margin, tr)
 	s.Reset()
 	tree := octree.NewTree(s, 0, 0, cube)
-	subs := sb.partition(tree, in, m)
+	subs := sb.partition(tree, in, m, tr)
 	assignSubspaces(tree.RootCube(), subs, p)
 	t1 := time.Now()
 
 	// Build and attach subtrees, one processor per subspace, no locks.
-	parallelDo(p, func(w int) {
-		ins := &inserter{s: s, arena: w, proc: w, pc: &m.PerP[w]}
+	tracedDo(tr, trace.PhaseInsert, p, func(w int) {
+		ins := &inserter{s: s, arena: w, proc: w, pc: &m.PerP[w], tp: tr.Proc(w)}
 		for i := range subs {
 			ss := &subs[i]
 			if ss.owner != w {
@@ -101,12 +103,17 @@ func (sb *spaceBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 	})
 	t2 := time.Now()
 
+	mt := traceNow(tr)
 	octree.ComputeMomentsParallel(tree, bodyData(in.Bodies), p)
+	spanAll(tr, trace.PhaseMoments, mt, p)
 	t3 := time.Now()
 
 	m.Timing.Bounds += t1.Sub(t0)
 	m.Timing.Insert += t2.Sub(t1)
 	m.Timing.Moments += t3.Sub(t2)
+	if tr != nil {
+		m.Trace = tr.Summarize()
+	}
 	return tree, m
 }
 
@@ -115,7 +122,7 @@ func (sb *spaceBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 // cells' octants (no synchronization beyond the round barrier); frontier
 // children above the threshold become new prefix cells, the rest become
 // finalized subspaces with their body lists bucketed per processor.
-func (sb *spaceBuilder) partition(tree *octree.Tree, in *Input, m *Metrics) []subspace {
+func (sb *spaceBuilder) partition(tree *octree.Tree, in *Input, m *Metrics, tr *trace.Recorder) []subspace {
 	p := in.P()
 	s := sb.store
 	pos := in.Bodies.Pos
@@ -133,7 +140,7 @@ func (sb *spaceBuilder) partition(tree *octree.Tree, in *Input, m *Metrics) []su
 	// currently belongs to.
 	myBodies := make([][]int32, p)
 	myCell := make([][]int32, p) // frontier index per body
-	parallelDo(p, func(w int) {
+	tracedDo(tr, trace.PhasePartition, p, func(w int) {
 		myBodies[w] = append([]int32(nil), in.Assign[w]...)
 		myCell[w] = make([]int32, len(myBodies[w]))
 	})
@@ -145,7 +152,7 @@ func (sb *spaceBuilder) partition(tree *octree.Tree, in *Input, m *Metrics) []su
 	for len(frontier) > 0 {
 		f := len(frontier)
 		// Count in parallel.
-		parallelDo(p, func(w int) {
+		tracedDo(tr, trace.PhasePartition, p, func(w int) {
 			if cap(counts[w]) < f*8 {
 				counts[w] = make([]int64, f*8)
 			} else {
@@ -202,7 +209,7 @@ func (sb *spaceBuilder) partition(tree *octree.Tree, in *Input, m *Metrics) []su
 		// Re-bucket bodies in parallel: keep the ones still in flight,
 		// stash the finalized ones per (processor, subspace).
 		final := make([][][]int32, p)
-		parallelDo(p, func(w int) {
+		tracedDo(tr, trace.PhasePartition, p, func(w int) {
 			final[w] = make([][]int32, len(subs))
 			keepB := myBodies[w][:0]
 			keepC := myCell[w][:0]

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"partree/internal/octree"
+	"partree/internal/trace"
 	"partree/internal/vec"
 )
 
@@ -49,19 +50,21 @@ func (ub *updateBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 
 	// Phase 1: refresh the root bounds and rescale every node's cube;
 	// the tree keeps its shape but the space it maps onto breathes.
+	tr := ub.cfg.traceStart()
 	t0 := time.Now()
-	cube := parallelBounds(in, ub.cfg.Margin)
-	rescale(tree, cube, p)
+	cube := parallelBounds(in, ub.cfg.Margin, tr)
+	rescale(tree, cube, p, tr)
 	t1 := time.Now()
 
 	// Phase 2: move bodies that crossed their leaf boundary.
-	parallelDo(p, func(w int) {
+	tracedDo(tr, trace.PhaseInsert, p, func(w int) {
 		ins := ub.insPerProc[w]
 		if ins == nil {
 			ins = &inserter{s: s, arena: w, proc: w, bodyLeaf: ub.bodyLeaf}
 			ub.insPerProc[w] = ins
 		}
 		ins.pc = &m.PerP[w]
+		ins.tp = tr.Proc(w)
 		ins.promoteFreed()
 		for _, b := range in.Assign[w] {
 			lr := ins.getBodyLeaf(b)
@@ -86,12 +89,17 @@ func (ub *updateBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 	})
 	t2 := time.Now()
 
+	mt := traceNow(tr)
 	octree.ComputeMomentsParallel(tree, bodyData(in.Bodies), p)
+	spanAll(tr, trace.PhaseMoments, mt, p)
 	t3 := time.Now()
 
 	m.Timing.Bounds += t1.Sub(t0)
 	m.Timing.Insert += t2.Sub(t1)
 	m.Timing.Moments += t3.Sub(t2)
+	if tr != nil {
+		m.Trace = tr.Summarize()
+	}
 	return tree, m
 }
 
@@ -105,7 +113,7 @@ func depthOf(t *octree.Tree, c vec.Cube) int {
 // rescale rewrites every live node's cube after the root was resized:
 // proc 0 handles the top two levels, then the depth-2 subtrees are fanned
 // out across processors.
-func rescale(t *octree.Tree, root vec.Cube, p int) {
+func rescale(t *octree.Tree, root vec.Cube, p int, tr *trace.Recorder) {
 	s := t.Store
 	rc := s.Cell(t.Root)
 	rc.Cube = root
@@ -133,7 +141,7 @@ func rescale(t *octree.Tree, root vec.Cube, p int) {
 			}
 		}
 	}
-	parallelDo(p, func(w int) {
+	tracedDo(tr, trace.PhasePartition, p, func(w int) {
 		for i := w; i < len(jobs); i += p {
 			var rec func(r octree.Ref, cube vec.Cube)
 			rec = func(r octree.Ref, cube vec.Cube) {

@@ -8,6 +8,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -37,6 +38,11 @@ type Options struct {
 	// Check verifies every sweep cell's tree against the serial reference
 	// (a native companion build per cell; see runner.Spec.Check).
 	Check bool
+	// TraceDir, when non-empty, makes every sweep cell write a Chrome
+	// trace_event file into this directory (one per cell, named after the
+	// cell). Traces are written after each cell's wall clock stops, so a
+	// traced sweep reports the same simulated times as an untraced one.
+	TraceDir string
 }
 
 // DefaultOptions returns the quick configuration.
@@ -113,7 +119,7 @@ func (s *Session) spec(pl memsim.Platform, alg core.Algorithm, p, n int, seq boo
 	if !ok {
 		name = pl.Name
 	}
-	return runner.Spec{
+	sp := runner.Spec{
 		Backend:    runner.Simulated,
 		Platform:   name,
 		Alg:        alg,
@@ -125,6 +131,21 @@ func (s *Session) spec(pl memsim.Platform, alg core.Algorithm, p, n int, seq boo
 		Sequential: seq,
 		Check:      s.Opts.Check,
 	}
+	if s.Opts.TraceDir != "" {
+		sp.Trace = filepath.Join(s.Opts.TraceDir, TraceFileName(sp))
+	}
+	return sp
+}
+
+// TraceFileName is the canonical per-cell trace filename a session uses
+// under Options.TraceDir: platform, algorithm (SEQ for the sequential
+// baseline), processors, bodies.
+func TraceFileName(sp runner.Spec) string {
+	alg := sp.Alg.String()
+	if sp.Sequential {
+		alg = "SEQ"
+	}
+	return fmt.Sprintf("%s_%s_p%d_n%d.json", sp.Platform, alg, sp.Procs, sp.Bodies)
 }
 
 // outcome runs (or recalls) one cell. During an experiment's collect

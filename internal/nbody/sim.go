@@ -16,6 +16,7 @@ import (
 	"partree/internal/octree"
 	"partree/internal/partition"
 	"partree/internal/phys"
+	"partree/internal/trace"
 	"partree/internal/verify"
 )
 
@@ -51,6 +52,12 @@ type Options struct {
 	// StepStats.CheckErr instead of panicking. Check time is excluded
 	// from every measured phase.
 	Check bool
+
+	// Trace, when non-nil, records per-processor phase spans and lock
+	// events during each tree build. The builder resets it at the start
+	// of every build, so after a step the recorder (and the summary on
+	// StepStats.Build.Trace) covers that step's build only.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions mirror the SPLASH-2 BARNES defaults at a small size.
@@ -142,6 +149,7 @@ func NewFromBodies(opts Options, b *phys.Bodies) *Simulation {
 			P:              opts.P,
 			LeafCap:        opts.LeafCap,
 			SpaceThreshold: opts.SpaceThreshold,
+			Trace:          opts.Trace,
 		}),
 		assign: core.EvenAssign(b.N(), opts.P),
 	}

@@ -10,6 +10,7 @@ import (
 	"partree/internal/nbody"
 	"partree/internal/octree"
 	"partree/internal/phys"
+	"partree/internal/trace"
 	"partree/internal/verify"
 )
 
@@ -32,9 +33,17 @@ func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 	opts.Force = force.DefaultParams()
 	opts.Force.Theta = spec.Theta
 	opts.Check = spec.Check
+	var rec *trace.Recorder
+	if spec.Trace != "" {
+		// Every build resets the recorder, so the exported trace covers
+		// the final step's build.
+		rec = trace.New(spec.Procs)
+		rec.SetEnabled(true)
+		opts.Trace = rec
+	}
 	sim := nbody.NewFromBodies(opts, bodies.Clone())
 
-	res := Result{Spec: spec, LocksPerProc: make([]int64, spec.Procs)}
+	res := Result{Spec: spec, LocksPerProc: make([]int64, spec.Procs), rec: rec}
 	finalize := func() Result {
 		res.TotalNs = res.TreeNs + res.PartNs + res.ForceNs + res.UpdateNs
 		if res.TotalNs > 0 {
@@ -76,19 +85,28 @@ func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 // repetitions of one build, reporting the best wall-clock time (what
 // cmd/treebench measures).
 func runNativeBuild(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
-	bld := core.New(spec.Alg, core.Config{P: spec.Procs, LeafCap: spec.LeafCap})
+	cfg := core.Config{P: spec.Procs, LeafCap: spec.LeafCap}
+	var rec *trace.Recorder
+	if spec.Trace != "" {
+		rec = trace.New(spec.Procs)
+		cfg.Trace = rec
+	}
+	bld := core.New(spec.Alg, cfg)
 	assign := core.EvenAssign(bodies.N(), spec.Procs)
 	if spec.Spatial {
 		assign = core.SpatialAssign(bodies, spec.Procs)
 	}
 	in := &core.Input{Bodies: bodies.Clone(), Assign: assign}
-	res := Result{Spec: spec}
+	res := Result{Spec: spec, rec: rec}
 	best := time.Duration(1 << 62)
 	for rep := 0; rep < spec.Steps; rep++ {
 		if err := ctx.Err(); err != nil {
 			res.Err = fmt.Sprintf("native build %s: %v after %d/%d reps", spec, err, rep, spec.Steps)
 			return res
 		}
+		// Record only the last repetition, so warm-up builds neither
+		// perturb the best-of timing nor pollute the exported trace.
+		rec.SetEnabled(rep == spec.Steps-1)
 		in.Step = rep
 		start := time.Now()
 		tree, metrics := bld.Build(in)

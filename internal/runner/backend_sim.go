@@ -6,6 +6,7 @@ import (
 
 	"partree/internal/phys"
 	"partree/internal/simalg"
+	"partree/internal/trace"
 	"partree/internal/verify"
 )
 
@@ -28,6 +29,14 @@ func runSimulated(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 		MeasuredSteps: spec.Steps,
 		Sequential:    spec.Sequential,
 	}
+	var rec *trace.Recorder
+	if spec.Trace != "" {
+		// Simulated traces are stamped in virtual time and cover all
+		// measured steps (warm steps are never recorded).
+		rec = trace.New(spec.Procs)
+		rec.SetEnabled(true)
+		cfg.Trace = rec
+	}
 	if spec.Check && !spec.Sequential {
 		// The replay's tree lives inside the platform model, so run the
 		// native companion check of the same algorithm and workload. A
@@ -41,8 +50,12 @@ func runSimulated(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 	go func() { ch <- simalg.Run(spec.Alg, bodies, cfg) }()
 	select {
 	case o := <-ch:
-		return resultFromOutcome(spec, o)
+		res := resultFromOutcome(spec, o)
+		res.rec = rec
+		return res
 	case <-ctx.Done():
+		// The abandoned run still owns rec; drop it rather than export a
+		// trace that is being concurrently written.
 		return Result{Err: fmt.Sprintf("simulated run %s: %v", spec, ctx.Err())}
 	}
 }

@@ -25,6 +25,7 @@ type SpecFlags struct {
 	seed     *int64
 	timeout  *time.Duration
 	check    *bool
+	trace    *string
 	json     *bool
 }
 
@@ -81,6 +82,10 @@ func RegisterSpecFlags(fs *flag.FlagSet, def Spec, skip ...string) *SpecFlags {
 		sf.check = fs.Bool("check", def.Check,
 			"verify every built tree against the serial reference and audit metrics invariants")
 	}
+	if !skipped["trace"] {
+		sf.trace = fs.String("trace", def.Trace,
+			"write a per-processor phase/lock trace to this file (Chrome trace_event JSON; .csv = summary breakdown)")
+	}
 	if !skipped["json"] {
 		sf.json = fs.Bool("json", false, "emit one JSON Result record per spec instead of text")
 	}
@@ -132,6 +137,9 @@ func (sf *SpecFlags) Spec() (Spec, error) {
 	}
 	if sf.check != nil {
 		spec.Check = *sf.check
+	}
+	if sf.trace != nil {
+		spec.Trace = *sf.trace
 	}
 	spec = spec.withDefaults()
 	return spec, spec.Validate()

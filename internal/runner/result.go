@@ -6,6 +6,7 @@ import (
 
 	"partree/internal/memsim"
 	"partree/internal/simalg"
+	"partree/internal/trace"
 )
 
 // Result is the structured outcome of one spec. Time fields are
@@ -50,6 +51,28 @@ type Result struct {
 	CheckFailure string `json:"check_failure,omitempty"`
 
 	sim *simalg.Outcome
+	// rec carries the run's trace recorder until Runner.execute writes it
+	// to Spec.Trace — after the wall clock stops, so a traced spec's
+	// WallNs never includes the file export.
+	rec *trace.Recorder
+}
+
+// TraceSummary returns the run's per-processor trace summary, when the
+// spec ran with Trace set.
+func (r Result) TraceSummary() (*trace.Summary, bool) {
+	if r.rec == nil {
+		return nil, false
+	}
+	return r.rec.Summarize(), true
+}
+
+// writeTrace exports the recorded trace to Spec.Trace. Called by
+// Runner.execute outside the timed window; a no-op for untraced runs.
+func (r *Result) writeTrace() error {
+	if r.rec == nil || r.Spec.Trace == "" {
+		return nil
+	}
+	return r.rec.WriteFile(r.Spec.Trace)
 }
 
 // Outcome returns the full simulated outcome behind a simulated-backend

@@ -157,6 +157,11 @@ func (r *Runner) execute(e *entry) {
 	res.Spec = e.spec
 	res.GenNs = genNs
 	res.WallNs = time.Since(start).Nanoseconds()
+	// Trace files are written after the wall clock stops, so tracing a
+	// sweep never perturbs its measured times.
+	if werr := res.writeTrace(); werr != nil && res.Err == "" {
+		res.Err = fmt.Sprintf("runner: writing trace: %v", werr)
+	}
 	e.res = res
 	close(e.done)
 }

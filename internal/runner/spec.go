@@ -67,7 +67,16 @@ type Spec struct {
 	// laws; a violation is recorded in Result.CheckFailure. Simulated
 	// specs run a native companion check of the same algorithm and
 	// workload, since the platform replay's tree is internal to it.
-	Check   bool          `json:"check,omitempty"`
+	Check bool `json:"check,omitempty"`
+	// Trace, when set, writes a per-processor trace of the run to this
+	// file: the final build for build-only and whole-app native runs, the
+	// measured steps (in virtual time) for simulated runs. The format
+	// follows the extension — ".csv" gets the summary breakdown table,
+	// anything else a Chrome trace_event JSON timeline. The file is
+	// written after the wall clock stops, so WallNs is unperturbed; it is
+	// part of the spec's identity so traced and untraced runs never share
+	// a cache entry.
+	Trace   string        `json:"trace,omitempty"`
 	Timeout time.Duration `json:"timeout_ns,omitempty"`
 }
 
@@ -137,9 +146,9 @@ func (s Spec) Validate() error {
 // produce interchangeable results.
 func (s Spec) Key() string {
 	s = s.withDefaults()
-	return fmt.Sprintf("%s|%s|%s|p%d|n%d|k%d|th%g|dt%g|s%d|seed%d|%s|seq%t|build%t|spat%t|chk%t|to%d",
+	return fmt.Sprintf("%s|%s|%s|p%d|n%d|k%d|th%g|dt%g|s%d|seed%d|%s|seq%t|build%t|spat%t|chk%t|tr%s|to%d",
 		s.Backend, s.Platform, s.Alg, s.Procs, s.Bodies, s.LeafCap, s.Theta, s.Dt,
-		s.Steps, s.Seed, s.Model, s.Sequential, s.BuildOnly, s.Spatial, s.Check, int64(s.Timeout))
+		s.Steps, s.Seed, s.Model, s.Sequential, s.BuildOnly, s.Spatial, s.Check, s.Trace, int64(s.Timeout))
 }
 
 // String renders the spec compactly for logs and labels.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"partree/internal/octree"
+	"partree/internal/trace"
 	"partree/internal/vec"
 )
 
@@ -218,6 +219,21 @@ func (st *runState) spaceBuild(sp *sproc, step int) {
 	pos := st.bodies.Pos
 	p := st.cfg.P
 	s := st.store
+	// SPACE's counting/subdivision rounds are partition work, not insert
+	// work (they are the price it pays for zero locks), so this function
+	// emits its own phase split instead of buildPhase's generic one.
+	traced := sp.traced()
+	vnow := func() int64 { return int64(sp.mp.Now()) }
+	bar := func(label string) {
+		if traced {
+			t0 := vnow()
+			sp.mp.Barrier(label)
+			sp.tp.SpanAt(trace.PhaseBarrier, t0, vnow())
+		} else {
+			sp.mp.Barrier(label)
+		}
+	}
+	tPart := vnow()
 	round := 0
 	for {
 		if len(ss.frontier) == 0 {
@@ -238,13 +254,13 @@ func (st *runState) spaceBuild(sp *sproc, step int) {
 			ss.counts[w][int(fc)*8+int(o)]++
 		}
 		sp.compute(float64(len(ss.myBodies[w])) * st.cfg.CountCycles)
-		sp.mp.Barrier(lbl("scount", step*1000+round))
+		bar(lbl("scount", step*1000+round))
 
 		// Processor 0 reduces and extends the prefix of the octree.
 		if w == 0 {
 			st.spaceReduce(sp)
 		}
-		sp.mp.Barrier(lbl("sreduce", step*1000+round))
+		bar(lbl("sreduce", step*1000+round))
 
 		// Re-bucket my bodies; no barrier needed before the next count,
 		// both touch only per-processor state plus the stable frontier.
@@ -257,7 +273,11 @@ func (st *runState) spaceBuild(sp *sproc, step int) {
 	if sp.w == 0 {
 		assignSpaceSubs(st.tree.RootCube(), ss.subs, p)
 	}
-	sp.mp.Barrier(lbl("sassign", step))
+	bar(lbl("sassign", step))
+	if traced {
+		sp.tp.SpanAt(trace.PhasePartition, tPart, vnow())
+	}
+	tIns := vnow()
 	for i := range ss.subs {
 		sub := &ss.subs[i]
 		if sub.owner != sp.w {
@@ -278,6 +298,9 @@ func (st *runState) spaceBuild(sp *sproc, step int) {
 		}
 		s.Cell(sub.parent).SetChild(sub.oct, node)
 		sp.writeNode(sub.parent)
+	}
+	if traced {
+		sp.tp.SpanAt(trace.PhaseInsert, tIns, vnow())
 	}
 }
 

@@ -3,6 +3,7 @@ package simalg
 import (
 	"partree/internal/memsim"
 	"partree/internal/octree"
+	"partree/internal/trace"
 	"partree/internal/vec"
 )
 
@@ -21,7 +22,19 @@ type sproc struct {
 	meas    bool // current step is measured
 	locks   int64
 	scratch [4]uint64
+	// tp is this processor's trace handle (nil/disabled = off); events
+	// are stamped in virtual time. lockT/lockD stage pending lock events:
+	// the deepest nesting is a node lock around chargeAlloc's allocation
+	// lock (depth 2), so a small fixed stack suffices.
+	tp    *trace.P
+	lockT [4][2]float64
+	lockD int
 }
+
+// traced reports whether this processor records events right now: only
+// in measured tree-build phases, matching exactly the lock accounting —
+// that shared gate is what makes trace lock events equal Outcome locks.
+func (sp *sproc) traced() bool { return sp.inBuild && sp.meas && sp.tp.Active() }
 
 // readNode / writeNode charge an access to every coherence unit a node
 // record spans: one page under HLRC, 256/LineSize cache lines under the
@@ -61,15 +74,30 @@ func (sp *sproc) compute(cycles float64) {
 }
 
 // lockNode acquires a simulated node lock, counting it if we are in a
-// measured tree-build phase (Figure 15 counts exactly those).
+// measured tree-build phase (Figure 15 counts exactly those) and — when
+// tracing — staging the virtual wait/acquire timestamps.
 func (sp *sproc) lockNode(id int) {
-	sp.mp.Lock(id)
+	if sp.traced() && sp.lockD < len(sp.lockT) {
+		start := sp.mp.Now()
+		sp.mp.Lock(id)
+		sp.lockT[sp.lockD] = [2]float64{start, sp.mp.Now()}
+		sp.lockD++
+	} else {
+		sp.mp.Lock(id)
+	}
 	if sp.inBuild && sp.measured() {
 		sp.locks++
 	}
 }
 
-func (sp *sproc) unlockNode(id int) { sp.mp.Unlock(id) }
+func (sp *sproc) unlockNode(id int) {
+	sp.mp.Unlock(id)
+	if sp.lockD > 0 && sp.traced() {
+		sp.lockD--
+		t := sp.lockT[sp.lockD]
+		sp.tp.LockAt(int64(t[0]), int64(t[1]), int64(sp.mp.Now()))
+	}
+}
 
 func (sp *sproc) measured() bool { return sp.meas }
 
@@ -185,11 +213,19 @@ func (sp *sproc) insert(from octree.Ref, fromDepth int, b int32) {
 
 // subdivide replaces the locked full leaf with a private subtree.
 func (sp *sproc) subdivide(parent, lr octree.Ref, l *octree.Leaf, depth int) octree.Ref {
+	traced := sp.traced()
+	var t0 float64
+	if traced {
+		t0 = sp.mp.Now()
+	}
 	cr, _ := sp.allocCell(l.Cube, parent)
 	for _, ob := range l.Bodies {
 		sp.insertPrivate(cr, depth+1, ob)
 	}
 	l.Retired = true
+	if traced {
+		sp.tp.SpanAt(trace.PhaseSubdivide, int64(t0), int64(sp.mp.Now()))
+	}
 	return cr
 }
 

@@ -6,6 +6,7 @@ import (
 	"partree/internal/core"
 	"partree/internal/force"
 	"partree/internal/memsim"
+	"partree/internal/trace"
 )
 
 // Config parameterizes one simulated whole-application run.
@@ -30,6 +31,12 @@ type Config struct {
 	// Sequential builds the tree without any locking (the "best
 	// sequential version" used as the speedup baseline). Requires P=1.
 	Sequential bool
+
+	// Trace, when non-nil and enabled, records per-processor build-phase
+	// spans and lock events in *virtual* nanoseconds over the measured
+	// steps (warm steps are never recorded). The recorder's per-processor
+	// lock-event totals equal Outcome.LocksPerProc by construction.
+	Trace *trace.Recorder
 
 	// Work costs in processor cycles (defaults mirror a classic RISC of
 	// the era; scaled by the platform's cycle time).

@@ -12,6 +12,7 @@ import (
 	"partree/internal/octree"
 	"partree/internal/partition"
 	"partree/internal/phys"
+	"partree/internal/trace"
 	"partree/internal/vec"
 )
 
@@ -105,7 +106,12 @@ func run(alg core.Algorithm, bodies *phys.Bodies, cfg Config) (*runState, memsim
 		if st.orig {
 			arena = 0
 		}
-		st.procs[w] = &sproc{w: w, st: st, arena: arena}
+		st.procs[w] = &sproc{w: w, st: st, arena: arena, tp: cfg.Trace.Proc(w)}
+	}
+	// A trace covers this run's measured steps (accumulated, matching how
+	// Outcome.LocksPerProc accumulates), stamped in virtual time.
+	if cfg.Trace.Active() {
+		cfg.Trace.Reset()
 	}
 
 	eng := memsim.NewEngine(cfg.Platform, p)
@@ -217,9 +223,30 @@ func (st *runState) buildPhase(sp *sproc, s int) {
 	defer func() { sp.inBuild = false }()
 	cfg := st.cfg
 
+	// Phase spans are stamped in virtual time; barriers become nested
+	// barrier-wait spans (arrival to release — the simulated analogue of
+	// the paper's Table 2 waiting times).
+	traced := sp.meas && sp.tp.Active()
+	vnow := func() int64 { return int64(sp.mp.Now()) }
+	span := func(ph trace.Phase, t0 int64) {
+		if traced {
+			sp.tp.SpanAt(ph, t0, vnow())
+		}
+	}
+	bar := func(label string) {
+		if traced {
+			t0 := vnow()
+			sp.mp.Barrier(label)
+			sp.tp.SpanAt(trace.PhaseBarrier, t0, vnow())
+		} else {
+			sp.mp.Barrier(label)
+		}
+	}
+	tPart := vnow()
+
 	// Root bounds: each processor reduces over its own bodies.
 	sp.compute(float64(len(st.assign[sp.w])) * cfg.BoundsCycles)
-	sp.mp.Barrier(lbl("bounds", s))
+	bar(lbl("bounds", s))
 
 	incremental := st.alg == core.UPDATE && s > 0 && !cfg.Sequential
 	if sp.w == 0 {
@@ -237,14 +264,16 @@ func (st *runState) buildPhase(sp *sproc, s int) {
 			}
 		}
 	}
-	sp.mp.Barrier(lbl("setup", s))
+	bar(lbl("setup", s))
 
 	if incremental {
 		// Charge the distributed rescale pass.
 		sp.writeChunks(st.ownerAddrs[sp.w])
 		sp.compute(float64(len(st.ownerAddrs[sp.w])) * cfg.DescendCycles)
 	}
+	span(trace.PhasePartition, tPart)
 
+	tIns := vnow()
 	switch {
 	case cfg.Sequential:
 		for _, b := range st.assign[sp.w] {
@@ -261,21 +290,29 @@ func (st *runState) buildPhase(sp *sproc, s int) {
 	case st.alg == core.PARTREE:
 		st.partreeBuild(sp)
 	case st.alg == core.SPACE:
+		// spaceBuild emits its own partition/insert split: the counting
+		// rounds belong to the partition phase, only the subtree
+		// build/attach is insert work.
 		st.spaceBuild(sp, s)
 	}
-	sp.mp.Barrier(lbl("load", s))
+	if cfg.Sequential || st.alg != core.SPACE {
+		span(trace.PhaseInsert, tIns)
+	}
+	bar(lbl("load", s))
 
 	// Moments: proc 0 computes the real values (cheap, native); every
 	// processor is charged for the nodes it owns.
+	tMom := vnow()
 	if sp.w == 0 {
 		octree.ComputeMomentsSerial(st.tree, st.data())
 		st.ownerAddrs = collectOwnerAddrs(st.tree, st.cfg.P, st.nodeLines)
 	}
-	sp.mp.Barrier(lbl("mcol", s))
+	bar(lbl("mcol", s))
 	addrs := st.ownerAddrs[sp.w]
 	sp.readChunks(addrs)
 	sp.writeChunks(addrs)
 	sp.compute(float64(len(addrs)) * cfg.MomentCycles)
+	span(trace.PhaseMoments, tMom)
 }
 
 func (st *runState) loadBodies(sp *sproc) {

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
@@ -70,6 +71,20 @@ func (t *Table) Write(w io.Writer) {
 	for _, r := range t.rows {
 		line(r)
 	}
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (header row first) —
+// machine-readable twin of Write for trace breakdowns and sweep dumps.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func pad(s string, w int) string {

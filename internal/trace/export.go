@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"partree/internal/stats"
+)
+
+// Table renders the summary as a per-processor breakdown table (one row
+// per processor) in the internal/stats table model, so the harness can
+// print it aligned or dump it as CSV.
+func (s *Summary) Table() *stats.Table {
+	t := stats.NewTable("proc",
+		"partition_ns", "insert_ns", "subdivide_ns", "moments_ns", "barrier_ns",
+		"spans", "lock_events", "lock_wait_ns", "lock_hold_ns",
+		"hold_p50_ns", "hold_p95_ns", "hold_max_ns", "dropped")
+	if s == nil {
+		return t
+	}
+	for w := range s.PerProc {
+		ps := &s.PerProc[w]
+		t.Row(w,
+			ps.PhaseNs[PhasePartition], ps.PhaseNs[PhaseInsert], ps.PhaseNs[PhaseSubdivide],
+			ps.PhaseNs[PhaseMoments], ps.PhaseNs[PhaseBarrier],
+			ps.Spans, ps.LockEvents, ps.LockWaitNs, ps.LockHoldNs,
+			ps.HoldP50Ns, ps.HoldP95Ns, ps.HoldMaxNs, ps.Dropped)
+	}
+	return t
+}
+
+// WriteCSV writes the per-processor breakdown as CSV.
+func (s *Summary) WriteCSV(w io.Writer) error { return s.Table().WriteCSV(w) }
+
+// WriteCSV writes the recorder's current summary as CSV.
+func (r *Recorder) WriteCSV(w io.Writer) error { return r.Summarize().WriteCSV(w) }
+
+// us renders an epoch-relative nanosecond timestamp in the microseconds
+// Chrome's trace_event format expects, with fixed sub-microsecond digits
+// so the output is byte-deterministic for golden tests.
+func us(ns int64) string { return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64) }
+
+// WriteChromeTrace writes the buffered timeline as a Chrome trace_event
+// JSON array — load it at chrome://tracing or https://ui.perfetto.dev.
+// Each processor is one "thread" (tid = processor index) of pid 0; phase
+// spans and lock events are complete ("X") events with microsecond
+// timestamps, and lock events carry their wait/hold split in args. The
+// JSON is assembled by hand (no encoding/json) so field order and number
+// formatting stay stable for the exporter goldens.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n")
+		fmt.Fprintf(bw, format, args...)
+	}
+	for p := 0; p < len(r.bufs); p++ {
+		emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"proc %d"}}`, p, p)
+		for _, e := range r.Events(p) {
+			switch e.Kind {
+			case KindSpan:
+				emit(`{"name":%q,"cat":"build","ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s}`,
+					e.Phase.String(), p, us(e.Start), us(e.End-e.Start))
+			case KindLock:
+				emit(`{"name":"lock","cat":"lock","ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"args":{"wait_ns":%d,"hold_ns":%d}}`,
+					p, us(e.Start), us(e.End-e.Start), e.Acquired-e.Start, e.End-e.Acquired)
+			}
+		}
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to path, choosing the format from the
+// extension: ".csv" gets the per-processor summary breakdown, anything
+// else the Chrome trace_event timeline.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".csv") {
+		werr = r.WriteCSV(f)
+	} else {
+		werr = r.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

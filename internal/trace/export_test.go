@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder builds a small deterministic trace through the
+// explicit-timestamp API: two processors, a partition/insert/barrier
+// skeleton, a nested subdivide, and a few lock events with distinct
+// wait/hold splits (including a sub-microsecond one, to pin the fixed
+// three-digit microsecond formatting).
+func goldenRecorder() *Recorder {
+	r := NewWithCapacity(2, 16)
+	r.SetEnabled(true)
+	p0, p1 := r.Proc(0), r.Proc(1)
+
+	p0.SpanAt(PhasePartition, 0, 1500)
+	p0.SpanAt(PhaseSubdivide, 2500, 4000)
+	p0.SpanAt(PhaseInsert, 1500, 901500)
+	p0.LockAt(2000, 2050, 2300)
+	p0.LockAt(5000, 5000, 5125)
+	p0.SpanAt(PhaseBarrier, 901500, 902000)
+
+	p1.SpanAt(PhasePartition, 0, 1400)
+	p1.SpanAt(PhaseInsert, 1400, 800000)
+	p1.LockAt(3000, 3600, 3660)
+	p1.SpanAt(PhaseBarrier, 800000, 902000)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output diverged from golden file %s.\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestChromeTraceGolden pins the Chrome trace_event exporter
+// byte-for-byte: field order, metadata events, microsecond formatting,
+// and the wait/hold args. Regenerate with:
+// go test ./internal/trace -run Golden -update
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome.golden", buf.Bytes())
+}
+
+// TestCSVGolden pins the per-processor summary breakdown: column order
+// and every aggregate the emit path maintains (phase times, lock
+// totals, histogram percentiles).
+func TestCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "summary_csv.golden", buf.Bytes())
+}
+
+// TestChromeTraceNil pins the degenerate exporter outputs, which keep
+// -trace safe on an untraced code path.
+func TestChromeTraceNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (*Recorder)(nil).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("nil recorder trace = %q, want %q", got, "[]\n")
+	}
+}
+
+// TestWriteFileDispatch pins extension-based format selection.
+func TestWriteFileDispatch(t *testing.T) {
+	r := goldenRecorder()
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := r.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := os.ReadFile(jsonPath)
+	if !bytes.HasPrefix(j, []byte("[")) || !bytes.Contains(j, []byte(`"cat":"build"`)) {
+		t.Errorf("%s does not look like a Chrome trace: %.80s", jsonPath, j)
+	}
+
+	csvPath := filepath.Join(dir, "out.csv")
+	if err := r.WriteFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := os.ReadFile(csvPath)
+	if !bytes.HasPrefix(c, []byte("proc,partition_ns")) {
+		t.Errorf("%s does not look like a summary CSV: %.80s", csvPath, c)
+	}
+}

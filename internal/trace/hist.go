@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+)
+
+// HistBuckets is the number of regular power-of-two buckets; one extra
+// overflow bucket follows. Bucket 0 holds the value 0, bucket i (i >= 1)
+// holds [2^(i-1), 2^i - 1], so bucket 39 tops out near 9 virtual
+// minutes — far beyond any plausible lock hold — and everything larger
+// lands in the overflow bucket.
+const HistBuckets = 40
+
+// Hist is a log-spaced (power-of-two) histogram of nanosecond durations.
+// Adding is two integer ops and a compare — cheap enough to run on the
+// lock-release path — and quantile queries resolve to a deterministic
+// per-bucket upper bound, which is what makes the exporter goldens and
+// the percentile unit tests byte-stable.
+type Hist struct {
+	Counts [HistBuckets + 1]int64 // Counts[HistBuckets] is the overflow bucket
+	Total  int64
+	MaxNs  int64
+}
+
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= HistBuckets {
+		return HistBuckets
+	}
+	return i
+}
+
+// bucketUpper is bucket i's largest representable value.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Add records one duration. Negative durations (possible only through a
+// misuse of the explicit-timestamp API) clamp to zero rather than
+// corrupting a bucket index.
+func (h *Hist) Add(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Counts[bucketOf(ns)]++
+	h.Total++
+	if ns > h.MaxNs {
+		h.MaxNs = ns
+	}
+}
+
+// Quantile returns an upper bound for the q-quantile of the recorded
+// durations: the upper edge of the smallest bucket whose cumulative
+// count reaches ceil(q*Total), tightened to never exceed the exact
+// recorded maximum. An empty histogram yields 0; the overflow bucket
+// yields the exact maximum. q is clamped to [0, 1].
+func (h *Hist) Quantile(q float64) int64 {
+	if h.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i <= HistBuckets; i++ {
+		cum += h.Counts[i]
+		if cum >= rank {
+			if i == HistBuckets {
+				return h.MaxNs
+			}
+			if ub := bucketUpper(i); ub < h.MaxNs {
+				return ub
+			}
+			return h.MaxNs
+		}
+	}
+	return h.MaxNs
+}

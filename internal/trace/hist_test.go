@@ -1,0 +1,105 @@
+package trace
+
+import "testing"
+
+// TestHistQuantile pins the histogram's quantile semantics: the upper
+// edge of the smallest bucket reaching ceil(q*Total), tightened to the
+// exact recorded maximum, with the overflow bucket resolving to the
+// maximum itself. These exact values are what the exporter goldens and
+// the per-processor summaries depend on.
+func TestHistQuantile(t *testing.T) {
+	cases := []struct {
+		name string
+		adds []int64
+		q    float64
+		want int64
+	}{
+		{"empty q0", nil, 0, 0},
+		{"empty q50", nil, 0.5, 0},
+		{"empty q100", nil, 1, 0},
+
+		// A single event answers every quantile with its own value: its
+		// bucket upper bound (127 for 100) is clamped to MaxNs.
+		{"single q0", []int64{100}, 0, 100},
+		{"single q50", []int64{100}, 0.5, 100},
+		{"single q100", []int64{100}, 1, 100},
+		{"single zero", []int64{0}, 0.5, 0},
+
+		// Exact boundaries: {1,2,3,4} lands in buckets 1:{1}, 2:{2,3},
+		// 3:{4}. rank(q=0.5)=2 resolves in bucket 2, upper bound 3.
+		{"boundary q25", []int64{1, 2, 3, 4}, 0.25, 1},
+		{"boundary q50", []int64{1, 2, 3, 4}, 0.5, 3},
+		{"boundary q75", []int64{1, 2, 3, 4}, 0.75, 3},
+		{"boundary q100", []int64{1, 2, 3, 4}, 1, 4}, // bucket upper 7 clamps to max 4
+
+		// Power-of-two edge: 7 is the last value of bucket 3, 8 the first
+		// of bucket 4.
+		{"pow2 low", []int64{7, 8}, 0.5, 7},
+		{"pow2 high", []int64{7, 8}, 1, 8},
+
+		// Overflow bucket (values >= 2^39) reports the exact maximum, not
+		// a bucket bound.
+		{"overflow max", []int64{5, 1 << 50}, 1, 1 << 50},
+		{"overflow below", []int64{5, 1 << 50}, 0.5, 7},
+		{"overflow only", []int64{1 << 45, 1 << 50}, 0.5, 1 << 50},
+
+		// Negative durations clamp to zero on Add.
+		{"negative", []int64{-5}, 1, 0},
+
+		// q outside [0,1] clamps (the low query answers bucket 4's upper
+		// bound for the value 10).
+		{"q below range", []int64{10, 20}, -3, 15},
+		{"q above range", []int64{10, 20}, 7, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Hist
+			for _, v := range tc.adds {
+				h.Add(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%v) after %v = %d, want %d", tc.q, tc.adds, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistCounters(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 3, 1 << 50, -9} {
+		h.Add(v)
+	}
+	if h.Total != 5 {
+		t.Errorf("Total = %d, want 5", h.Total)
+	}
+	if h.MaxNs != 1<<50 {
+		t.Errorf("MaxNs = %d, want %d", h.MaxNs, int64(1)<<50)
+	}
+	// 0 and the clamped -9 share bucket 0; 1 in bucket 1; 3 in bucket 2;
+	// the huge value in the overflow bucket.
+	for b, want := range map[int]int64{0: 2, 1: 1, 2: 1, HistBuckets: 1} {
+		if h.Counts[b] != want {
+			t.Errorf("Counts[%d] = %d, want %d", b, h.Counts[b], want)
+		}
+	}
+}
+
+func TestBucketEdges(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0}, {-1, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{(1 << 39) - 1, 39}, {1 << 39, HistBuckets}, {1 << 62, HistBuckets},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.ns); got != tc.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.ns, got, tc.bucket)
+		}
+	}
+	for i, want := range map[int]int64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023} {
+		if got := bucketUpper(i); got != want {
+			t.Errorf("bucketUpper(%d) = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package trace_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/phys"
+	"partree/internal/trace"
+)
+
+// overheadN/overheadP shape the workload after the repo-root
+// BenchmarkNativeTreeBuild, scaled to n=10k so a full sample set stays
+// under a second.
+const (
+	overheadN = 10000
+	overheadP = 4
+)
+
+func overheadInput(p int) (*core.Input, core.Config) {
+	bodies := phys.Generate(phys.ModelPlummer, overheadN, 1998)
+	in := &core.Input{Bodies: bodies, Assign: core.SpatialAssign(bodies, p)}
+	return in, core.Config{P: p, LeafCap: 8}
+}
+
+// buildNs times one build.
+func buildNs(bld core.Builder, in *core.Input, step int) float64 {
+	in.Step = step
+	start := time.Now()
+	bld.Build(in)
+	return float64(time.Since(start).Nanoseconds())
+}
+
+// TestDisabledTracingOverhead is the regression gate for the tracing
+// layer's core promise: a builder carrying a disabled recorder must cost
+// within 2% of one built with no recorder at all (the never-compiled-in
+// baseline), because the disabled path reduces to one pointer/flag check
+// per hook. Samples interleave the two configurations so frequency
+// scaling and background noise hit both sides equally; the comparison
+// uses medians and retries to ride out a noisy machine.
+func TestDisabledTracingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison: skipped with -short")
+	}
+	in, cfg := overheadInput(overheadP)
+
+	// ORIG takes the lock-instrumented path on every body, so it sees
+	// the most emit hooks per build of the five algorithms.
+	bare := core.New(core.ORIG, cfg)
+
+	tcfg := cfg
+	rec := trace.New(overheadP)
+	tcfg.Trace = rec // never enabled: the disabled no-op path under test
+	traced := core.New(core.ORIG, tcfg)
+
+	const (
+		rounds    = 21 // interleaved median samples per side
+		limit     = 1.02
+		attempts  = 3
+		warmupPer = 3
+	)
+	for i := 0; i < warmupPer; i++ {
+		in.Step = i
+		bare.Build(in)
+		traced.Build(in)
+	}
+	var last string
+	for attempt := 1; attempt <= attempts; attempt++ {
+		bareTs := make([]float64, 0, rounds)
+		tracedTs := make([]float64, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			bareTs = append(bareTs, buildNs(bare, in, i))
+			tracedTs = append(tracedTs, buildNs(traced, in, i))
+		}
+		sort.Float64s(bareTs)
+		sort.Float64s(tracedTs)
+		ratio := tracedTs[rounds/2] / bareTs[rounds/2]
+		if rec.Summarize().TotalLockEvents() != 0 {
+			t.Fatal("disabled recorder captured events during the overhead run")
+		}
+		if ratio <= limit {
+			return
+		}
+		last = fmt.Sprintf("attempt %d: disabled-tracing median %.3fx the untraced median (limit %.2fx)",
+			attempt, ratio, limit)
+		t.Log(last)
+	}
+	t.Errorf("disabled tracing exceeds the overhead budget on %d consecutive attempts: %s", attempts, last)
+}
+
+// Companion benchmarks for manual inspection of all three states:
+//
+//	go test ./internal/trace -run=NONE -bench=Build -benchtime=20x
+func benchBuild(b *testing.B, cfg core.Config) {
+	in, _ := overheadInput(cfg.P)
+	bld := core.New(core.ORIG, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Step = i
+		bld.Build(in)
+	}
+}
+
+func BenchmarkBuildNoRecorder(b *testing.B) {
+	benchBuild(b, core.Config{P: overheadP, LeafCap: 8})
+}
+
+func BenchmarkBuildTracingDisabled(b *testing.B) {
+	benchBuild(b, core.Config{P: overheadP, LeafCap: 8, Trace: trace.New(overheadP)})
+}
+
+func BenchmarkBuildTracingEnabled(b *testing.B) {
+	rec := trace.New(overheadP)
+	rec.SetEnabled(true)
+	benchBuild(b, core.Config{P: overheadP, LeafCap: 8, Trace: rec})
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNilSafety pins the no-op contract tracing compiles down to when
+// disabled: every emit hook on a nil handle (or from a nil recorder)
+// must be safe and record nothing.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.Active() {
+		t.Error("nil recorder reports Active")
+	}
+	if r.Procs() != 0 {
+		t.Error("nil recorder reports processors")
+	}
+	if got := r.Proc(0); got != nil {
+		t.Errorf("nil recorder Proc(0) = %v, want nil", got)
+	}
+	if s := r.Summarize(); s != nil {
+		t.Errorf("nil recorder Summarize = %v, want nil", s)
+	}
+	if ev := r.Events(0); ev != nil {
+		t.Errorf("nil recorder Events = %v, want nil", ev)
+	}
+	r.SetEnabled(true) // must not panic
+	r.Reset()
+
+	var p *P
+	if p.Active() {
+		t.Error("nil handle reports Active")
+	}
+	if p.Now() != 0 {
+		t.Error("nil handle Now != 0")
+	}
+	p.SpanAt(PhaseInsert, 0, 10)
+	p.Span(PhaseInsert, 0)
+	p.LockAcquired(0)
+	p.LockReleased()
+	p.LockAt(0, 1, 2)
+
+	// Out-of-range processor indexes degrade to the nil handle too.
+	live := New(2)
+	if got := live.Proc(2); got != nil {
+		t.Errorf("Proc(2) on a 2-proc recorder = %v, want nil", got)
+	}
+	if got := live.Proc(-1); got != nil {
+		t.Errorf("Proc(-1) = %v, want nil", got)
+	}
+}
+
+func TestDisabledRecorderEmitsNothing(t *testing.T) {
+	r := New(1)
+	p := r.Proc(0)
+	if p.Active() {
+		t.Fatal("fresh recorder should start disabled")
+	}
+	p.SpanAt(PhaseInsert, 0, 100)
+	p.LockAt(0, 10, 20)
+	s := r.Summarize()
+	if s.PerProc[0].Spans != 0 || s.PerProc[0].LockEvents != 0 {
+		t.Errorf("disabled recorder recorded events: %+v", s.PerProc[0])
+	}
+}
+
+func TestSpanAndLockAggregation(t *testing.T) {
+	r := NewWithCapacity(2, 16)
+	r.SetEnabled(true)
+	p0, p1 := r.Proc(0), r.Proc(1)
+
+	p0.SpanAt(PhasePartition, 0, 100)
+	p0.SpanAt(PhaseInsert, 100, 400)
+	p0.SpanAt(PhaseInsert, 500, 700)
+	p0.LockAt(10, 30, 90)    // wait 20, hold 60
+	p0.LockAt(200, 200, 210) // wait 0, hold 10
+	p1.SpanAt(PhaseInsert, 100, 600)
+
+	s := r.Summarize()
+	ps := s.PerProc[0]
+	if ps.PhaseNs[PhasePartition] != 100 || ps.PhaseNs[PhaseInsert] != 500 {
+		t.Errorf("phaseNs = %v", ps.PhaseNs)
+	}
+	if ps.Spans != 3 || ps.LockEvents != 2 {
+		t.Errorf("spans=%d lockEvents=%d, want 3/2", ps.Spans, ps.LockEvents)
+	}
+	if ps.LockWaitNs != 20 || ps.LockHoldNs != 70 {
+		t.Errorf("wait=%d hold=%d, want 20/70", ps.LockWaitNs, ps.LockHoldNs)
+	}
+	if ps.HoldMaxNs != 60 {
+		t.Errorf("HoldMaxNs = %d, want 60", ps.HoldMaxNs)
+	}
+	if got := s.TotalLockEvents(); got != 2 {
+		t.Errorf("TotalLockEvents = %d, want 2", got)
+	}
+	if got := s.LockEventsPerProc(); !reflect.DeepEqual(got, []int64{2, 0}) {
+		t.Errorf("LockEventsPerProc = %v", got)
+	}
+	// Insert imbalance: times {500, 500} -> perfectly balanced.
+	if got := s.ImbalanceRatio(); got != 1 {
+		t.Errorf("ImbalanceRatio = %v, want 1", got)
+	}
+}
+
+func TestLockStaging(t *testing.T) {
+	r := New(1)
+	r.SetEnabled(true)
+	p := r.Proc(0)
+	start := p.Now()
+	p.LockAcquired(start)
+	p.LockReleased()
+	ev := r.Events(0)
+	if len(ev) != 1 || ev[0].Kind != KindLock {
+		t.Fatalf("events = %v, want one lock event", ev)
+	}
+	e := ev[0]
+	if e.Start > e.Acquired || e.Acquired > e.End {
+		t.Errorf("lock timestamps out of order: %+v", e)
+	}
+	if s := r.Summarize(); s.PerProc[0].LockEvents != 1 {
+		t.Errorf("LockEvents = %d, want 1", s.PerProc[0].LockEvents)
+	}
+}
+
+// TestRingWrap pins that the ring keeps the newest events in order while
+// the emit-time aggregates still cover everything, reporting the
+// eviction count as Dropped.
+func TestRingWrap(t *testing.T) {
+	r := NewWithCapacity(1, 4)
+	r.SetEnabled(true)
+	p := r.Proc(0)
+	for i := int64(0); i < 10; i++ {
+		p.SpanAt(PhaseInsert, i, i+1)
+	}
+	ev := r.Events(0)
+	if len(ev) != 4 {
+		t.Fatalf("got %d buffered events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := int64(6 + i); e.Start != want {
+			t.Errorf("event %d starts at %d, want %d (newest four, oldest first)", i, e.Start, want)
+		}
+	}
+	s := r.Summarize()
+	if s.PerProc[0].Spans != 10 {
+		t.Errorf("Spans = %d, want 10 (aggregates must survive the wrap)", s.PerProc[0].Spans)
+	}
+	if s.PerProc[0].PhaseNs[PhaseInsert] != 10 {
+		t.Errorf("insert ns = %d, want 10", s.PerProc[0].PhaseNs[PhaseInsert])
+	}
+	if s.PerProc[0].Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", s.PerProc[0].Dropped)
+	}
+}
+
+func TestResetClearsBetweenBuilds(t *testing.T) {
+	r := New(2)
+	r.SetEnabled(true)
+	r.Proc(0).SpanAt(PhaseInsert, 0, 50)
+	r.Proc(1).LockAt(0, 5, 9)
+	r.Reset()
+	if !r.Active() {
+		t.Error("Reset must keep the enabled flag")
+	}
+	s := r.Summarize()
+	for w, ps := range s.PerProc {
+		if ps.Spans != 0 || ps.LockEvents != 0 || ps.PhaseNs[PhaseInsert] != 0 {
+			t.Errorf("proc %d not cleared by Reset: %+v", w, ps)
+		}
+	}
+	if ev := r.Events(0); len(ev) != 0 {
+		t.Errorf("events survive Reset: %v", ev)
+	}
+}
+
+func TestImbalanceRatioEdgeCases(t *testing.T) {
+	if got := (*Summary)(nil).ImbalanceRatio(); got != 0 {
+		t.Errorf("nil summary ImbalanceRatio = %v, want 0", got)
+	}
+	r := New(4)
+	if got := r.Summarize().ImbalanceRatio(); got != 0 {
+		t.Errorf("empty ImbalanceRatio = %v, want 0", got)
+	}
+	r.SetEnabled(true)
+	// One processor did all the insert work: max/mean = 300/75 = 4.
+	r.Proc(2).SpanAt(PhaseInsert, 0, 300)
+	if got := r.Summarize().ImbalanceRatio(); got != 4 {
+		t.Errorf("ImbalanceRatio = %v, want 4", got)
+	}
+}

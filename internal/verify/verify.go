@@ -112,6 +112,9 @@ func Tree(t *octree.Tree, bodies *phys.Bodies, opt Options) error {
 //  5. For ORIG and LOCAL every allocated cell replaced exactly one
 //     subdivided (retired) leaf: TotalLeaves == live leaves + TotalCells.
 //     They also lock at least once per body loaded.
+//  6. When the build was traced, the trace is a faithful witness of the
+//     lock counters: one recorded lock event per counted lock, processor
+//     by processor.
 func Metrics(m *core.Metrics, t *octree.Tree, n int, rebuild bool) error {
 	var built int64
 	for i := range m.PerP {
@@ -126,6 +129,17 @@ func Metrics(m *core.Metrics, t *octree.Tree, n int, rebuild bool) error {
 		}
 		if r := m.TotalRetries(); r != 0 {
 			return fmt.Errorf("verify: metrics: SPACE reports %d retries without locking", r)
+		}
+	}
+	if m.Trace != nil {
+		if got, want := len(m.Trace.PerProc), len(m.PerP); got != want {
+			return fmt.Errorf("verify: metrics: trace covers %d processors, metrics %d", got, want)
+		}
+		for w := range m.Trace.PerProc {
+			if got, want := m.Trace.PerProc[w].LockEvents, m.PerP[w].Locks; got != want {
+				return fmt.Errorf("verify: metrics: proc %d recorded %d lock events, counters say %d locks",
+					w, got, want)
+			}
 		}
 	}
 	if !rebuild {
