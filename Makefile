@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke check repro bench
+.PHONY: all build vet test race smoke obs-smoke check repro bench benchcmp
 
 all: build
 
@@ -25,8 +25,14 @@ race:
 smoke:
 	$(GO) run ./cmd/treebench -n 4096 -p 1,2 -reps 1 -check
 
+# obs-smoke exercises the live observability layer end to end: treebench
+# runs with -http in the background while the script asserts /healthz and
+# the key /metrics series (runner, per-algorithm build, Go runtime).
+obs-smoke:
+	sh scripts/obs_smoke.sh
+
 # check is the tier-1+ gate: everything must pass before a PR lands.
-check: build vet test race smoke
+check: build vet test race smoke obs-smoke
 
 # repro regenerates the paper's tables and figures into ./results.
 repro:
@@ -37,3 +43,10 @@ repro:
 # Compare a fresh run against the committed file to spot regressions.
 bench:
 	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -benchout BENCH_treebuild.json
+
+# benchcmp re-runs the committed baseline's sweep and fails if any cell's
+# ns-per-build regressed more than 30%. Timings are machine-relative:
+# regenerate the baseline on this machine (make bench) before trusting
+# small deltas across hardware.
+benchcmp:
+	$(GO) run ./cmd/treebench -benchcmp BENCH_treebuild.json

@@ -7,6 +7,7 @@
 //	nbody [-n 16384] [-steps 5] [-p 8] [-alg SPACE] [-model plummer]
 //	      [-theta 1.0] [-leafcap 8] [-dt 0.025] [-timeout 0] [-check] [-json]
 //	      [-verify] [-energy] [-quad] [-fmm] [-load f] [-save f]
+//	      [-http :9090] [-v info]
 //
 // With -json the run goes through the shared internal/runner engine and
 // emits one Result record (partial, with an error field, on timeout).
@@ -16,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -44,13 +46,19 @@ func main() {
 		load   = flag.String("load", "", "restart from a snapshot file instead of generating bodies")
 		save   = flag.String("save", "", "write a snapshot file after the last step")
 	)
+	obsFlags := runner.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
-
-	spec, err := sf.Spec()
-	if err != nil {
+	if _, err := obsFlags.SetupLogging("nbody"); err != nil {
 		fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
 		os.Exit(2)
 	}
+
+	spec, err := sf.Spec()
+	if err != nil {
+		slog.Error("bad spec flags", "err", err)
+		os.Exit(2)
+	}
+	specCtx := []any{"alg", spec.Alg.String(), "n", spec.Bodies, "p", spec.Procs, "seed", spec.Seed}
 
 	if sf.JSON() {
 		for name, set := range map[string]bool{
@@ -58,19 +66,40 @@ func main() {
 			"-fmm": *useFMM, "-load": *load != "", "-save": *save != "",
 		} {
 			if set {
-				fmt.Fprintf(os.Stderr, "nbody: %s is not supported with -json (the spec grid covers the standard path)\n", name)
+				slog.Error("flag is not supported with -json (the spec grid covers the standard path)", "flag", name)
 				os.Exit(2)
 			}
 		}
-		res := runner.New(1).Run(context.Background(), spec)
+		r := runner.New(1)
+		srv, err := obsFlags.Serve("nbody", r)
+		if err != nil {
+			slog.Error("starting obs server", "err", err)
+			os.Exit(1)
+		}
+		if srv != nil {
+			defer srv.Close()
+		}
+		res := r.Run(context.Background(), spec)
 		if err := runner.WriteJSON(os.Stdout, res); err != nil {
-			fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
+			slog.Error("writing JSON result", "err", err)
 			os.Exit(1)
 		}
 		if res.Failed() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	// The interactive path runs the simulation directly (no runner), but
+	// the build totals and runtime gauges are process-global, so -http
+	// still exposes live per-algorithm build metrics and profiles.
+	srv, err := obsFlags.Serve("nbody", nil)
+	if err != nil {
+		slog.Error("starting obs server", "err", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		defer srv.Close()
 	}
 
 	m, _ := phys.ParseModel(spec.Model)
@@ -100,7 +129,7 @@ func main() {
 	if *load != "" {
 		bodies, err := phys.LoadSnapshot(*load)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
+			slog.Error("loading snapshot", "path", *load, "err", err)
 			os.Exit(1)
 		}
 		opts.N = bodies.N()
@@ -122,13 +151,13 @@ func main() {
 	}
 	for i := 0; i < spec.Steps; i++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			fmt.Fprintf(os.Stderr, "nbody: timeout after %d/%d steps\n", i, spec.Steps)
+			slog.Warn("timeout", append(specCtx, "steps_done", i, "steps", spec.Steps)...)
 			break
 		}
 		st := sim.Step()
 		fmt.Printf("%v  [%v]\n", st, st.Build)
 		if st.CheckErr != nil {
-			fmt.Fprintf(os.Stderr, "nbody: verification failed: %v\n", st.CheckErr)
+			slog.Error("verification failed", append(specCtx, "step", i, "err", st.CheckErr)...)
 			os.Exit(1)
 		}
 	}
@@ -138,14 +167,14 @@ func main() {
 	}
 	if rec != nil {
 		if err := rec.WriteFile(spec.Trace); err != nil {
-			fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
+			slog.Error("writing trace", append(specCtx, "path", spec.Trace, "err", err)...)
 			os.Exit(1)
 		}
 		fmt.Printf("trace written to %s\n", spec.Trace)
 	}
 	if *save != "" {
 		if err := sim.Bodies.SaveSnapshot(*save); err != nil {
-			fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
+			slog.Error("writing snapshot", "path", *save, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("snapshot written to %s\n", *save)

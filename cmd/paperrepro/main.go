@@ -7,7 +7,12 @@
 // Usage:
 //
 //	paperrepro [-exp T1,F6,...|all] [-sizes 4096,8192] [-large] [-steps 2]
-//	           [-workers 0] [-out results] [-check] [-json]
+//	           [-workers 0] [-out results] [-check] [-http :9090] [-v info] [-json]
+//
+// With -http the whole sweep is observable live: scrape /metrics for
+// runner throughput, per-algorithm build counters and harness progress
+// (cells done/total, current figure), hit /healthz for liveness, and
+// /debug/pprof to profile mid-sweep.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -41,7 +47,12 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "also write every computed Result record to <out>/outcomes.jsonl")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
 	)
+	obsFlags := runner.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := obsFlags.SetupLogging("paperrepro"); err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *listOnly {
 		for _, e := range harness.All() {
@@ -59,7 +70,7 @@ func main() {
 	opts.Check = *check
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			slog.Error("creating trace dir", "path", *traceDir, "err", err)
 			os.Exit(1)
 		}
 		opts.TraceDir = *traceDir
@@ -69,7 +80,7 @@ func main() {
 		for _, f := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || n <= 0 {
-				fmt.Fprintf(os.Stderr, "paperrepro: bad size %q\n", f)
+				slog.Error("bad -sizes entry", "value", f)
 				os.Exit(2)
 			}
 			opts.Sizes = append(opts.Sizes, n)
@@ -83,7 +94,7 @@ func main() {
 		for _, id := range strings.Split(*expFlag, ",") {
 			e, ok := harness.Find(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment %q (use -list)\n", id)
+				slog.Error("unknown experiment (use -list)", "id", id)
 				os.Exit(2)
 			}
 			exps = append(exps, e)
@@ -91,18 +102,26 @@ func main() {
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+		slog.Error("creating output dir", "path", *outDir, "err", err)
 		os.Exit(1)
 	}
 
 	ctx := context.Background()
 	session := harness.NewSession(opts)
+	srv, err := obsFlags.Serve("paperrepro", session.Runner(), session.RegisterObs)
+	if err != nil {
+		slog.Error("starting obs server", "err", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 	for _, e := range exps {
 		start := time.Now()
 		path := filepath.Join(*outDir, e.ID+".txt")
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			slog.Error("creating experiment output", "experiment", e.ID, "path", path, "err", err)
 			os.Exit(1)
 		}
 		w := io.MultiWriter(os.Stdout, f)
@@ -117,11 +136,11 @@ func main() {
 		path := filepath.Join(*outDir, "outcomes.csv")
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			slog.Error("creating CSV dump", "path", path, "err", err)
 			os.Exit(1)
 		}
 		if err := session.DumpCSV(f); err != nil {
-			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			slog.Error("writing CSV dump", "path", path, "err", err)
 			os.Exit(1)
 		}
 		f.Close()
@@ -131,11 +150,11 @@ func main() {
 		path := filepath.Join(*outDir, "outcomes.jsonl")
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			slog.Error("creating JSONL dump", "path", path, "err", err)
 			os.Exit(1)
 		}
 		if err := runner.WriteJSON(f, session.Runner().Results()...); err != nil {
-			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			slog.Error("writing JSONL dump", "path", path, "err", err)
 			os.Exit(1)
 		}
 		f.Close()

@@ -7,13 +7,14 @@
 // Usage:
 //
 //	simbench [-platform typhoon-hlrc] [-alg SPACE] [-n 16384] [-p 16]
-//	         [-steps 2] [-timeout 0] [-check] [-json]
+//	         [-steps 2] [-timeout 0] [-check] [-http :9090] [-v info] [-json]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"partree/internal/core"
@@ -31,13 +32,19 @@ func main() {
 		Steps:    2,
 	}, "dt", "theta")
 	noSeq := flag.Bool("noseq", false, "skip the sequential baseline (faster)")
+	obsFlags := runner.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
-
-	spec, err := sf.Spec()
-	if err != nil {
+	if _, err := obsFlags.SetupLogging("simbench"); err != nil {
 		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 		os.Exit(2)
 	}
+
+	spec, err := sf.Spec()
+	if err != nil {
+		slog.Error("bad spec flags", "err", err)
+		os.Exit(2)
+	}
+	specCtx := []any{"alg", spec.Alg.String(), "n", spec.Bodies, "p", spec.Procs, "seed", spec.Seed, "platform", spec.Platform}
 	seqSpec := spec
 	seqSpec.Alg = core.LOCAL
 	seqSpec.Procs = 1
@@ -47,6 +54,14 @@ func main() {
 	seqSpec.Trace = ""
 
 	r := runner.New(0)
+	srv, err := obsFlags.Serve("simbench", r)
+	if err != nil {
+		slog.Error("starting obs server", "err", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 	specs := []runner.Spec{spec}
 	if !*noSeq {
 		specs = append(specs, seqSpec)
@@ -56,7 +71,7 @@ func main() {
 
 	if sf.JSON() {
 		if err := runner.WriteJSON(os.Stdout, results...); err != nil {
-			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			slog.Error("writing JSON results", "err", err)
 			os.Exit(1)
 		}
 		if res.Failed() {
@@ -65,7 +80,7 @@ func main() {
 		return
 	}
 	if res.Failed() {
-		fmt.Fprintf(os.Stderr, "simbench: %s\n", res.FailureMessage())
+		slog.Error("spec failed", append(specCtx, "err", res.FailureMessage())...)
 		os.Exit(1)
 	}
 	o, _ := res.Outcome()
@@ -91,7 +106,7 @@ func main() {
 	if !*noSeq {
 		seq := results[1]
 		if seq.Failed() {
-			fmt.Fprintf(os.Stderr, "simbench: baseline: %s\n", seq.FailureMessage())
+			slog.Error("sequential baseline failed", append(specCtx, "err", seq.FailureMessage())...)
 			os.Exit(1)
 		}
 		fmt.Printf("\nsequential baseline: %s  ->  speedup %.2fx\n",

@@ -8,7 +8,13 @@
 //
 //	treebench [-alg all] [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8]
 //	          [-model plummer] [-timeout 0] [-check] [-trace out.json]
-//	          [-benchout BENCH_treebuild.json] [-json]
+//	          [-benchout BENCH_treebuild.json] [-benchcmp BENCH_treebuild.json]
+//	          [-benchthreshold 0.30] [-http :9090] [-v info] [-json]
+//
+// With -benchcmp the sweep is taken from the named baseline file instead
+// of the flags, fresh timings are diffed against it, and the exit status
+// is non-zero if any cell regressed past -benchthreshold (make benchcmp).
+// With -http the run can be watched and profiled live (make obs-smoke).
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -54,6 +61,12 @@ func traceName(base string, alg core.Algorithm, p int) string {
 	return fmt.Sprintf("%s_%s_p%d%s", stem, alg, p, ext)
 }
 
+// specContext returns the slog attrs that identify one sweep cell, so
+// every failure names the exact configuration that produced it.
+func specContext(sp runner.Spec) []any {
+	return []any{"alg", sp.Alg.String(), "n", sp.Bodies, "p", sp.Procs, "seed", sp.Seed}
+}
+
 func main() {
 	sf := runner.RegisterSpecFlags(flag.CommandLine, runner.Spec{
 		Backend:   runner.Native,
@@ -61,29 +74,52 @@ func main() {
 		Seed:      1,
 		BuildOnly: true,
 	}, "alg", "p", "steps", "theta", "dt")
+	obsFlags := runner.RegisterObsFlags(flag.CommandLine)
 	var (
 		algFlag  = flag.String("alg", "", "restrict the sweep to one tree builder: "+strings.Join(core.AlgorithmNames(), ", ")+" (default all)")
 		procs    = flag.String("p", "1,2,4,8", "comma-separated processor counts")
 		reps     = flag.Int("reps", 5, "builds per configuration (best time reported)")
 		spatial  = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
 		benchout = flag.String("benchout", "", "write a machine-readable ns-per-build baseline to this JSON file")
+		benchcmp = flag.String("benchcmp", "", "diff a fresh run against this baseline JSON and fail past -benchthreshold")
+		benchthr = flag.Float64("benchthreshold", 0.30, "allowed fractional ns-per-build regression for -benchcmp (0.30 = 30%)")
 	)
 	flag.Parse()
+	if _, err := obsFlags.SetupLogging("treebench"); err != nil {
+		fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+		os.Exit(2)
+	}
 
 	base, err := sf.Spec()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+		slog.Error("bad spec flags", "err", err)
 		os.Exit(2)
 	}
 	base.BuildOnly = true
 	base.Steps = *reps
 	base.Spatial = *spatial
 
+	// One worker: concurrent wall-clock benchmarks would contend for the
+	// same cores and corrupt each other's timings.
+	r := runner.New(1)
+	srv, err := obsFlags.Serve("treebench", r)
+	if err != nil {
+		slog.Error("starting obs server", "err", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
+	if *benchcmp != "" {
+		os.Exit(runBenchcmp(r, base, *benchcmp, *benchthr))
+	}
+
 	algs := core.Algorithms()
 	if *algFlag != "" {
 		a, err := core.ParseAlgorithm(*algFlag)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			slog.Error("bad -alg", "err", err)
 			os.Exit(2)
 		}
 		algs = []core.Algorithm{a}
@@ -93,7 +129,7 @@ func main() {
 	for _, f := range strings.Split(*procs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "treebench: bad processor count %q\n", f)
+			slog.Error("bad processor count", "value", f)
 			os.Exit(2)
 		}
 		ps = append(ps, v)
@@ -114,41 +150,39 @@ func main() {
 		}
 	}
 
-	// One worker: concurrent wall-clock benchmarks would contend for the
-	// same cores and corrupt each other's timings.
-	results := runner.New(1).RunAll(context.Background(), specs)
+	results := r.RunAll(context.Background(), specs)
 
 	if *benchout != "" {
 		bf := benchFile{Bodies: base.Bodies, LeafCap: base.LeafCap, Reps: base.Steps, Spatial: base.Spatial}
-		for _, r := range results {
-			if r.Failed() {
-				fmt.Fprintf(os.Stderr, "treebench: %s\n", r.FailureMessage())
+		for _, res := range results {
+			if res.Failed() {
+				slog.Error("spec failed", append(specContext(res.Spec), "err", res.FailureMessage())...)
 				os.Exit(1)
 			}
 			bf.Cells = append(bf.Cells, benchCell{
-				Alg: r.Spec.Alg.String(), P: r.Spec.Procs,
-				NsPerBuild: int64(r.TreeNs), Locks: r.LocksTotal,
+				Alg: res.Spec.Alg.String(), P: res.Spec.Procs,
+				NsPerBuild: int64(res.TreeNs), Locks: res.LocksTotal,
 			})
 		}
 		buf, err := json.MarshalIndent(bf, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			slog.Error("encoding baseline", "err", err)
 			os.Exit(1)
 		}
 		if err := os.WriteFile(*benchout, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			slog.Error("writing baseline", "path", *benchout, "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "treebench: wrote %s\n", *benchout)
+		slog.Info("wrote baseline", "path", *benchout)
 	}
 
 	if sf.JSON() {
 		if err := runner.WriteJSON(os.Stdout, results...); err != nil {
-			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			slog.Error("writing JSON results", "err", err)
 			os.Exit(1)
 		}
-		for _, r := range results {
-			if r.Failed() {
+		for _, res := range results {
+			if res.Failed() {
 				os.Exit(1)
 			}
 		}
@@ -174,7 +208,7 @@ func main() {
 			res := results[i]
 			i++
 			if res.Failed() {
-				fmt.Fprintf(os.Stderr, "treebench: %s\n", res.FailureMessage())
+				slog.Error("spec failed", append(specContext(res.Spec), "err", res.FailureMessage())...)
 				row = append(row, "-")
 				continue
 			}
@@ -188,4 +222,80 @@ func main() {
 		t.Row(row...)
 	}
 	t.Write(os.Stdout)
+}
+
+// runBenchcmp re-runs the sweep recorded in the baseline file and diffs
+// fresh ns-per-build against it. Returns the process exit code: 0 when
+// every cell is within threshold, 1 past it, 2 on a bad baseline.
+// Timings are machine-relative — regenerate the baseline on this machine
+// (make bench) before trusting small deltas.
+func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold float64) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		slog.Error("reading baseline", "path", path, "err", err)
+		return 2
+	}
+	var bf benchFile
+	if err := json.Unmarshal(buf, &bf); err != nil {
+		slog.Error("parsing baseline", "path", path, "err", err)
+		return 2
+	}
+	if len(bf.Cells) == 0 {
+		slog.Error("baseline has no cells", "path", path)
+		return 2
+	}
+
+	specs := make([]runner.Spec, 0, len(bf.Cells))
+	for _, c := range bf.Cells {
+		alg, err := core.ParseAlgorithm(c.Alg)
+		if err != nil {
+			slog.Error("baseline names unknown algorithm", "path", path, "err", err)
+			return 2
+		}
+		sp := base
+		sp.Alg = alg
+		sp.Procs = c.P
+		sp.Bodies = bf.Bodies
+		sp.LeafCap = bf.LeafCap
+		sp.Steps = bf.Reps
+		sp.Spatial = bf.Spatial
+		sp.Trace = ""
+		specs = append(specs, sp)
+	}
+	results := r.RunAll(context.Background(), specs)
+
+	fmt.Printf("treebench: benchcmp vs %s (%d bodies, k=%d, best of %d, threshold +%.0f%%)\n\n",
+		path, bf.Bodies, bf.LeafCap, bf.Reps, 100*threshold)
+	t := stats.NewTable("algorithm", "p", "baseline", "fresh", "delta")
+	exit := 0
+	for i, c := range bf.Cells {
+		res := results[i]
+		if res.Failed() {
+			slog.Error("spec failed", append(specContext(res.Spec), "err", res.FailureMessage())...)
+			exit = 1
+			t.Row(c.Alg, c.P, time.Duration(c.NsPerBuild).String(), "-", "FAILED")
+			continue
+		}
+		fresh := int64(res.TreeNs)
+		delta := float64(fresh-c.NsPerBuild) / float64(c.NsPerBuild)
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSED"
+			exit = 1
+			slog.Error("benchmark regression",
+				"alg", c.Alg, "p", c.P, "n", bf.Bodies, "seed", res.Spec.Seed,
+				"baseline", time.Duration(c.NsPerBuild).String(),
+				"fresh", time.Duration(fresh).String(),
+				"delta", fmt.Sprintf("%+.1f%%", 100*delta))
+		}
+		t.Row(c.Alg, c.P,
+			time.Duration(c.NsPerBuild).Round(10*time.Microsecond).String(),
+			time.Duration(fresh).Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%+.1f%%%s", 100*delta, mark))
+	}
+	t.Write(os.Stdout)
+	if exit != 0 {
+		slog.Error("benchcmp failed", "threshold", fmt.Sprintf("+%.0f%%", 100*threshold))
+	}
+	return exit
 }

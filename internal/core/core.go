@@ -167,22 +167,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// New creates a builder for the given algorithm.
+// New creates a builder for the given algorithm. The returned builder is
+// wrapped to publish each build's metrics into the package's live
+// per-algorithm totals (see obs.go); the wrapper adds a few atomic adds
+// per build, outside the timed phases.
 func New(a Algorithm, cfg Config) Builder {
 	cfg = cfg.withDefaults()
+	var b Builder
 	switch a {
 	case ORIG:
-		return newOrig(cfg)
+		b = newOrig(cfg)
 	case LOCAL:
-		return newLocal(cfg)
+		b = newLocal(cfg)
 	case UPDATE:
-		return newUpdate(cfg)
+		b = newUpdate(cfg)
 	case PARTREE:
-		return newPartree(cfg)
+		b = newPartree(cfg)
 	case SPACE:
-		return newSpace(cfg)
+		b = newSpace(cfg)
+	default:
+		panic("core: unknown algorithm")
 	}
-	panic("core: unknown algorithm")
+	return obsBuilder{b}
 }
 
 // EvenAssign splits bodies 0..n-1 into p contiguous even chunks — the

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"partree/internal/obs"
+)
+
+// sessionObs is the session's sweep-progress instrumentation: how many
+// grid cells the current reproduction has enqueued and finished, and
+// which figure is being regenerated right now. Maintained always (a few
+// atomic adds per experiment, one per cell); exposed when a binary runs
+// with -http so `paperrepro -http :9090` can be watched mid-sweep.
+type sessionObs struct {
+	experiments atomic.Int64 // experiments started
+	cellsTotal  atomic.Int64 // sweep cells enqueued across experiments
+	cellsDone   atomic.Int64 // sweep cells whose result is available
+
+	mu         sync.Mutex
+	currentID  string // experiment being regenerated ("" when idle)
+	currentTit string
+}
+
+func (o *sessionObs) setCurrent(id, title string) {
+	o.mu.Lock()
+	o.currentID, o.currentTit = id, title
+	o.mu.Unlock()
+}
+
+// RegisterObs exposes the session's sweep progress on reg.
+func (s *Session) RegisterObs(reg *obs.Registry) error {
+	o := &s.obs
+	return reg.Register(
+		obs.NewCounterFunc("partree_harness_experiments_started_total",
+			"Experiments (tables/figures) started this session.",
+			func() float64 { return float64(o.experiments.Load()) }),
+		obs.NewGaugeFunc("partree_harness_cells_total",
+			"Sweep cells enqueued across all experiments so far.",
+			func() float64 { return float64(o.cellsTotal.Load()) }),
+		obs.NewGaugeFunc("partree_harness_cells_done",
+			"Sweep cells whose result is available.",
+			func() float64 { return float64(o.cellsDone.Load()) }),
+		currentExperiment{o},
+	)
+}
+
+// currentExperiment renders the in-progress figure as an info-style
+// gauge: value 1 with the experiment's id/title as labels, and no series
+// at all while the session is idle.
+type currentExperiment struct{ o *sessionObs }
+
+// Collect implements obs.Collector.
+func (c currentExperiment) Collect(out []obs.Family) []obs.Family {
+	c.o.mu.Lock()
+	id, title := c.o.currentID, c.o.currentTit
+	c.o.mu.Unlock()
+	fam := obs.Family{
+		Name: "partree_harness_current_experiment",
+		Help: "The experiment currently being regenerated (1 while one is running).",
+		Type: obs.TypeGauge,
+	}
+	if id != "" {
+		fam.Series = []obs.Series{{
+			Labels: []obs.Label{{Name: "id", Value: id}, {Name: "title", Value: title}},
+			Value:  1,
+		}}
+	}
+	return append(out, fam)
+}

@@ -86,6 +86,10 @@ type Session struct {
 	mu         sync.Mutex
 	collecting bool
 	pending    map[string]runner.Spec
+
+	// obs tracks live sweep progress (cells done/total, current figure);
+	// see obs.go. Always maintained, exposed only under -http.
+	obs sessionObs
 }
 
 // NewSession creates a session.
@@ -220,7 +224,13 @@ func (s *Session) RunExperiment(ctx context.Context, e Experiment, w io.Writer) 
 	}
 	s.pending = nil
 	s.mu.Unlock()
-	s.r.RunAll(ctx, specs)
+	s.obs.experiments.Add(1)
+	s.obs.cellsTotal.Add(int64(len(specs)))
+	s.obs.setCurrent(e.ID, e.Title)
+	defer s.obs.setCurrent("", "")
+	s.r.RunAllProgress(ctx, specs, func(int, runner.Result) {
+		s.obs.cellsDone.Add(1)
+	})
 	e.Run(s, w)
 }
 

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestServeEndToEnd exercises the full HTTP surface against a real
+// listener on a random port: /healthz JSON (including the readiness
+// hook), /metrics content type and scrape-parseability, and the debug
+// endpoints.
+func TestServeEndToEnd(t *testing.T) {
+	reg := goldenRegistry()
+	var ready atomic.Bool
+	srv, err := Serve("127.0.0.1:0", "obstest", reg, ready.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.URL(), "http://127.0.0.1:") {
+		t.Fatalf("URL = %q", srv.URL())
+	}
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/healthz")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/healthz content type %q", ct)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Binary != "obstest" || h.PID == 0 || h.GoVersion == "" {
+		t.Fatalf("implausible health: %+v", h)
+	}
+	if h.Ready {
+		t.Fatal("ready before the hook flipped")
+	}
+	ready.Store(true)
+	if _, body := get("/healthz"); !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("readiness did not propagate:\n%s", body)
+	}
+
+	resp, body = get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	fams := parseExposition(t, body)
+	if fams["partree_test_ops_total"] == nil {
+		t.Fatalf("registered counter missing from scrape:\n%s", body)
+	}
+	if s := fams["partree_test_ops_total"].samples["partree_test_ops_total"]; len(s) != 1 || s[0].value != 42 {
+		t.Fatalf("scraped counter = %+v", s)
+	}
+
+	// The profiling and expvar surfaces must answer (content checked only
+	// loosely: they are stdlib handlers).
+	if _, body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Fatal("/debug/vars lacks memstats")
+	}
+	if _, body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/ index lacks goroutine profile")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+}
+
+// TestServeBadAddr pins the synchronous-bind contract: an unusable
+// address fails at Serve, not later in the background goroutine.
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:0", "obstest", NewRegistry(), nil); err == nil {
+		t.Fatal("bogus address accepted")
+	}
+}

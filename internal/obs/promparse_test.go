@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is a minimal Prometheus text-format scraper used to validate
+// WritePrometheus the way a real scrape would: every line must parse,
+// every sample must belong to a declared family, and histograms must be
+// internally consistent (cumulative buckets, +Inf == _count).
+
+type parsedSample struct {
+	labels map[string]string
+	value  float64
+}
+
+type parsedFamily struct {
+	typ     string
+	help    string
+	samples map[string][]parsedSample // keyed by sample name (base, _bucket, _sum, _count)
+}
+
+// parseExposition parses text-format 0.0.4 output, failing the test on
+// any syntax violation.
+func parseExposition(t *testing.T, text string) map[string]*parsedFamily {
+	t.Helper()
+	fams := map[string]*parsedFamily{}
+	// base maps every legal sample name to its family (histograms own
+	// their _bucket/_sum/_count expansions).
+	base := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		ln++ // 1-based for messages
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln, line)
+			}
+			if fams[name] != nil {
+				t.Fatalf("line %d: duplicate HELP for %s", ln, name)
+			}
+			fams[name] = &parsedFamily{help: help, samples: map[string][]parsedSample{}}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				t.Fatalf("line %d: bad TYPE: %q", ln, line)
+			}
+			if err := checkMetricName(name); err != nil {
+				t.Fatalf("line %d: %v", ln, err)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &parsedFamily{samples: map[string][]parsedSample{}}
+				fams[name] = f
+			}
+			if f.typ != "" {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			f.typ = typ
+			base[name] = name
+			if typ == "histogram" {
+				base[name+"_bucket"] = name
+				base[name+"_sum"] = name
+				base[name+"_count"] = name
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln, line)
+		}
+		name, labels, value := parseSampleLine(t, ln, line)
+		famName, ok := base[name]
+		if !ok {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", ln, name)
+		}
+		f := fams[famName]
+		f.samples[name] = append(f.samples[name], parsedSample{labels, value})
+	}
+	return fams
+}
+
+// parseSampleLine splits one `name{labels} value` line, undoing the
+// label-value escaping.
+func parseSampleLine(t *testing.T, ln int, line string) (string, map[string]string, float64) {
+	t.Helper()
+	labels := map[string]string{}
+	rest := line
+	name := rest
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				t.Fatalf("line %d: malformed label in %q", ln, line)
+			}
+			lname := rest[:eq]
+			if err := checkLabelName(lname); err != nil && lname != "le" {
+				t.Fatalf("line %d: %v", ln, err)
+			}
+			rest = rest[eq+2:]
+			var val strings.Builder
+			i := 0
+			for ; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' {
+					i++
+					if i >= len(rest) {
+						t.Fatalf("line %d: dangling escape", ln)
+					}
+					switch rest[i] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("line %d: unknown escape \\%c", ln, rest[i])
+					}
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			if i >= len(rest) {
+				t.Fatalf("line %d: unterminated label value", ln)
+			}
+			if _, dup := labels[lname]; dup {
+				t.Fatalf("line %d: duplicate label %s", ln, lname)
+			}
+			labels[lname] = val.String()
+			rest = rest[i+1:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "} ") {
+				rest = rest[2:]
+				break
+			}
+			t.Fatalf("line %d: malformed label block in %q", ln, line)
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value in %q", ln, line)
+		}
+		name, rest = rest[:sp], rest[sp+1:]
+	}
+	if err := checkMetricName(name); err != nil {
+		t.Fatalf("line %d: %v", ln, err)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", ln, rest, err)
+	}
+	return name, labels, v
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// seriesKey identifies one histogram series by its labels minus le.
+func seriesKey(labels map[string]string) string {
+	var parts []string
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// checkHistogram asserts the exposition invariants of one histogram
+// family: cumulative non-decreasing buckets per series, an explicit +Inf
+// bucket equal to _count, and matching _sum/_count series sets.
+func checkHistogram(t *testing.T, name string, f *parsedFamily) {
+	t.Helper()
+	type hist struct {
+		buckets map[float64]float64
+		sum     float64
+		count   float64
+	}
+	series := map[string]*hist{}
+	get := func(labels map[string]string) *hist {
+		k := seriesKey(labels)
+		h := series[k]
+		if h == nil {
+			h = &hist{buckets: map[float64]float64{}}
+			series[k] = h
+		}
+		return h
+	}
+	for _, s := range f.samples[name+"_bucket"] {
+		le, ok := s.labels["le"]
+		if !ok {
+			t.Fatalf("%s_bucket sample without le label", name)
+		}
+		ub, err := parseValue(le)
+		if err != nil {
+			t.Fatalf("%s: bad le %q", name, le)
+		}
+		get(s.labels).buckets[ub] = s.value
+	}
+	for _, s := range f.samples[name+"_sum"] {
+		get(s.labels).sum = s.value
+	}
+	for _, s := range f.samples[name+"_count"] {
+		get(s.labels).count = s.value
+	}
+	for key, h := range series {
+		var bounds []float64
+		for ub := range h.buckets {
+			bounds = append(bounds, ub)
+		}
+		sort.Float64s(bounds)
+		if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+			t.Fatalf("%s{%s}: no +Inf bucket", name, key)
+		}
+		prev := -1.0
+		for _, ub := range bounds {
+			if h.buckets[ub] < prev {
+				t.Fatalf("%s{%s}: bucket counts not cumulative at le=%v", name, key, ub)
+			}
+			prev = h.buckets[ub]
+		}
+		if inf := h.buckets[math.Inf(1)]; inf != h.count {
+			t.Fatalf("%s{%s}: +Inf bucket %v != count %v", name, key, inf, h.count)
+		}
+	}
+}
+
+// TestScrapeRoundTrip renders a populated registry, re-parses the output
+// as a scraper would, and checks the parsed families against the
+// registry's in-memory state — names, types, label escaping, sample
+// values, and histogram consistency all survive the trip.
+func TestScrapeRoundTrip(t *testing.T) {
+	reg := goldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseExposition(t, buf.String())
+
+	for name, f := range fams {
+		if f.typ == "" {
+			t.Fatalf("family %s has no TYPE line", name)
+		}
+		if f.typ == "histogram" {
+			checkHistogram(t, name, f)
+		}
+	}
+
+	want := map[string]float64{
+		"partree_test_ops_total":   42,
+		"partree_test_temperature": -3.5,
+		"partree_test_ticks_total": 7,
+	}
+	for name, v := range want {
+		samples := fams[name].samples[name]
+		if len(samples) != 1 || samples[0].value != v {
+			t.Fatalf("%s parsed as %+v, want single sample %v", name, samples, v)
+		}
+	}
+
+	// The escaped label value must round-trip to the original bytes.
+	events := fams["partree_test_events_total"]
+	if events == nil {
+		t.Fatal("events family missing")
+	}
+	found := false
+	for _, s := range events.samples["partree_test_events_total"] {
+		if s.labels["alg"] == "ORIG" {
+			found = true
+			if got := s.labels["note"]; got != "quote\" back\\slash\nnewline" {
+				t.Fatalf("escaped label round-tripped to %q", got)
+			}
+			if s.value != 5 {
+				t.Fatalf("ORIG events = %v, want 5", s.value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ORIG series missing")
+	}
+
+	// Histogram values: 3 observations, one beyond the last bound.
+	h := fams["partree_test_duration_seconds"]
+	if h == nil || h.typ != "histogram" {
+		t.Fatalf("histogram family missing or mistyped: %+v", h)
+	}
+	counts := h.samples["partree_test_duration_seconds_count"]
+	if len(counts) != 1 || counts[0].value != 3 {
+		t.Fatalf("histogram count = %+v, want 3", counts)
+	}
+	sums := h.samples["partree_test_duration_seconds_sum"]
+	wantSum := 0.0005 + 0.003 + 100
+	if len(sums) != 1 || math.Abs(sums[0].value-wantSum) > 1e-12 {
+		t.Fatalf("histogram sum = %+v, want %v", sums, wantSum)
+	}
+
+	// The empty vec still advertises its family, with no samples.
+	idle := fams["partree_test_idle"]
+	if idle == nil || idle.typ != "gauge" {
+		t.Fatalf("empty vec family missing: %+v", idle)
+	}
+	if n := len(idle.samples["partree_test_idle"]); n != 0 {
+		t.Fatalf("empty vec rendered %d samples", n)
+	}
+
+	// Family count: exactly the six registered ones.
+	if len(fams) != 6 {
+		var names []string
+		for n := range fams {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Fatalf("parsed %d families, want 6: %v", len(fams), names)
+	}
+}

@@ -2,10 +2,14 @@ package runner
 
 import (
 	"flag"
+	"fmt"
+	"log/slog"
+	"os"
 	"strings"
 	"time"
 
 	"partree/internal/core"
+	"partree/internal/obs"
 )
 
 // SpecFlags binds the shared CLI surface — one flag per Spec field plus
@@ -94,6 +98,71 @@ func RegisterSpecFlags(fs *flag.FlagSet, def Spec, skip ...string) *SpecFlags {
 
 // JSON reports whether -json was set.
 func (sf *SpecFlags) JSON() bool { return sf.json != nil && *sf.json }
+
+// ObsFlags binds the shared observability surface — `-http <addr>` for
+// the live metrics/health/pprof server (default off) and `-v <level>`
+// for structured slog logging — so every binary exposes them
+// identically. Register the flags, flag.Parse, then call Setup.
+type ObsFlags struct {
+	addr  *string
+	level *string
+}
+
+// RegisterObsFlags registers -http and -v on fs.
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		addr: fs.String("http", "",
+			"serve live /metrics, /healthz and /debug/pprof on this address (e.g. :9090; empty = off)"),
+		level: fs.String("v", "info", "log level: debug, info, warn, error"),
+	}
+}
+
+// SetupLogging installs the process-wide slog default: a text handler on
+// stderr at the -v level, tagged with the binary's name. Call it right
+// after flag.Parse, before any slog output.
+func (of *ObsFlags) SetupLogging(binary string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*of.level)); err != nil {
+		return nil, fmt.Errorf("bad -v level %q (valid: debug, info, warn, error)", *of.level)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})).
+		With("bin", binary)
+	slog.SetDefault(log)
+	return log, nil
+}
+
+// Serve starts the observability server when -http was given, wiring up
+// the runtime gauges, the process-wide per-algorithm build totals, the
+// runner's live counters (when r is non-nil), and any extra registrars
+// (e.g. a harness session's sweep progress). It returns (nil, nil) with
+// -http off; otherwise the resolved address is logged at info level so
+// `-http :0` is usable. Callers should defer srv.Close().
+func (of *ObsFlags) Serve(binary string, r *Runner, extra ...func(*obs.Registry) error) (*obs.Server, error) {
+	if *of.addr == "" {
+		return nil, nil
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	if err := RegisterBuildObs(reg); err != nil {
+		return nil, err
+	}
+	if r != nil {
+		if err := r.RegisterObs(reg); err != nil {
+			return nil, err
+		}
+	}
+	for _, fn := range extra {
+		if err := fn(reg); err != nil {
+			return nil, err
+		}
+	}
+	srv, err := obs.Serve(*of.addr, binary, reg, nil)
+	if err != nil {
+		return nil, err
+	}
+	slog.Info("obs: serving", "addr", srv.Addr(), "url", srv.URL())
+	return srv, nil
+}
 
 // Spec assembles the parsed flags into a validated Spec.
 func (sf *SpecFlags) Spec() (Spec, error) {

@@ -1,0 +1,194 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/obs"
+)
+
+// TestObsConservationConcurrent hammers one runner from several RunAll
+// sweeps with duplicated specs plus a burst of direct Run calls, then
+// checks the live counters against the result cache exactly — the
+// runner-level conservation law (companion to internal/verify's six
+// metrics laws): every request is a hit or a miss, every miss is exactly
+// one execution, every execution ends completed or failed, and the idle
+// gauges read zero.
+func TestObsConservationConcurrent(t *testing.T) {
+	r := New(3)
+
+	var specs []Spec
+	for rep := 0; rep < 3; rep++ { // duplicates share one execution
+		for _, alg := range core.Algorithms() {
+			specs = append(specs, simSpec(alg, 2, 256))
+		}
+	}
+	// One spec that reaches execution and fails there (validation errors
+	// never reach the cache, so they must stay invisible to the counters).
+	failing := Spec{Backend: Native, Alg: core.SPACE, Procs: 2, Bodies: 1024,
+		Steps: 8, Seed: 3, Timeout: time.Nanosecond}
+	specs = append(specs, failing)
+
+	const sweeps, directs = 4, 8
+	var wg sync.WaitGroup
+	for i := 0; i < sweeps; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.RunAll(context.Background(), specs)
+		}()
+	}
+	for i := 0; i < directs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Run(context.Background(), specs[0])
+		}()
+	}
+	wg.Wait()
+
+	if err := r.AuditObs(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.ObsSnapshot()
+	results := r.Results()
+
+	uniq := len(core.Algorithms()) + 1 // 5 shared sim specs + the failing native one
+	if len(results) != uniq {
+		t.Fatalf("cache holds %d results, want %d", len(results), uniq)
+	}
+	if want := int64(sweeps*len(specs) + directs); s.Runs != want {
+		t.Fatalf("runs = %d, want %d", s.Runs, want)
+	}
+	if s.CacheMisses != int64(uniq) {
+		t.Fatalf("misses = %d, want %d", s.CacheMisses, uniq)
+	}
+	if s.CacheHits != s.Runs-int64(uniq) {
+		t.Fatalf("hits = %d, want %d", s.CacheHits, s.Runs-int64(uniq))
+	}
+	if s.Started != int64(uniq) || s.Completed != int64(uniq-1) || s.Failed != 1 {
+		t.Fatalf("started/completed/failed = %d/%d/%d, want %d/%d/1",
+			s.Started, s.Completed, s.Failed, uniq, uniq-1)
+	}
+	if s.QueueDepth != 0 || s.InFlight != 0 {
+		t.Fatalf("idle gauges nonzero: queue=%d in-flight=%d", s.QueueDepth, s.InFlight)
+	}
+	if s.SpecDurationsObserved != uint64(uniq) {
+		t.Fatalf("duration observations = %d, want %d", s.SpecDurationsObserved, uniq)
+	}
+	// Two distinct (model, n, seed) body sets: the shared sim bodies and
+	// the failing native spec's. Every execution asked for one set.
+	if s.BodyMemoMisses != 2 {
+		t.Fatalf("body memo misses = %d, want 2", s.BodyMemoMisses)
+	}
+	if s.BodyMemoHits != int64(uniq)-2 {
+		t.Fatalf("body memo hits = %d, want %d", s.BodyMemoHits, uniq-2)
+	}
+
+	var failed int
+	for _, res := range results {
+		if res.Failed() {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("cache holds %d failed results, want 1", failed)
+	}
+}
+
+// TestObsInFlightVisibleMidRun observes the in-flight gauge from outside
+// while an execution holds a worker slot, then checks it settles back to
+// zero before Run returns (the accounting-before-done ordering).
+func TestObsInFlightVisibleMidRun(t *testing.T) {
+	r := New(1)
+	spec := Spec{Backend: Native, Alg: core.LOCAL, Procs: 2, Bodies: 131072,
+		Steps: 3, Seed: 11, BuildOnly: true, Spatial: true}
+	done := make(chan Result, 1)
+	go func() { done <- r.Run(context.Background(), spec) }()
+
+	deadline := time.After(10 * time.Second)
+	for r.ObsSnapshot().InFlight == 0 {
+		select {
+		case res := <-done:
+			// The spec finished before we looked — the gauge must already
+			// have settled, which the audit below still verifies.
+			if res.Failed() {
+				t.Fatalf("run failed: %s", res.Err)
+			}
+			if err := r.AuditObs(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("in-flight gauge never rose")
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	res := <-done
+	if res.Failed() {
+		t.Fatalf("run failed: %s", res.Err)
+	}
+	// Counters settle before e.done closes, so immediately after Run
+	// returns the audit must already balance.
+	if err := r.AuditObs(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.ObsSnapshot()
+	if s.Started != 1 || s.Completed != 1 || s.InFlight != 0 {
+		t.Fatalf("post-run snapshot: %+v", s)
+	}
+}
+
+// TestRegisterObsRendersRunnerSeries registers a warmed runner on a
+// fresh registry and checks the scrape carries its counters with the
+// exact cache-derived values, plus the per-algorithm build totals.
+func TestRegisterObsRendersRunnerSeries(t *testing.T) {
+	r := New(2)
+	res := r.Run(context.Background(), Spec{Backend: Native, Alg: core.ORIG, Procs: 2,
+		Bodies: 2048, Steps: 2, Seed: 5, BuildOnly: true})
+	if res.Failed() {
+		t.Fatalf("warmup failed: %s", res.Err)
+	}
+	r.Run(context.Background(), res.Spec) // one cache hit
+
+	reg := obs.NewRegistry()
+	if err := r.RegisterObs(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterBuildObs(reg); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registering the same runner on the same registry must collide on
+	// the metric names.
+	if err := r.RegisterObs(reg); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"partree_runner_runs_total 2",
+		"partree_runner_cache_hits_total 1",
+		"partree_runner_cache_misses_total 1",
+		"partree_runner_specs_completed_total 1",
+		"partree_runner_in_flight 0",
+		"partree_runner_workers 2",
+		`partree_runner_spec_duration_seconds_count{backend="native"} 1`,
+		`partree_build_total{alg="ORIG"}`,
+		`partree_build_locks_total{alg="ORIG"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -29,6 +29,11 @@ type Runner struct {
 	mu     sync.Mutex
 	cache  map[string]*entry
 	bodies map[string]*bodiesEntry
+
+	// obs holds the live instrumentation counters (see obs.go). They are
+	// always maintained — a few atomic adds per spec — and surfaced over
+	// HTTP only when RegisterObs attaches them to a registry.
+	obs *runnerObs
 }
 
 type entry struct {
@@ -54,6 +59,7 @@ func New(workers int) *Runner {
 		sem:     make(chan struct{}, workers),
 		cache:   map[string]*entry{},
 		bodies:  map[string]*bodiesEntry{},
+		obs:     newRunnerObs(),
 	}
 }
 
@@ -76,12 +82,16 @@ func (r *Runner) Run(ctx context.Context, spec Spec) Result {
 		return Result{Spec: spec, Err: fmt.Sprintf("runner: %v", err)}
 	}
 	key := spec.Key()
+	r.obs.runs.Add(1)
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	if !ok {
 		e = &entry{spec: spec, done: make(chan struct{})}
 		r.cache[key] = e
+		r.obs.cacheMisses.Add(1)
 		go r.execute(e)
+	} else {
+		r.obs.cacheHits.Add(1)
 	}
 	r.mu.Unlock()
 	select {
@@ -100,6 +110,14 @@ func (r *Runner) Run(ctx context.Context, spec Spec) Result {
 // Run (not on a worker slot), so duplicated specs sharing one memoized
 // execution cannot deadlock the pool.
 func (r *Runner) RunAll(ctx context.Context, specs []Spec) []Result {
+	return r.RunAllProgress(ctx, specs, nil)
+}
+
+// RunAllProgress is RunAll with a completion callback: done(i, res) fires
+// once per spec as its result becomes available, from a launcher
+// goroutine — so live progress (the harness's cells-done gauge) can tick
+// mid-sweep. done may be nil.
+func (r *Runner) RunAllProgress(ctx context.Context, specs []Spec, done func(i int, res Result)) []Result {
 	out := make([]Result, len(specs))
 	launchers := r.workers
 	if launchers > len(specs) {
@@ -117,6 +135,9 @@ func (r *Runner) RunAll(ctx context.Context, specs []Spec) []Result {
 					return
 				}
 				out[i] = r.Run(ctx, specs[i])
+				if done != nil {
+					done(i, out[i])
+				}
 			}
 		}()
 	}
@@ -131,8 +152,22 @@ func (r *Runner) RunAll(ctx context.Context, specs []Spec) []Result {
 // generation time of the spec's body set, identically on every spec that
 // shares it.
 func (r *Runner) execute(e *entry) {
+	r.obs.queueDepth.Add(1)
 	r.sem <- struct{}{}
+	r.obs.queueDepth.Add(-1)
+	r.obs.started.Add(1)
+	r.obs.inFlight.Add(1)
 	defer func() { <-r.sem }()
+	// finish publishes the result. Counters settle *before* e.done is
+	// closed, so a caller that just saw its Run return can audit the obs
+	// counters against the cache without racing them (AuditObs relies on
+	// this ordering).
+	finish := func(res Result) {
+		e.res = res
+		r.obs.observeExecuted(res)
+		r.obs.inFlight.Add(-1)
+		close(e.done)
+	}
 	atomic.AddInt64(&r.execs, 1)
 	ctx := context.Background()
 	if e.spec.Timeout > 0 {
@@ -142,8 +177,7 @@ func (r *Runner) execute(e *entry) {
 	}
 	bodies, genNs, err := r.bodiesFor(e.spec.Model, e.spec.Bodies, e.spec.Seed)
 	if err != nil {
-		e.res = Result{Spec: e.spec, Err: err.Error()}
-		close(e.done)
+		finish(Result{Spec: e.spec, Err: err.Error()})
 		return
 	}
 	start := time.Now()
@@ -162,8 +196,7 @@ func (r *Runner) execute(e *entry) {
 	if werr := res.writeTrace(); werr != nil && res.Err == "" {
 		res.Err = fmt.Sprintf("runner: writing trace: %v", werr)
 	}
-	e.res = res
-	close(e.done)
+	finish(res)
 }
 
 // Bodies returns the memoized body system for (model, n, seed). The
@@ -181,6 +214,7 @@ func (r *Runner) bodiesFor(model string, n int, seed int64) (*phys.Bodies, int64
 	if !ok {
 		be = &bodiesEntry{done: make(chan struct{})}
 		r.bodies[key] = be
+		r.obs.memoMisses.Add(1)
 		r.mu.Unlock()
 		if m, ok := phys.ParseModel(model); ok {
 			start := time.Now()
@@ -193,6 +227,7 @@ func (r *Runner) bodiesFor(model string, n int, seed int64) (*phys.Bodies, int64
 		close(be.done)
 		return be.b, be.genNs, be.err
 	}
+	r.obs.memoHits.Add(1)
 	r.mu.Unlock()
 	<-be.done
 	return be.b, be.genNs, be.err

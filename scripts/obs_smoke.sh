@@ -1,0 +1,90 @@
+#!/bin/sh
+# obs_smoke.sh — smoke-test the live observability layer end to end:
+# launch treebench with -http, wait for the server to come up, assert
+# /healthz reports ok and /metrics exposes the key series, then let the
+# sweep finish and check it exited cleanly. Run via `make obs-smoke`
+# (part of `make check`).
+set -e
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+bin="$tmp/treebench"
+log="$tmp/treebench.log"
+metrics="$tmp/metrics.txt"
+pid=
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$bin" ./cmd/treebench
+
+# :0 picks a free port; the resolved URL is read from the serving log
+# line, so parallel CI jobs never collide.
+"$bin" -n 100000 -p 1,2,4 -reps 3 -http 127.0.0.1:0 -v info >/dev/null 2>"$log" &
+pid=$!
+
+url=
+i=0
+while [ $i -lt 100 ]; do
+    url=$(sed -n 's/.*msg="obs: serving".* url=\(http:[^ ]*\).*/\1/p' "$log" | head -1)
+    [ -n "$url" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "obs-smoke: treebench exited before serving" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$url" ]; then
+    echo "obs-smoke: no serving address in log" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+curl -fsS "$url/healthz" | grep -q '"status": "ok"' || {
+    echo "obs-smoke: /healthz did not report ok" >&2
+    exit 1
+}
+
+# The duration histogram only grows series once a spec completes, so
+# keep scraping until every expected series shows up (or the sweep
+# finishes without them, which is a failure).
+series_list="
+partree_runner_specs_started_total
+partree_runner_cache_misses_total
+partree_runner_in_flight
+partree_runner_queue_depth
+partree_runner_spec_duration_seconds_bucket
+partree_runner_body_memo_misses_total
+partree_build_total
+partree_build_locks_total
+go_goroutines
+go_mem_heap_alloc_bytes
+go_gc_pause_seconds_total
+"
+i=0
+while :; do
+    curl -fsS "$url/metrics" >"$metrics"
+    missing=
+    for series in $series_list; do
+        grep -q "^$series" "$metrics" || missing="$missing $series"
+    done
+    [ -z "$missing" ] && break
+    i=$((i + 1))
+    if [ $i -ge 120 ] || ! kill -0 "$pid" 2>/dev/null; then
+        echo "obs-smoke: /metrics is missing series:$missing" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+wait "$pid" || {
+    echo "obs-smoke: treebench exited non-zero" >&2
+    cat "$log" >&2
+    exit 1
+}
+pid=
+echo "obs-smoke: ok ($url, $(wc -l <"$metrics") metric lines)"
