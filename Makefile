@@ -13,12 +13,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent layers: the native builders, the runner's
-# worker pool / result cache, the differential verifier's algorithm
-# cross-product, and the tracing layer's emit path under all five
-# builders.
+# Race-check the concurrent layers: the native builders, the engine's
+# session pool and admission control, the runner's worker pool / result
+# cache, the differential verifier's algorithm cross-product, the tracing
+# layer's emit path under all five builders, and the partreed daemon's
+# concurrent HTTP serving and drain.
 race:
-	$(GO) test -race ./internal/core ./internal/runner ./internal/verify ./internal/trace
+	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./cmd/partreed
 
 # smoke builds real trees with every algorithm and verifies each against
 # the sequential reference (-check), end to end through cmd/treebench.

@@ -22,9 +22,11 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"partree/internal/harness"
@@ -106,7 +108,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the sweep: in-flight cells cut short, the
+	// experiment loop stops, and the partial CSV/JSON dumps still land.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	session := harness.NewSession(opts)
 	srv, err := obsFlags.Serve("paperrepro", session.Runner(), session.RegisterObs)
 	if err != nil {
@@ -116,7 +121,12 @@ func main() {
 	if srv != nil {
 		defer srv.Close()
 	}
+	interrupted := false
 	for _, e := range exps {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		start := time.Now()
 		path := filepath.Join(*outDir, e.ID+".txt")
 		f, err := os.Create(path)
@@ -130,6 +140,10 @@ func main() {
 		session.RunExperiment(ctx, e, w)
 		fmt.Fprintf(w, "\n[regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
 		f.Close()
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 	}
 
 	if *csvOut {
@@ -159,5 +173,9 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("wrote %s\n", path)
+	}
+	if interrupted {
+		slog.Warn("sweep interrupted; partial results written", "dir", *outDir)
+		os.Exit(130)
 	}
 }

@@ -1,0 +1,293 @@
+// Command partreed is the long-lived build service: the engine's pooled
+// builder sessions and the runner's memoizing caches behind a JSON HTTP
+// API, beside the usual observability endpoints on one listener.
+//
+// Usage:
+//
+//	partreed [-addr 127.0.0.1:9732] [-max-active 0] [-max-queue 0]
+//	         [-max-idle 32] [-result-cache 4096] [-bodies-cache 64]
+//	         [-drain-timeout 30s] [-v info]
+//
+// Endpoints:
+//
+//	POST /v1/build   one runner.Spec (JSON) → its Result (JSON)
+//	POST /v1/sweep   a JSON array of specs → NDJSON stream of Results
+//	GET  /metrics    Prometheus exposition (engine pool, runner, builds)
+//	GET  /healthz    liveness (+ready:false once draining)
+//	     /debug/pprof, /debug/vars
+//
+// Admission control is the engine's: at most max-active builds run, at
+// most max-queue more wait (honoring each request's context), and
+// overload or drain answers 503. SIGINT/SIGTERM triggers a graceful
+// drain — in-flight builds finish and are answered, new requests get
+// 503 — bounded by -drain-timeout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"partree/internal/engine"
+	"partree/internal/obs"
+	"partree/internal/runner"
+)
+
+// daemonConfig sizes a daemon. Zero fields select the flag defaults.
+type daemonConfig struct {
+	maxActive    int
+	maxQueue     int
+	maxIdle      int
+	resultCache  int
+	bodiesCache  int
+	drainTimeout time.Duration
+}
+
+func (c daemonConfig) withDefaults() daemonConfig {
+	if c.maxActive <= 0 {
+		c.maxActive = runtime.GOMAXPROCS(0)
+	}
+	if c.maxQueue == 0 {
+		c.maxQueue = 4 * c.maxActive
+	}
+	if c.maxIdle == 0 {
+		c.maxIdle = 32
+	}
+	if c.drainTimeout == 0 {
+		c.drainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// daemon owns the engine, the runner executing through it, and the HTTP
+// server. It is constructed directly by the e2e test, so everything the
+// handlers touch lives here rather than in package-level state.
+type daemon struct {
+	cfg      daemonConfig
+	eng      *engine.Engine
+	r        *runner.Runner
+	reg      *obs.Registry
+	srv      *obs.Server
+	draining atomic.Bool
+}
+
+func newDaemon(cfg daemonConfig) (*daemon, error) {
+	cfg = cfg.withDefaults()
+	eng := engine.New(engine.Options{
+		MaxActive: cfg.maxActive, MaxQueue: cfg.maxQueue, MaxIdle: cfg.maxIdle,
+	})
+	// The runner's worker pool sits above the engine; sized past
+	// active+queue it never gates, so the engine's admission control is
+	// the daemon's single source of backpressure and overflow surfaces
+	// as ErrQueueFull → 503 instead of waiting invisibly.
+	r := runner.NewWithConfig(runner.Config{
+		Workers:            cfg.maxActive + cfg.maxQueue + 8,
+		ResultCacheEntries: cfg.resultCache,
+		BodiesCacheEntries: cfg.bodiesCache,
+		Engine:             eng,
+	})
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	if err := runner.RegisterBuildObs(reg); err != nil {
+		return nil, err
+	}
+	if err := r.RegisterObs(reg); err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterObs(reg); err != nil {
+		return nil, err
+	}
+	return &daemon{cfg: cfg, eng: eng, r: r, reg: reg}, nil
+}
+
+// start binds addr and serves until drain/close. ":0" works for tests.
+func (d *daemon) start(addr string) error {
+	srv, err := obs.ServeWith(addr, "partreed", d.reg,
+		func() bool { return !d.draining.Load() }, d.mount)
+	if err != nil {
+		return err
+	}
+	d.srv = srv
+	return nil
+}
+
+func (d *daemon) mount(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/build", d.handleBuild)
+	mux.HandleFunc("/v1/sweep", d.handleSweep)
+}
+
+// drain stops admitting work, waits out in-flight builds (bounded by the
+// configured drain timeout), then closes the listener. Idempotent.
+func (d *daemon) drain(ctx context.Context) error {
+	d.draining.Store(true)
+	ctx, cancel := context.WithTimeout(ctx, d.cfg.drainTimeout)
+	defer cancel()
+	err := d.eng.Drain(ctx)
+	if d.srv != nil {
+		// Graceful: handlers whose builds just finished still get to
+		// write their responses.
+		d.srv.Shutdown(ctx)
+	}
+	return err
+}
+
+// httpError answers with a one-field JSON error document.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// admissionRejected reports whether a result is an engine admission
+// rejection — the sentinel texts are the service contract for 503.
+func admissionRejected(res runner.Result) bool {
+	return res.Err != "" &&
+		(strings.Contains(res.Err, engine.ErrQueueFull.Error()) ||
+			strings.Contains(res.Err, engine.ErrDraining.Error()))
+}
+
+// decodeSpec parses and vets one spec for service execution.
+func decodeSpec(dec *json.Decoder) (runner.Spec, error) {
+	var spec runner.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("parsing spec: %w", err)
+	}
+	if spec.Trace != "" {
+		// A trace lands in the *server's* filesystem; refuse rather than
+		// surprise.
+		return spec, fmt.Errorf("trace is not supported over HTTP")
+	}
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+func (d *daemon) handleBuild(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a runner.Spec JSON document")
+		return
+	}
+	if d.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, engine.ErrDraining.Error())
+		return
+	}
+	spec, err := decodeSpec(json.NewDecoder(req.Body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res := d.r.Run(req.Context(), spec)
+	if admissionRejected(res) {
+		httpError(w, http.StatusServiceUnavailable, res.Err)
+		return
+	}
+	// Executed specs answer 200 with the Result; failures (timeout,
+	// check violation) travel in-band in its error fields, as in the
+	// CLI's -json output.
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+	slog.Debug("build served", "spec", spec.String(), "failed", res.Failed())
+}
+
+func (d *daemon) handleSweep(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON array of runner.Spec documents")
+		return
+	}
+	if d.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, engine.ErrDraining.Error())
+		return
+	}
+	var specs []runner.Spec
+	if err := json.NewDecoder(req.Body).Decode(&specs); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing spec list: %v", err))
+		return
+	}
+	for i := range specs {
+		if specs[i].Trace != "" {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("spec %d: trace is not supported over HTTP", i))
+			return
+		}
+		specs[i] = specs[i].Normalized()
+		if err := specs[i].Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
+			return
+		}
+	}
+	// Results stream as NDJSON in completion order — each record carries
+	// its spec, so clients rejoin them; flushing per record makes a slow
+	// sweep observable as it runs.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	d.r.RunAllProgress(req.Context(), specs, func(_ int, res runner.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(res)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	slog.Debug("sweep served", "specs", len(specs))
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9732", "listen address for the API and observability endpoints")
+		maxActive    = flag.Int("max-active", 0, "concurrent builds (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "builds allowed to wait beyond max-active (0 = 4x max-active)")
+		maxIdle      = flag.Int("max-idle", 32, "pooled builder sessions retained across requests")
+		resultCache  = flag.Int("result-cache", 4096, "memoized spec results retained (LRU)")
+		bodiesCache  = flag.Int("bodies-cache", 64, "memoized body sets retained (LRU)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight builds")
+		level        = flag.String("v", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*level)); err != nil {
+		fmt.Fprintf(os.Stderr, "partreed: bad -v level %q\n", *level)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})).
+		With("bin", "partreed"))
+
+	d, err := newDaemon(daemonConfig{
+		maxActive: *maxActive, maxQueue: *maxQueue, maxIdle: *maxIdle,
+		resultCache: *resultCache, bodiesCache: *bodiesCache,
+		drainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		slog.Error("building daemon", "err", err)
+		os.Exit(1)
+	}
+	if err := d.start(*addr); err != nil {
+		slog.Error("starting server", "err", err)
+		os.Exit(1)
+	}
+	slog.Info("serving", "addr", d.srv.Addr(), "url", d.srv.URL(),
+		"max_active", d.cfg.maxActive, "max_queue", d.cfg.maxQueue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	slog.Info("draining", "signal", s.String(), "timeout", d.cfg.drainTimeout)
+	if err := d.drain(context.Background()); err != nil {
+		slog.Error("drain incomplete", "err", err)
+		os.Exit(1)
+	}
+	slog.Info("drained; bye")
+}

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"partree/internal/runner"
+)
+
+// startDaemon brings a daemon up on an ephemeral port and tears it down
+// with the test.
+func startDaemon(t *testing.T, cfg daemonConfig) *daemon {
+	t.Helper()
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	if err := d.start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() { d.srv.Close() })
+	return d
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeResult(t *testing.T, r io.Reader) runner.Result {
+	t.Helper()
+	var res runner.Result
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	return res
+}
+
+// buildSpec is a small verified native build-only spec; vary to avoid
+// the daemon's memoizing cache collapsing distinct requests.
+func buildSpec(n, p int) map[string]any {
+	return map[string]any{
+		"backend": "native", "algorithm": "LOCAL", "build_only": true,
+		"procs": p, "bodies": n, "steps": 2, "check": true,
+	}
+}
+
+// metricValue extracts the first sample of a family from a Prometheus
+// text page (ignoring labeled series' labels).
+func metricValue(t *testing.T, page, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(?:\{[^}]*\})? (\S+)$`)
+	m := re.FindStringSubmatch(page)
+	if m == nil {
+		t.Fatalf("metric %s not found in /metrics", name)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s: bad value %q", name, m[1])
+	}
+	return v
+}
+
+func TestDaemonConcurrentBuildsAndMetrics(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, maxQueue: 16, drainTimeout: 10 * time.Second})
+	url := d.srv.URL()
+
+	// Concurrent builds: distinct sizes plus one duplicated spec that
+	// must share the memoized execution. All come back verified.
+	sizes := []int{1500, 2000, 2500, 3000, 2000}
+	var wg sync.WaitGroup
+	results := make([]runner.Result, len(sizes))
+	codes := make([]int, len(sizes))
+	for i, n := range sizes {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			resp := postJSON(t, url+"/v1/build", buildSpec(n, 2))
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				results[i] = decodeResult(t, resp.Body)
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("build %d: status %d", i, codes[i])
+		}
+		if res.Failed() {
+			t.Fatalf("build %d failed: %s", i, res.FailureMessage())
+		}
+		if res.StepsDone != 2 || res.Cells == 0 || res.Leaves == 0 {
+			t.Fatalf("build %d: implausible result %+v", i, res)
+		}
+	}
+
+	// The engine pool's gauges moved: sessions were created, the stores
+	// they retain are visible, and nothing is left running or queued.
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	pg := string(page)
+	if v := metricValue(t, pg, "partree_engine_sessions_created_total"); v < 1 {
+		t.Errorf("sessions_created_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, pg, "partree_store_retained_bytes"); v <= 0 {
+		t.Errorf("store_retained_bytes = %v, want > 0 (pooled stores retained)", v)
+	}
+	if v := metricValue(t, pg, "partree_engine_sessions_in_use"); v != 0 {
+		t.Errorf("sessions_in_use = %v after all builds returned, want 0", v)
+	}
+	if v := metricValue(t, pg, "partree_engine_queue_depth"); v != 0 {
+		t.Errorf("queue_depth = %v at idle, want 0", v)
+	}
+	// Four distinct specs executed through the pool bounded at 2
+	// concurrent builds; the duplicate was a cache hit.
+	created := metricValue(t, pg, "partree_engine_sessions_created_total")
+	reused := metricValue(t, pg, "partree_engine_sessions_reused_total")
+	if created > 2 {
+		t.Errorf("sessions_created_total = %v, want <= max-active (2)", created)
+	}
+	if created+reused < 4 {
+		t.Errorf("created(%v)+reused(%v) = %v acquisitions, want >= 4", created, reused, created+reused)
+	}
+}
+
+func TestDaemonSweepStreamsNDJSON(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, maxQueue: 16, drainTimeout: 10 * time.Second})
+	specs := []map[string]any{buildSpec(1024, 1), buildSpec(1536, 2), buildSpec(2048, 2)}
+	resp := postJSON(t, d.srv.URL()+"/v1/sweep", specs)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("sweep: content-type %q", ct)
+	}
+	var got int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var res runner.Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("record %d: %v", got, err)
+		}
+		if res.Failed() {
+			t.Fatalf("record %d failed: %s", got, res.FailureMessage())
+		}
+		got++
+	}
+	if got != len(specs) {
+		t.Fatalf("sweep streamed %d records, want %d", got, len(specs))
+	}
+}
+
+func TestDaemonDrainFinishesInFlightAndRejectsNew(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, maxQueue: 4, drainTimeout: 2 * time.Minute})
+	url := d.srv.URL()
+
+	// A build slow enough to still be in flight when the drain begins.
+	// The in-use poll below catches it within milliseconds of session
+	// acquisition, so it need only outlast that — kept modest so the
+	// post-drain wait stays well inside the timeout under -race.
+	slow := map[string]any{
+		"backend": "native", "algorithm": "LOCAL",
+		"procs": 2, "bodies": 10000, "steps": 4,
+	}
+	type answer struct {
+		code int
+		res  runner.Result
+	}
+	slowDone := make(chan answer, 1)
+	go func() {
+		resp := postJSON(t, url+"/v1/build", slow)
+		defer resp.Body.Close()
+		a := answer{code: resp.StatusCode}
+		if resp.StatusCode == http.StatusOK {
+			a.res = decodeResult(t, resp.Body)
+		}
+		slowDone <- a
+	}()
+
+	// Wait until the build holds an engine session, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for d.eng.Stats().InUse == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow build never acquired a session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- d.drain(context.Background()) }()
+	for !d.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is rejected with 503 while the drain runs.
+	resp := postJSON(t, url+"/v1/build", buildSpec(1024, 1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("build during drain: status %d, want 503", resp.StatusCode)
+	}
+	var e map[string]string
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if e["error"] == "" {
+		t.Fatalf("503 carried no error document")
+	}
+
+	// The in-flight build is answered in full, and the drain completes.
+	a := <-slowDone
+	if a.code != http.StatusOK {
+		t.Fatalf("in-flight build: status %d, want 200", a.code)
+	}
+	if a.res.Failed() {
+		t.Fatalf("in-flight build failed: %s", a.res.FailureMessage())
+	}
+	if a.res.StepsDone != 4 {
+		t.Fatalf("in-flight build cut short: %d/4 steps", a.res.StepsDone)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := d.eng.Stats(); st.InUse != 0 || st.Idle != 0 {
+		t.Fatalf("post-drain pool not empty: %+v", st)
+	}
+
+	// The listener is down: a fresh connection is refused.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatalf("listener still accepting after drain")
+	}
+}

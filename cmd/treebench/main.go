@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -65,6 +66,20 @@ func traceName(base string, alg core.Algorithm, p int) string {
 // every failure names the exact configuration that produced it.
 func specContext(sp runner.Spec) []any {
 	return []any{"alg", sp.Alg.String(), "n", sp.Bodies, "p", sp.Procs, "seed", sp.Seed}
+}
+
+// runCells executes the sweep one cell at a time, settling the heap
+// before each so a GC cycle provoked by an earlier cell's garbage (or by
+// the engine's retained builder stores) never lands inside a later
+// cell's measured phase — the same discipline testing.B applies between
+// benchmarks.
+func runCells(r *runner.Runner, specs []runner.Spec) []runner.Result {
+	results := make([]runner.Result, len(specs))
+	for i, sp := range specs {
+		runtime.GC()
+		results[i] = r.Run(context.Background(), sp)
+	}
+	return results
 }
 
 func main() {
@@ -150,7 +165,7 @@ func main() {
 		}
 	}
 
-	results := r.RunAll(context.Background(), specs)
+	results := runCells(r, specs)
 
 	if *benchout != "" {
 		bf := benchFile{Bodies: base.Bodies, LeafCap: base.LeafCap, Reps: base.Steps, Spatial: base.Spatial}
@@ -262,7 +277,7 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 		sp.Trace = ""
 		specs = append(specs, sp)
 	}
-	results := r.RunAll(context.Background(), specs)
+	results := runCells(r, specs)
 
 	fmt.Printf("treebench: benchcmp vs %s (%d bodies, k=%d, best of %d, threshold +%.0f%%)\n\n",
 		path, bf.Bodies, bf.LeafCap, bf.Reps, 100*threshold)

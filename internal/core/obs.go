@@ -84,3 +84,24 @@ func (b obsBuilder) Build(in *Input) (t *octree.Tree, m *Metrics) {
 	publishBuild(m)
 	return t, m
 }
+
+// StoresOf returns the octree stores a builder retains across Build
+// calls — the memory a pooled session keeps warm. It unwraps the obs
+// wrapper New installs; builders constructed outside this package (or
+// future algorithms without a persistent store) yield nil.
+func StoresOf(b Builder) []*octree.Store {
+	if ob, ok := b.(obsBuilder); ok {
+		b = ob.Builder
+	}
+	switch x := b.(type) {
+	case *loadBuilder:
+		return []*octree.Store{x.store}
+	case *updateBuilder:
+		return []*octree.Store{x.store}
+	case *partreeBuilder:
+		return []*octree.Store{x.store}
+	case *spaceBuilder:
+		return []*octree.Store{x.store}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"partree/internal/core"
+	"partree/internal/phys"
+)
+
+// BenchmarkSessionReuse measures the pooled steady state the engine
+// exists for: one session acquired once, its store reset and reused
+// every iteration. Compare allocs/op with BenchmarkFreshBuilder to see
+// what pooling saves.
+func BenchmarkSessionReuse(b *testing.B) {
+	for _, alg := range core.Algorithms() {
+		b.Run(alg.String(), func(b *testing.B) {
+			e := New(Options{MaxActive: 1})
+			in := benchInput(10000, 4)
+			s, err := e.Acquire(context.Background(), Key{Alg: alg, P: 4, LeafCap: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Release()
+			s.Build(in) // warm the store
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Build(in)
+			}
+		})
+	}
+}
+
+// BenchmarkFreshBuilder is the one-shot baseline: a new builder (and a
+// new store) per build, what the execution stack did before the engine.
+func BenchmarkFreshBuilder(b *testing.B) {
+	for _, alg := range core.Algorithms() {
+		b.Run(alg.String(), func(b *testing.B) {
+			in := benchInput(10000, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bld := core.New(alg, core.Config{P: 4, LeafCap: 8})
+				bld.Build(in)
+			}
+		})
+	}
+}
+
+func benchInput(n, p int) *core.Input {
+	bodies := phys.Generate(phys.ModelPlummer, n, 7)
+	return &core.Input{Bodies: bodies, Assign: core.EvenAssign(n, p)}
+}
+
+// TestSessionReuseSteadyStateAllocs pins the acceptance criterion:
+// repeated builds through a pooled session allocate ~0 — a small
+// constant independent of n (metrics, bounds scratch, fork/join
+// plumbing), never the O(n) node storage a fresh store would cost.
+func TestSessionReuseSteadyStateAllocs(t *testing.T) {
+	const n = 10000
+	in := benchInput(n, 1)
+	// SPACE's partitioning phase allocates per-build scratch (frontier
+	// histograms, per-round body lists) proportional to tree depth — not
+	// store nodes, which the pool does retain. Its budget is looser but
+	// still far below one alloc per body.
+	budget := map[core.Algorithm]float64{
+		core.ORIG: 100, core.LOCAL: 100, core.PARTREE: 100, core.SPACE: 1000,
+	}
+	for _, alg := range []core.Algorithm{core.ORIG, core.LOCAL, core.PARTREE, core.SPACE} {
+		e := New(Options{MaxActive: 1})
+		s, err := e.Acquire(context.Background(), Key{Alg: alg, P: 1, LeafCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			s.Build(in) // warm up: install chunks, grow leaf body slices
+		}
+		steady := testing.AllocsPerRun(10, func() { s.Build(in) })
+
+		fresh := testing.AllocsPerRun(3, func() {
+			bld := core.New(alg, core.Config{P: 1, LeafCap: 8})
+			bld.Build(in)
+		})
+		s.Release()
+
+		// "~0": a constant far below one alloc per body, and far below
+		// the fresh-builder path which reallocates the node storage.
+		if steady > budget[alg] {
+			t.Errorf("%v: steady-state build allocates %v allocs/op, want ~0 (<=%v)", alg, steady, budget[alg])
+		}
+		if fresh < 5*steady {
+			t.Errorf("%v: fresh build %v allocs vs steady %v — pooling saves too little to be real reuse",
+				alg, fresh, steady)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package engine is the long-lived execution layer under every native
+// tree build: a pool of builder *sessions*, each wrapping a persistent
+// core.Builder whose octree store is Reset() and reused across requests,
+// with admission control in front. The paper's finding is that build cost
+// is dominated by synchronization and memory behaviour, not arithmetic —
+// so a process that serves builds continuously must not re-pay store
+// allocation on every request. Sessions are keyed by the builder's full
+// identity (algorithm, processors, leaf capacity, SPACE threshold,
+// margin); acquiring a session for a key the pool has seen before reuses
+// its warmed store, and the steady-state hot path of a repeated build
+// allocates (near) zero.
+//
+// Admission control bounds what a long-lived process lets in: at most
+// MaxActive builds run concurrently, at most MaxQueue more may wait
+// (with the wait honoring the request context's deadline), anything
+// beyond is rejected immediately with ErrQueueFull, and once Drain
+// begins every new acquire is rejected with ErrDraining while in-flight
+// builds run to completion. internal/runner's native backend,
+// harness.Session sweeps, and cmd/partreed all execute through one
+// shared Engine, so the whole process observes a single budget.
+package engine
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"partree/internal/core"
+	"partree/internal/octree"
+)
+
+// Rejection sentinels. They surface to HTTP callers as 503s, so their
+// text is part of the service contract.
+var (
+	// ErrQueueFull rejects an acquire that would exceed MaxActive running
+	// plus MaxQueue waiting builds.
+	ErrQueueFull = errors.New("engine: queue full")
+	// ErrDraining rejects every acquire after Drain has begun.
+	ErrDraining = errors.New("engine: draining")
+)
+
+// Key is a session's identity: two requests with equal keys can share a
+// pooled builder (and therefore its retained store). The fields mirror
+// core.Config plus the algorithm; zero values normalize to the
+// documented core defaults so equivalent configurations pool together.
+type Key struct {
+	Alg            core.Algorithm
+	P              int
+	LeafCap        int
+	SpaceThreshold int
+	Margin         float64
+}
+
+func (k Key) normalized() Key {
+	if k.P <= 0 {
+		k.P = 1
+	}
+	if k.LeafCap <= 0 {
+		k.LeafCap = 8
+	}
+	if k.Margin <= 0 {
+		k.Margin = 1e-4
+	}
+	return k
+}
+
+// String renders the key for logs.
+func (k Key) String() string {
+	k = k.normalized()
+	return fmt.Sprintf("%s/p%d/k%d/st%d/m%g", k.Alg, k.P, k.LeafCap, k.SpaceThreshold, k.Margin)
+}
+
+// Options bound the engine. The zero value selects sane service
+// defaults.
+type Options struct {
+	// MaxActive is the number of builds allowed to run concurrently
+	// (0 = GOMAXPROCS).
+	MaxActive int
+	// MaxQueue is how many acquires may wait for a slot beyond
+	// MaxActive before new ones are rejected with ErrQueueFull
+	// (0 = 4×MaxActive).
+	MaxQueue int
+	// MaxIdle bounds the sessions retained in the pool across all keys;
+	// the least recently used is evicted past it (0 = 32; negative =
+	// retain nothing, every release frees the session).
+	MaxIdle int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxActive <= 0 {
+		o.MaxActive = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 4 * o.MaxActive
+	}
+	if o.MaxIdle == 0 {
+		o.MaxIdle = 32
+	}
+	return o
+}
+
+// Engine is the session pool. Create with New; safe for concurrent use.
+type Engine struct {
+	opts Options
+	// slots is the active-build semaphore: holding a token = holding a
+	// session. Drain seizes every token to wait out in-flight builds.
+	slots chan struct{}
+
+	mu        sync.Mutex
+	idle      map[Key][]*Session
+	lru       *list.List // *Session, front = most recently released
+	sessions  map[*Session]struct{}
+	draining  bool
+	drainDone chan struct{} // non-nil once a drain has started
+
+	queued            atomic.Int64
+	inUse             atomic.Int64
+	created           atomic.Int64
+	reused            atomic.Int64
+	evicted           atomic.Int64
+	rejectedFull      atomic.Int64
+	rejectedDraining  atomic.Int64
+	rejectedCancelled atomic.Int64
+}
+
+// New creates an engine.
+func New(o Options) *Engine {
+	o = o.withDefaults()
+	return &Engine{
+		opts:     o,
+		slots:    make(chan struct{}, o.MaxActive),
+		idle:     map[Key][]*Session{},
+		lru:      list.New(),
+		sessions: map[*Session]struct{}{},
+	}
+}
+
+// Session is one exclusively-held pooled builder. Build through it (or
+// take Builder() and drive it directly), then Release it back to the
+// pool. A session is never handed to two holders at once.
+type Session struct {
+	eng      *Engine
+	key      Key
+	b        core.Builder
+	elem     *list.Element // LRU position while idle, nil while held
+	released bool
+}
+
+// Key returns the session's identity.
+func (s *Session) Key() Key { return s.key }
+
+// Builder returns the persistent builder for callers that drive it
+// directly (nbody injects it into a Simulation). The builder must not be
+// used after Release.
+func (s *Session) Builder() core.Builder { return s.b }
+
+// Build runs one build through the session's persistent builder.
+func (s *Session) Build(in *core.Input) (*octree.Tree, *core.Metrics) {
+	return s.b.Build(in)
+}
+
+func (e *Engine) isDraining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// Acquire takes exclusive ownership of a session for key, reusing a
+// pooled one when available and creating one otherwise. It blocks while
+// MaxActive builds are running, up to ctx's deadline; it rejects
+// immediately with ErrQueueFull when MaxQueue acquires are already
+// waiting, and with ErrDraining once Drain has begun.
+func (e *Engine) Acquire(ctx context.Context, k Key) (*Session, error) {
+	k = k.normalized()
+	if e.isDraining() {
+		e.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	select {
+	case e.slots <- struct{}{}:
+		// Fast path: a build slot was free.
+	default:
+		// Every slot is busy; this acquire would wait. Only real waiters
+		// count against MaxQueue — fast-path acquires never do.
+		if q := e.queued.Add(1); int(q) > e.opts.MaxQueue {
+			e.queued.Add(-1)
+			e.rejectedFull.Add(1)
+			return nil, ErrQueueFull
+		}
+		select {
+		case e.slots <- struct{}{}:
+			e.queued.Add(-1)
+		case <-ctx.Done():
+			e.queued.Add(-1)
+			e.rejectedCancelled.Add(1)
+			return nil, fmt.Errorf("engine: acquire: %w", ctx.Err())
+		}
+	}
+
+	e.mu.Lock()
+	if e.draining {
+		// Drain began while this acquire waited for a slot; it must not
+		// start a new build.
+		e.mu.Unlock()
+		<-e.slots
+		e.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	var s *Session
+	if l := e.idle[k]; len(l) > 0 {
+		s = l[len(l)-1]
+		if len(l) == 1 {
+			delete(e.idle, k)
+		} else {
+			e.idle[k] = l[:len(l)-1]
+		}
+		e.lru.Remove(s.elem)
+		s.elem = nil
+		s.released = false
+		e.reused.Add(1)
+	}
+	e.mu.Unlock()
+
+	if s == nil {
+		// Built outside the lock: store allocation is the expensive part
+		// pooling exists to amortize.
+		s = &Session{eng: e, key: k, b: core.New(k.Alg, core.Config{
+			P: k.P, LeafCap: k.LeafCap, SpaceThreshold: k.SpaceThreshold, Margin: k.Margin,
+		})}
+		e.created.Add(1)
+		e.mu.Lock()
+		e.sessions[s] = struct{}{}
+		e.mu.Unlock()
+	}
+	e.inUse.Add(1)
+	return s, nil
+}
+
+// Release returns the session to the pool (or frees it past MaxIdle, or
+// while draining) and gives up its build slot.
+func (s *Session) Release() {
+	e := s.eng
+	e.mu.Lock()
+	if s.released {
+		e.mu.Unlock()
+		panic("engine: session released twice")
+	}
+	s.released = true
+	switch {
+	case e.draining || e.opts.MaxIdle < 0:
+		delete(e.sessions, s)
+	default:
+		e.idle[s.key] = append(e.idle[s.key], s)
+		s.elem = e.lru.PushFront(s)
+		if e.lru.Len() > e.opts.MaxIdle {
+			e.evictLocked(e.lru.Back().Value.(*Session))
+		}
+	}
+	e.mu.Unlock()
+	e.inUse.Add(-1)
+	<-e.slots
+}
+
+// evictLocked drops an idle session from the pool. Caller holds e.mu.
+func (e *Engine) evictLocked(victim *Session) {
+	l := e.idle[victim.key]
+	for i := range l {
+		if l[i] == victim {
+			l = append(l[:i], l[i+1:]...)
+			break
+		}
+	}
+	if len(l) == 0 {
+		delete(e.idle, victim.key)
+	} else {
+		e.idle[victim.key] = l
+	}
+	e.lru.Remove(victim.elem)
+	victim.elem = nil
+	delete(e.sessions, victim)
+	e.evicted.Add(1)
+}
+
+// Drain gracefully shuts the engine down: new acquires are rejected with
+// ErrDraining immediately, pooled idle sessions are freed, and Drain
+// blocks until every in-flight build has Released — or ctx expires, in
+// which case the engine stays draining (still rejecting) with the
+// stragglers unwaited. Concurrent and repeated calls share one drain.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	first := e.drainDone == nil
+	if first {
+		e.drainDone = make(chan struct{})
+	}
+	done := e.drainDone
+	e.draining = true
+	for _, l := range e.idle {
+		for _, s := range l {
+			delete(e.sessions, s)
+		}
+	}
+	e.idle = map[Key][]*Session{}
+	e.lru.Init()
+	e.mu.Unlock()
+
+	if !first {
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("engine: drain: %w (%d builds still in flight)", ctx.Err(), e.inUse.Load())
+		}
+	}
+	// Seize every build slot: once all tokens are held here, no build is
+	// in flight and none can start.
+	for i := 0; i < cap(e.slots); i++ {
+		select {
+		case e.slots <- struct{}{}:
+		case <-ctx.Done():
+			return fmt.Errorf("engine: drain: %w (%d builds still in flight)", ctx.Err(), e.inUse.Load())
+		}
+	}
+	close(done)
+	return nil
+}
+
+// Stats is a snapshot of the pool for tests, audits, and exposition.
+type Stats struct {
+	Created, Reused, Evicted int64
+	RejectedFull             int64
+	RejectedDraining         int64
+	RejectedCancelled        int64
+	InUse, Idle, Queued      int64
+	Draining                 bool
+	// Store aggregates retained octree storage over every live session
+	// (idle and in use).
+	Store octree.StoreStats
+}
+
+// Stats snapshots the engine. Store figures read each session's store
+// atomically; a snapshot taken while builds run is a consistent-enough
+// lower bound.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	sessions := make([]*Session, 0, len(e.sessions))
+	for s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	idle := int64(e.lru.Len())
+	draining := e.draining
+	e.mu.Unlock()
+	st := Stats{
+		Created:           e.created.Load(),
+		Reused:            e.reused.Load(),
+		Evicted:           e.evicted.Load(),
+		RejectedFull:      e.rejectedFull.Load(),
+		RejectedDraining:  e.rejectedDraining.Load(),
+		RejectedCancelled: e.rejectedCancelled.Load(),
+		InUse:             e.inUse.Load(),
+		Idle:              idle,
+		Queued:            e.queued.Load(),
+		Draining:          draining,
+	}
+	for _, s := range sessions {
+		for _, store := range core.StoresOf(s.b) {
+			st.Store = st.Store.Add(store.Stats())
+		}
+	}
+	return st
+}

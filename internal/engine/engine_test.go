@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+func testInput(n, p int) *core.Input {
+	b := phys.Generate(phys.ModelPlummer, n, 42)
+	return &core.Input{Bodies: b, Assign: core.EvenAssign(n, p)}
+}
+
+func mustAcquire(t *testing.T, e *Engine, k Key) *Session {
+	t.Helper()
+	s, err := e.Acquire(context.Background(), k)
+	if err != nil {
+		t.Fatalf("Acquire(%v): %v", k, err)
+	}
+	return s
+}
+
+func TestSessionReuseSameKey(t *testing.T) {
+	e := New(Options{MaxActive: 2})
+	k := Key{Alg: core.LOCAL, P: 2, LeafCap: 8}
+	in := testInput(512, 2)
+
+	s1 := mustAcquire(t, e, k)
+	tree, m := s1.Build(in)
+	if m.TotalLocks() < 0 || tree.Root.IsNil() {
+		t.Fatalf("bad first build")
+	}
+	s1.Release()
+
+	s2 := mustAcquire(t, e, k)
+	if s2 != s1 {
+		t.Fatalf("same key did not reuse the pooled session")
+	}
+	tree2, _ := s2.Build(in)
+	d := octree.BodyData{Pos: in.Bodies.Pos, Mass: in.Bodies.Mass}
+	if err := octree.Check(tree2, d, octree.CheckOptions{Canonical: true, Moments: true, Tol: 1e-9}); err != nil {
+		t.Fatalf("reused session built a bad tree: %v", err)
+	}
+	s2.Release()
+
+	st := e.Stats()
+	if st.Created != 1 || st.Reused != 1 {
+		t.Fatalf("created=%d reused=%d, want 1/1", st.Created, st.Reused)
+	}
+	if st.Store.RetainedBytes == 0 || st.Store.Cells == 0 {
+		t.Fatalf("pooled store reports no retained memory: %+v", st.Store)
+	}
+}
+
+func TestDistinctKeysDistinctSessions(t *testing.T) {
+	e := New(Options{MaxActive: 4})
+	s1 := mustAcquire(t, e, Key{Alg: core.LOCAL, P: 2, LeafCap: 8})
+	s2 := mustAcquire(t, e, Key{Alg: core.SPACE, P: 2, LeafCap: 8})
+	s3 := mustAcquire(t, e, Key{Alg: core.LOCAL, P: 4, LeafCap: 8})
+	if s1 == s2 || s1 == s3 || s2 == s3 {
+		t.Fatalf("distinct keys shared a session")
+	}
+	s1.Release()
+	s2.Release()
+	s3.Release()
+	if st := e.Stats(); st.Created != 3 || st.Idle != 3 {
+		t.Fatalf("created=%d idle=%d, want 3/3", st.Created, st.Idle)
+	}
+}
+
+func TestKeyNormalization(t *testing.T) {
+	e := New(Options{MaxActive: 2})
+	s1 := mustAcquire(t, e, Key{Alg: core.LOCAL}) // zero P/LeafCap/Margin
+	s1.Release()
+	s2 := mustAcquire(t, e, Key{Alg: core.LOCAL, P: 1, LeafCap: 8, Margin: 1e-4})
+	defer s2.Release()
+	if s1 != s2 {
+		t.Fatalf("normalized-equal keys did not pool together")
+	}
+}
+
+func TestConcurrentAcquireSameKeyGetsFreshSessions(t *testing.T) {
+	e := New(Options{MaxActive: 2})
+	k := Key{Alg: core.PARTREE, P: 2, LeafCap: 8}
+	s1 := mustAcquire(t, e, k)
+	s2 := mustAcquire(t, e, k) // s1 still held: must not be shared
+	if s1 == s2 {
+		t.Fatalf("held session handed out twice")
+	}
+	s1.Release()
+	s2.Release()
+}
+
+func TestAdmissionQueueFullAndDeadline(t *testing.T) {
+	e := New(Options{MaxActive: 1, MaxQueue: 1, MaxIdle: 4})
+	k := Key{Alg: core.LOCAL, P: 1, LeafCap: 8}
+	held := mustAcquire(t, e, k)
+
+	// One waiter is admitted to the queue...
+	waiterErr := make(chan error, 1)
+	waiterGot := make(chan *Session, 1)
+	go func() {
+		s, err := e.Acquire(context.Background(), k)
+		waiterGot <- s
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...the next is rejected immediately.
+	if _, err := e.Acquire(context.Background(), k); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-queue acquire: got %v, want ErrQueueFull", err)
+	}
+
+	// A queued acquire honors its context deadline. (It occupies the one
+	// queue slot only briefly; run it after the rejection check above.)
+	held.Release()
+	s := <-waiterGot
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := e.Acquire(ctx, k); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline acquire: got %v, want DeadlineExceeded", err)
+	}
+	s.Release()
+
+	st := e.Stats()
+	if st.RejectedFull != 1 || st.RejectedCancelled != 1 {
+		t.Fatalf("rejections full=%d cancelled=%d, want 1/1", st.RejectedFull, st.RejectedCancelled)
+	}
+}
+
+func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
+	e := New(Options{MaxActive: 2})
+	k := Key{Alg: core.SPACE, P: 2, LeafCap: 8}
+	held := mustAcquire(t, e, k)
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drainErr <- e.Drain(ctx)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !e.Stats().Draining {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain never marked the engine draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := e.Acquire(context.Background(), k); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire during drain: got %v, want ErrDraining", err)
+	}
+
+	// The in-flight session finishes its work and releases; only then
+	// does Drain return.
+	select {
+	case err := <-drainErr:
+		t.Fatalf("drain returned before the in-flight build released: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	held.Release()
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := e.Stats()
+	if st.Idle != 0 || st.InUse != 0 {
+		t.Fatalf("post-drain idle=%d inUse=%d, want 0/0", st.Idle, st.InUse)
+	}
+	// Drain again: idempotent.
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func TestMaxIdleEvictsLRU(t *testing.T) {
+	e := New(Options{MaxActive: 4, MaxIdle: 2})
+	k1 := Key{Alg: core.LOCAL, P: 1, LeafCap: 8}
+	k2 := Key{Alg: core.LOCAL, P: 2, LeafCap: 8}
+	k3 := Key{Alg: core.LOCAL, P: 4, LeafCap: 8}
+	s1 := mustAcquire(t, e, k1)
+	s2 := mustAcquire(t, e, k2)
+	s3 := mustAcquire(t, e, k3)
+	s1.Release() // oldest
+	s2.Release()
+	s3.Release() // newest; s1 evicted
+
+	st := e.Stats()
+	if st.Evicted != 1 || st.Idle != 2 {
+		t.Fatalf("evicted=%d idle=%d, want 1/2", st.Evicted, st.Idle)
+	}
+	if got := mustAcquire(t, e, k1); got == s1 {
+		t.Fatalf("evicted session came back from the pool")
+	} else {
+		got.Release()
+	}
+}
+
+// TestUpdateSessionServesFreshRequests checks the reuse contract for the
+// stateful builder: UPDATE keeps its tree between steps, but a new
+// request starting at Step 0 must rebuild from scratch and verify clean
+// even on a pooled session that previously served a different body set.
+func TestUpdateSessionServesFreshRequests(t *testing.T) {
+	e := New(Options{MaxActive: 1})
+	k := Key{Alg: core.UPDATE, P: 2, LeafCap: 8}
+
+	s := mustAcquire(t, e, k)
+	inA := testInput(700, 2)
+	s.Build(inA)                // step 0: fresh build
+	inA.Step = 1
+	s.Build(inA)                // step 1: incremental repair
+	s.Release()
+
+	s2 := mustAcquire(t, e, k)
+	if s2 != s {
+		t.Fatalf("UPDATE session not pooled")
+	}
+	inB := testInput(1200, 2) // different size, new request
+	tree, _ := s2.Build(inB)
+	d := octree.BodyData{Pos: inB.Bodies.Pos, Mass: inB.Bodies.Mass}
+	if err := octree.Check(tree, d, octree.CheckOptions{Canonical: true, Moments: true, Tol: 1e-9}); err != nil {
+		t.Fatalf("pooled UPDATE session failed a fresh step-0 request: %v", err)
+	}
+	s2.Release()
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"partree/internal/obs"
+)
+
+// RegisterObs exposes the pool's live state on reg: session lifecycle
+// counters, the admission gauges, and the partree_store_* gauges
+// aggregating octree storage retained across every pooled session —
+// exactly the memory session pooling trades for allocation-free steady
+// state, so a dashboard can see what the pool holds. Call once per
+// (engine, registry) pair.
+func (e *Engine) RegisterObs(reg *obs.Registry) error {
+	ctr := func(name, help string, v *atomic.Int64) obs.Collector {
+		return obs.NewCounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	return reg.Register(
+		ctr("partree_engine_sessions_created_total", "Builder sessions constructed (pool misses).", &e.created),
+		ctr("partree_engine_sessions_reused_total", "Acquires served by a pooled session (pool hits).", &e.reused),
+		ctr("partree_engine_sessions_evicted_total", "Idle sessions evicted past the MaxIdle bound.", &e.evicted),
+		obs.NewGaugeFunc("partree_engine_sessions_idle", "Sessions pooled and ready for reuse.",
+			func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				return float64(e.lru.Len())
+			}),
+		obs.NewGaugeFunc("partree_engine_sessions_in_use", "Sessions exclusively held by running builds.",
+			func() float64 { return float64(e.inUse.Load()) }),
+		obs.NewGaugeFunc("partree_engine_queue_depth", "Acquires admitted and waiting for a build slot.",
+			func() float64 { return float64(e.queued.Load()) }),
+		obs.NewGaugeFunc("partree_engine_max_active", "Concurrent-build bound (admission capacity).",
+			func() float64 { return float64(e.opts.MaxActive) }),
+		obs.NewGaugeFunc("partree_engine_draining", "1 once Drain has begun, 0 before.",
+			func() float64 {
+				if e.isDraining() {
+					return 1
+				}
+				return 0
+			}),
+		rejectedCollector{e},
+		storeCollector{e},
+	)
+}
+
+// rejectedCollector renders the rejection counters as one family labeled
+// by reason, so alerting can key off any rejection without enumerating.
+type rejectedCollector struct{ e *Engine }
+
+// Collect implements obs.Collector.
+func (c rejectedCollector) Collect(out []obs.Family) []obs.Family {
+	return append(out, obs.Family{
+		Name: "partree_engine_rejected_total",
+		Help: "Acquires rejected by admission control, by reason.",
+		Type: obs.TypeCounter,
+		Series: []obs.Series{
+			{Labels: []obs.Label{{Name: "reason", Value: "cancelled"}}, Value: float64(c.e.rejectedCancelled.Load())},
+			{Labels: []obs.Label{{Name: "reason", Value: "draining"}}, Value: float64(c.e.rejectedDraining.Load())},
+			{Labels: []obs.Label{{Name: "reason", Value: "queue_full"}}, Value: float64(c.e.rejectedFull.Load())},
+		},
+	})
+}
+
+// storeCollector aggregates octree.Store.Stats over every live session
+// at scrape time (atomic loads only; cheap relative to a scrape).
+type storeCollector struct{ e *Engine }
+
+// Collect implements obs.Collector.
+func (c storeCollector) Collect(out []obs.Family) []obs.Family {
+	st := c.e.Stats().Store
+	gauge := func(name, help string, v int64) obs.Family {
+		return obs.Family{Name: name, Help: help, Type: obs.TypeGauge,
+			Series: []obs.Series{{Value: float64(v)}}}
+	}
+	return append(out,
+		gauge("partree_store_cells", "Live cells across pooled sessions' stores.", st.Cells),
+		gauge("partree_store_leaves", "Live leaves across pooled sessions' stores.", st.Leaves),
+		gauge("partree_store_cell_chunks", "Installed cell chunks retained across resets.", st.CellChunks),
+		gauge("partree_store_leaf_chunks", "Installed leaf chunks retained across resets.", st.LeafChunks),
+		gauge("partree_store_retained_bytes", "Chunk memory retained by pooled sessions' stores.", st.RetainedBytes),
+	)
+}

@@ -86,6 +86,10 @@ type Session struct {
 	mu         sync.Mutex
 	collecting bool
 	pending    map[string]runner.Spec
+	// ctx is the active sweep's context while RunExperiment is rendering;
+	// outcome() runs cells under it so cancellation (Ctrl-C in
+	// cmd/paperrepro) cuts a sweep short instead of running it to the end.
+	ctx context.Context
 
 	// obs tracks live sweep progress (cells done/total, current figure);
 	// see obs.go. Always maintained, exposed only under -http.
@@ -166,8 +170,12 @@ func (s *Session) outcome(spec runner.Spec) simalg.Outcome {
 			BarrierNsPerProc: make([]float64, spec.Procs),
 		}
 	}
+	ctx := s.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Unlock()
-	o, _ := s.r.Run(context.Background(), spec).Outcome()
+	o, _ := s.r.Run(ctx, spec).Outcome()
 	return o
 }
 
@@ -203,7 +211,13 @@ func (s *Session) RunExperiment(ctx context.Context, e Experiment, w io.Writer) 
 	s.mu.Lock()
 	s.collecting = true
 	s.pending = map[string]runner.Spec{}
+	s.ctx = ctx
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.ctx = nil
+		s.mu.Unlock()
+	}()
 	func() {
 		defer func() {
 			s.mu.Lock()

@@ -58,6 +58,13 @@ type Options struct {
 	// of every build, so after a step the recorder (and the summary on
 	// StepStats.Build.Trace) covers that step's build only.
 	Trace *trace.Recorder
+
+	// Builder, when non-nil, is used instead of constructing a fresh one
+	// — how engine sessions lend their pooled builder (and its warmed
+	// store) to a simulation. It must match Alg/P/LeafCap, and the caller
+	// keeps ownership: the simulation never frees it. Incompatible with
+	// Trace (a builder's recorder is fixed at construction).
+	Builder core.Builder
 }
 
 // DefaultOptions mirror the SPLASH-2 BARNES defaults at a small size.
@@ -142,16 +149,20 @@ func New(opts Options) *Simulation {
 
 // NewFromBodies wraps an existing body set (the caller keeps ownership).
 func NewFromBodies(opts Options, b *phys.Bodies) *Simulation {
-	return &Simulation{
-		Opts:   opts,
-		Bodies: b,
-		Builder: core.New(opts.Alg, core.Config{
+	bld := opts.Builder
+	if bld == nil {
+		bld = core.New(opts.Alg, core.Config{
 			P:              opts.P,
 			LeafCap:        opts.LeafCap,
 			SpaceThreshold: opts.SpaceThreshold,
 			Trace:          opts.Trace,
-		}),
-		assign: core.EvenAssign(b.N(), opts.P),
+		})
+	}
+	return &Simulation{
+		Opts:    opts,
+		Bodies:  b,
+		Builder: bld,
+		assign:  core.EvenAssign(b.N(), opts.P),
 	}
 }
 

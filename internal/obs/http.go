@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -44,12 +45,24 @@ type Server struct {
 // serves in a background goroutine until Close. ready, when non-nil, is
 // sampled by /healthz; a nil ready always reports true.
 func Serve(addr, binary string, reg *Registry, ready func() bool) (*Server, error) {
+	return ServeWith(addr, binary, reg, ready, nil)
+}
+
+// ServeWith is Serve with extra routes: mount, when non-nil, is called
+// with the mux before the server starts, so a binary can hang its own
+// API beside /metrics, /healthz and /debug/pprof on one listener (how
+// cmd/partreed mounts /v1/*). Mounted patterns must not collide with the
+// built-in ones.
+func ServeWith(addr, binary string, reg *Registry, ready func() bool, mount func(*http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{reg: reg, binary: binary, started: time.Now(), ready: ready, ln: ln}
 	mux := http.NewServeMux()
+	if mount != nil {
+		mount(mux)
+	}
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -77,6 +90,10 @@ func (s *Server) URL() string {
 
 // Close stops the listener and in-flight handlers.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the listener but lets in-flight handlers finish writing
+// (bounded by ctx) — what a graceful drain wants, where Close cuts them.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // Health snapshots the /healthz document.
 func (s *Server) Health() Health {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"partree/internal/vec"
 )
@@ -199,6 +200,60 @@ func (s *Store) TotalLeaves() int {
 		n += s.LeavesIn(i)
 	}
 	return n
+}
+
+// StoreStats is a snapshot of one store's memory accounting: how many
+// nodes the current tree holds (rewound by Reset) versus how much chunk
+// memory the store retains across resets. Retention is the point of
+// session pooling — RetainedBytes is what a pooled builder keeps warm
+// instead of reallocating — so the engine exposes these as the
+// partree_store_* gauges.
+type StoreStats struct {
+	Cells  int64 // cells allocated since the last Reset, across arenas
+	Leaves int64 // leaves allocated since the last Reset
+	// CellChunks and LeafChunks count installed chunks, which survive
+	// Reset and are reused by later builds.
+	CellChunks int64
+	LeafChunks int64
+	// RetainedBytes is the chunk memory the store holds onto: installed
+	// chunks times their node size. Leaf body slices (reused in place by
+	// AllocLeaf) are not counted.
+	RetainedBytes int64
+}
+
+// Add accumulates b into a (for aggregating over several stores).
+func (a StoreStats) Add(b StoreStats) StoreStats {
+	a.Cells += b.Cells
+	a.Leaves += b.Leaves
+	a.CellChunks += b.CellChunks
+	a.LeafChunks += b.LeafChunks
+	a.RetainedBytes += b.RetainedBytes
+	return a
+}
+
+// Stats snapshots the store's live node counts and retained chunk
+// memory. Safe for concurrent use with builds (atomic loads only); a
+// snapshot taken mid-build is a consistent-enough lower bound.
+func (s *Store) Stats() StoreStats {
+	var st StoreStats
+	for i := range s.arenas {
+		a := &s.arenas[i]
+		st.Cells += atomic.LoadInt64(&a.nCells)
+		st.Leaves += atomic.LoadInt64(&a.nLeaves)
+		for c := range a.cellChunks {
+			if a.cellChunks[c].Load() != nil {
+				st.CellChunks++
+			}
+		}
+		for c := range a.leafChunks {
+			if a.leafChunks[c].Load() != nil {
+				st.LeafChunks++
+			}
+		}
+	}
+	st.RetainedBytes = st.CellChunks*chunkSize*int64(unsafe.Sizeof(Cell{})) +
+		st.LeafChunks*chunkSize*int64(unsafe.Sizeof(Leaf{}))
+	return st
 }
 
 // Reset rewinds every arena so the store's memory can be reused for the

@@ -105,6 +105,52 @@ func meanDistToCentroid(b *phys.Bodies, idx []int32) float64 {
 	return sum / float64(len(idx))
 }
 
+// TestCostzonesSkewedCosts drives costzones with heavily skewed per-body
+// costs shaped by the Plummer density profile itself: cost falls off with
+// radius, so the dense core is orders of magnitude more expensive than
+// the outskirts — the regime costzones exists for. Coverage must stay
+// exact, and each zone's cost must stay within the scheme's theoretical
+// bound: a zone covers a total/p window of the accumulated cost sequence,
+// so it can exceed the mean by at most one body's cost (the straddler).
+func TestCostzonesSkewedCosts(t *testing.T) {
+	const n = 12000
+	b := phys.Generate(phys.ModelPlummer, n, 13)
+	var maxCost, total int64
+	for i := range b.Cost {
+		r2 := b.Pos[i].Dot(b.Pos[i])
+		c := 1 + int64(4096/(1+16*r2))
+		b.Cost[i] = c
+		total += c
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+	octree.ComputeMomentsSerial(tr, d)
+
+	for _, p := range []int{2, 5, 16} {
+		assign := Costzones(tr, d, p)
+		if err := Validate(assign, n); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		bound := total/int64(p) + maxCost
+		for w, zone := range assign {
+			var zc int64
+			for _, i := range zone {
+				zc += d.CostOf(i)
+			}
+			if zc > bound {
+				t.Errorf("p=%d zone %d: cost %d exceeds total/p+max = %d+%d",
+					p, w, zc, total/int64(p), maxCost)
+			}
+		}
+		if imb := Imbalance(assign, d); imb > 1+float64(p)*float64(maxCost)/float64(total) {
+			t.Errorf("p=%d: imbalance %.4f beyond the one-straddler bound", p, imb)
+		}
+	}
+}
+
 func TestCostzonesEmptyAndTiny(t *testing.T) {
 	tr := octree.BuildSerial(nil, 8)
 	assign := Costzones(tr, octree.BodyData{}, 4)

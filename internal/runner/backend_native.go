@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"partree/internal/core"
+	"partree/internal/engine"
 	"partree/internal/force"
 	"partree/internal/nbody"
 	"partree/internal/octree"
@@ -14,12 +15,32 @@ import (
 	"partree/internal/verify"
 )
 
+// sessionFor acquires a pooled engine session for the spec, or reports
+// (nil, nil, true) when the spec must construct its own builder: traced
+// specs pin a recorder at construction, which a shared session cannot
+// carry. A non-nil error is an admission rejection.
+func sessionFor(ctx context.Context, spec Spec, eng *engine.Engine) (*engine.Session, error, bool) {
+	if eng == nil || spec.Trace != "" {
+		return nil, nil, true
+	}
+	s, err := eng.Acquire(ctx, engine.Key{Alg: spec.Alg, P: spec.Procs, LeafCap: spec.LeafCap})
+	return s, err, false
+}
+
+// admissionResult renders an engine admission rejection as a failed,
+// transient Result: waiters on the in-flight entry observe it, but the
+// cache drops it, so the same spec retried later is admitted fresh.
+func admissionResult(spec Spec, err error) Result {
+	return Result{Spec: spec, Err: fmt.Sprintf("native run %s: %v", spec, err), transient: true}
+}
+
 // runNative executes the real concurrent implementation. Steps are
 // natural preemption points, so cancellation and timeouts yield a
-// partial Result carrying whatever completed.
-func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
+// partial Result carrying whatever completed. With a non-nil engine, the
+// build runs through a pooled session's persistent builder.
+func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies, eng *engine.Engine) Result {
 	if spec.BuildOnly {
-		return runNativeBuild(ctx, spec, bodies)
+		return runNativeBuild(ctx, spec, bodies, eng)
 	}
 	m, _ := phys.ParseModel(spec.Model)
 	opts := nbody.DefaultOptions()
@@ -40,6 +61,12 @@ func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 		rec = trace.New(spec.Procs)
 		rec.SetEnabled(true)
 		opts.Trace = rec
+	}
+	if ses, err, own := sessionFor(ctx, spec, eng); err != nil {
+		return admissionResult(spec, err)
+	} else if !own {
+		defer ses.Release()
+		opts.Builder = ses.Builder()
 	}
 	sim := nbody.NewFromBodies(opts, bodies.Clone())
 
@@ -83,15 +110,25 @@ func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
 
 // runNativeBuild benchmarks just the tree-building phase: Steps
 // repetitions of one build, reporting the best wall-clock time (what
-// cmd/treebench measures).
-func runNativeBuild(ctx context.Context, spec Spec, bodies *phys.Bodies) Result {
-	cfg := core.Config{P: spec.Procs, LeafCap: spec.LeafCap}
+// cmd/treebench measures). With a non-nil engine, the repetitions run
+// through a pooled session, so only the first-ever rep for a key pays
+// store allocation.
+func runNativeBuild(ctx context.Context, spec Spec, bodies *phys.Bodies, eng *engine.Engine) Result {
+	var bld core.Builder
 	var rec *trace.Recorder
-	if spec.Trace != "" {
-		rec = trace.New(spec.Procs)
-		cfg.Trace = rec
+	if ses, err, own := sessionFor(ctx, spec, eng); err != nil {
+		return admissionResult(spec, err)
+	} else if own {
+		cfg := core.Config{P: spec.Procs, LeafCap: spec.LeafCap}
+		if spec.Trace != "" {
+			rec = trace.New(spec.Procs)
+			cfg.Trace = rec
+		}
+		bld = core.New(spec.Alg, cfg)
+	} else {
+		defer ses.Release()
+		bld = ses.Builder()
 	}
-	bld := core.New(spec.Alg, cfg)
 	assign := core.EvenAssign(bodies.N(), spec.Procs)
 	if spec.Spatial {
 		assign = core.SpatialAssign(bodies, spec.Procs)

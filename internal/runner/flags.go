@@ -150,6 +150,9 @@ func (of *ObsFlags) Serve(binary string, r *Runner, extra ...func(*obs.Registry)
 		if err := r.RegisterObs(reg); err != nil {
 			return nil, err
 		}
+		if err := r.Engine().RegisterObs(reg); err != nil {
+			return nil, err
+		}
 	}
 	for _, fn := range extra {
 		if err := fn(reg); err != nil {

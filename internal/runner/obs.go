@@ -31,6 +31,10 @@ type runnerObs struct {
 	memoHits    atomic.Int64 // body-set requests served from the memo
 	memoMisses  atomic.Int64 // body-set requests that generated bodies
 
+	resultEvictions  atomic.Int64 // completed results dropped past the LRU bound
+	bodyEvictions    atomic.Int64 // body sets dropped past the LRU bound
+	transientDropped atomic.Int64 // admission rejections dropped from the cache
+
 	// specSeconds distributes per-spec wall time (Result.WallNs) across
 	// deterministic exponential buckets, labeled by backend: 1ms..~137s.
 	specSeconds *obs.Vec[*obs.Histogram]
@@ -69,6 +73,9 @@ type ObsSnapshot struct {
 	Started, Completed, Failed   int64
 	QueueDepth, InFlight         int64
 	BodyMemoHits, BodyMemoMisses int64
+	ResultEvictions              int64
+	BodyEvictions                int64
+	TransientDropped             int64
 	SpecDurationsObserved        uint64
 }
 
@@ -90,6 +97,9 @@ func (r *Runner) ObsSnapshot() ObsSnapshot {
 		InFlight:              o.inFlight.Load(),
 		BodyMemoHits:          o.memoHits.Load(),
 		BodyMemoMisses:        o.memoMisses.Load(),
+		ResultEvictions:       o.resultEvictions.Load(),
+		BodyEvictions:         o.bodyEvictions.Load(),
+		TransientDropped:      o.transientDropped.Load(),
 		SpecDurationsObserved: durations,
 	}
 }
@@ -107,8 +117,11 @@ func (r *Runner) AuditObs() error {
 	if s.CacheHits+s.CacheMisses != s.Runs {
 		return fmt.Errorf("runner obs: hits(%d)+misses(%d) != runs(%d)", s.CacheHits, s.CacheMisses, s.Runs)
 	}
-	if s.CacheMisses != int64(len(results)) {
-		return fmt.Errorf("runner obs: misses(%d) != completed cache entries(%d)", s.CacheMisses, len(results))
+	// Evicted entries and dropped admission rejections were misses whose
+	// results the cache no longer holds; they complete the balance.
+	if s.CacheMisses != int64(len(results))+s.ResultEvictions+s.TransientDropped {
+		return fmt.Errorf("runner obs: misses(%d) != cache entries(%d)+evicted(%d)+transient(%d)",
+			s.CacheMisses, len(results), s.ResultEvictions, s.TransientDropped)
 	}
 	if s.Started != s.CacheMisses {
 		return fmt.Errorf("runner obs: started(%d) != misses(%d)", s.Started, s.CacheMisses)
@@ -122,7 +135,8 @@ func (r *Runner) AuditObs() error {
 			failed++
 		}
 	}
-	if failed != s.Failed {
+	if s.ResultEvictions == 0 && s.TransientDropped == 0 && failed != s.Failed {
+		// Only checkable while every executed result is still cached.
 		return fmt.Errorf("runner obs: failed counter(%d) != failed results(%d)", s.Failed, failed)
 	}
 	if s.SpecDurationsObserved != uint64(s.Started) {
@@ -158,9 +172,27 @@ func (r *Runner) RegisterObs(reg *obs.Registry) error {
 		ctr("partree_runner_body_memo_misses_total", "Body-set requests that generated a new body set.", &o.memoMisses),
 		obs.NewGaugeFunc("partree_runner_workers", "Worker-pool bound of this runner.",
 			func() float64 { return float64(r.workers) }),
+		evictionsCollector{o},
 		o.specSeconds,
 		o.traceBridge,
 	)
+}
+
+// evictionsCollector renders both LRU caches' eviction counters as one
+// family labeled by cache, so a dashboard spots churn in either bound.
+type evictionsCollector struct{ o *runnerObs }
+
+// Collect implements obs.Collector.
+func (c evictionsCollector) Collect(out []obs.Family) []obs.Family {
+	return append(out, obs.Family{
+		Name: "partree_runner_evictions_total",
+		Help: "Cache entries evicted past the configured LRU bounds, by cache.",
+		Type: obs.TypeCounter,
+		Series: []obs.Series{
+			{Labels: []obs.Label{{Name: "cache", Value: "bodies"}}, Value: float64(c.o.bodyEvictions.Load())},
+			{Labels: []obs.Label{{Name: "cache", Value: "results"}}, Value: float64(c.o.resultEvictions.Load())},
+		},
+	})
 }
 
 // buildCollector exposes internal/core's process-wide per-algorithm

@@ -55,6 +55,10 @@ type Result struct {
 	// to Spec.Trace — after the wall clock stops, so a traced spec's
 	// WallNs never includes the file export.
 	rec *trace.Recorder
+	// transient marks a result that must not be memoized: an engine
+	// admission rejection (queue full, draining) reflects momentary load,
+	// not the spec, so an identical later request deserves a fresh try.
+	transient bool
 }
 
 // TraceSummary returns the run's per-processor trace summary, when the

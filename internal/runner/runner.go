@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"partree/internal/engine"
 	"partree/internal/phys"
 )
 
@@ -17,18 +19,27 @@ import (
 // matter how many goroutines request them; distinct specs run
 // concurrently up to the worker bound. Bodies are memoized per
 // (model, n, seed) and shared read-only across runs, so every backend
-// sees the same deterministic initial conditions.
+// sees the same deterministic initial conditions. Both caches are
+// bounded LRUs (see Config), so a long-lived process — partreed serving
+// requests forever — holds a fixed working set instead of leaking.
+// Native builds run through a shared engine.Engine, reusing pooled
+// builder sessions instead of allocating a store per spec.
 type Runner struct {
 	workers int
 	sem     chan struct{}
+	eng     *engine.Engine
 
 	// execs counts spec executions (not cache hits); tests assert a spec
 	// requested from many goroutines runs exactly once.
 	execs int64
 
-	mu     sync.Mutex
-	cache  map[string]*entry
-	bodies map[string]*bodiesEntry
+	mu         sync.Mutex
+	cache      map[string]*entry
+	cacheLRU   *list.List // *entry, front = most recently used
+	maxResults int
+	bodies     map[string]*bodiesEntry
+	bodiesLRU  *list.List // *bodiesEntry, front = most recently used
+	maxBodies  int
 
 	// obs holds the live instrumentation counters (see obs.go). They are
 	// always maintained — a few atomic adds per spec — and surfaced over
@@ -37,34 +48,87 @@ type Runner struct {
 }
 
 type entry struct {
+	key  string
 	spec Spec // normalized
 	done chan struct{}
 	res  Result
+	elem *list.Element
+	// transient marks a result that must not be memoized (an engine
+	// admission rejection): waiters still observe it, but the entry is
+	// dropped so a later identical request retries.
+	transient bool
 }
 
 type bodiesEntry struct {
+	key   string
 	done  chan struct{}
 	b     *phys.Bodies
 	genNs int64
 	err   error
+	elem  *list.Element
+}
+
+// Config sizes a runner for its lifetime. The zero value of every field
+// selects the documented default, so Config{} behaves like New(0).
+type Config struct {
+	// Workers bounds concurrent spec executions (0 = GOMAXPROCS).
+	Workers int
+	// ResultCacheEntries bounds the memoized spec→result cache; past it
+	// the least recently used completed entry is evicted (0 = 4096,
+	// generous enough that CLI sweeps never evict).
+	ResultCacheEntries int
+	// BodiesCacheEntries bounds the (model, n, seed) body memo the same
+	// way (0 = 64).
+	BodiesCacheEntries int
+	// Engine, when non-nil, is the builder-session pool native specs
+	// execute through; nil creates one sized to Workers with no
+	// admission queue pressure (the worker pool already bounds entry).
+	Engine *engine.Engine
 }
 
 // New creates a runner; workers <= 0 selects GOMAXPROCS.
 func New(workers int) *Runner {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewWithConfig(Config{Workers: workers})
+}
+
+// NewWithConfig creates a runner with explicit cache bounds and,
+// optionally, a shared engine.
+func NewWithConfig(cfg Config) *Runner {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ResultCacheEntries <= 0 {
+		cfg.ResultCacheEntries = 4096
+	}
+	if cfg.BodiesCacheEntries <= 0 {
+		cfg.BodiesCacheEntries = 64
+	}
+	if cfg.Engine == nil {
+		// Sized so the runner's own worker pool is the only gate: every
+		// worker can hold a session and queue behind a busy pool without
+		// ever seeing ErrQueueFull.
+		cfg.Engine = engine.New(engine.Options{MaxActive: cfg.Workers, MaxQueue: 2 * cfg.Workers})
 	}
 	return &Runner{
-		workers: workers,
-		sem:     make(chan struct{}, workers),
-		cache:   map[string]*entry{},
-		bodies:  map[string]*bodiesEntry{},
-		obs:     newRunnerObs(),
+		workers:    cfg.Workers,
+		sem:        make(chan struct{}, cfg.Workers),
+		eng:        cfg.Engine,
+		cache:      map[string]*entry{},
+		cacheLRU:   list.New(),
+		maxResults: cfg.ResultCacheEntries,
+		bodies:     map[string]*bodiesEntry{},
+		bodiesLRU:  list.New(),
+		maxBodies:  cfg.BodiesCacheEntries,
+		obs:        newRunnerObs(),
 	}
 }
 
 // Workers returns the pool bound.
 func (r *Runner) Workers() int { return r.workers }
+
+// Engine returns the builder-session pool native specs execute through
+// (for drain wiring and obs registration).
+func (r *Runner) Engine() *engine.Engine { return r.eng }
 
 // Run executes (or recalls) one spec. It blocks until the spec's result
 // is available or ctx is done; on cancellation it returns immediately
@@ -86,11 +150,16 @@ func (r *Runner) Run(ctx context.Context, spec Spec) Result {
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	if !ok {
-		e = &entry{spec: spec, done: make(chan struct{})}
+		e = &entry{key: key, spec: spec, done: make(chan struct{})}
 		r.cache[key] = e
+		e.elem = r.cacheLRU.PushFront(e)
+		r.evictResultsLocked()
 		r.obs.cacheMisses.Add(1)
 		go r.execute(e)
 	} else {
+		if e.elem != nil {
+			r.cacheLRU.MoveToFront(e.elem)
+		}
 		r.obs.cacheHits.Add(1)
 	}
 	r.mu.Unlock()
@@ -99,6 +168,46 @@ func (r *Runner) Run(ctx context.Context, spec Spec) Result {
 		return e.res
 	case <-ctx.Done():
 		return Result{Spec: spec, Err: fmt.Sprintf("runner: %v", ctx.Err())}
+	}
+}
+
+// evictResultsLocked drops least-recently-used *completed* entries until
+// the result cache is back under its bound. In-flight entries are never
+// evicted (their execution must publish somewhere), so under a burst of
+// distinct in-flight specs the cache may transiently exceed the bound by
+// the in-flight count. Caller holds r.mu.
+func (r *Runner) evictResultsLocked() {
+	for el := r.cacheLRU.Back(); el != nil && r.cacheLRU.Len() > r.maxResults; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		select {
+		case <-e.done:
+			r.cacheLRU.Remove(el)
+			e.elem = nil
+			delete(r.cache, e.key)
+			r.obs.resultEvictions.Add(1)
+		default: // still executing; skip
+		}
+		el = prev
+	}
+}
+
+// evictBodiesLocked is evictResultsLocked for the body memo. Evicting a
+// body set only drops the memo reference; executions already holding the
+// *phys.Bodies keep it alive until they finish.
+func (r *Runner) evictBodiesLocked() {
+	for el := r.bodiesLRU.Back(); el != nil && r.bodiesLRU.Len() > r.maxBodies; {
+		prev := el.Prev()
+		be := el.Value.(*bodiesEntry)
+		select {
+		case <-be.done:
+			r.bodiesLRU.Remove(el)
+			be.elem = nil
+			delete(r.bodies, be.key)
+			r.obs.bodyEvictions.Add(1)
+		default:
+		}
+		el = prev
 	}
 }
 
@@ -161,9 +270,22 @@ func (r *Runner) execute(e *entry) {
 	// finish publishes the result. Counters settle *before* e.done is
 	// closed, so a caller that just saw its Run return can audit the obs
 	// counters against the cache without racing them (AuditObs relies on
-	// this ordering).
+	// this ordering). Transient results (engine admission rejections) are
+	// published to waiters but dropped from the cache, so a later
+	// identical request retries once the pressure has passed.
 	finish := func(res Result) {
 		e.res = res
+		e.transient = res.transient
+		if e.transient {
+			r.mu.Lock()
+			if e.elem != nil {
+				r.cacheLRU.Remove(e.elem)
+				e.elem = nil
+			}
+			delete(r.cache, e.key)
+			r.obs.transientDropped.Add(1)
+			r.mu.Unlock()
+		}
 		r.obs.observeExecuted(res)
 		r.obs.inFlight.Add(-1)
 		close(e.done)
@@ -184,7 +306,7 @@ func (r *Runner) execute(e *entry) {
 	var res Result
 	switch e.spec.Backend {
 	case Native:
-		res = runNative(ctx, e.spec, bodies)
+		res = runNative(ctx, e.spec, bodies, r.eng)
 	default:
 		res = runSimulated(ctx, e.spec, bodies)
 	}
@@ -212,8 +334,10 @@ func (r *Runner) bodiesFor(model string, n int, seed int64) (*phys.Bodies, int64
 	r.mu.Lock()
 	be, ok := r.bodies[key]
 	if !ok {
-		be = &bodiesEntry{done: make(chan struct{})}
+		be = &bodiesEntry{key: key, done: make(chan struct{})}
 		r.bodies[key] = be
+		be.elem = r.bodiesLRU.PushFront(be)
+		r.evictBodiesLocked()
 		r.obs.memoMisses.Add(1)
 		r.mu.Unlock()
 		if m, ok := phys.ParseModel(model); ok {
@@ -226,6 +350,9 @@ func (r *Runner) bodiesFor(model string, n int, seed int64) (*phys.Bodies, int64
 		}
 		close(be.done)
 		return be.b, be.genNs, be.err
+	}
+	if be.elem != nil {
+		r.bodiesLRU.MoveToFront(be.elem)
 	}
 	r.obs.memoHits.Add(1)
 	r.mu.Unlock()

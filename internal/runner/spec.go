@@ -117,6 +117,11 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Normalized returns the spec with every documented default filled in —
+// the form Run executes and caches. Validate a spec in this form;
+// cmd/partreed normalizes request specs before vetting them.
+func (s Spec) Normalized() Spec { return s.withDefaults() }
+
 // Validate reports whether the spec names a runnable cell.
 func (s Spec) Validate() error {
 	switch s.Backend {
