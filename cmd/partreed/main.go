@@ -12,6 +12,10 @@
 //
 //	POST /v1/build   one runner.Spec (JSON) → its Result (JSON)
 //	POST /v1/sweep   a JSON array of specs → NDJSON stream of Results
+//	POST /v1/session one NDJSON stream: open record, then one record per
+//	                 timestep against a resident tree (UPDATE per step,
+//	                 auto-fallback SPACE rebuilds); results stream back
+//	                 in-line. 503 only before the stream opens.
 //	GET  /metrics    Prometheus exposition (engine pool, runner, builds)
 //	GET  /healthz    liveness (+ready:false once draining)
 //	     /debug/pprof, /debug/vars
@@ -49,6 +53,9 @@ type daemonConfig struct {
 	maxActive    int
 	maxQueue     int
 	maxIdle      int
+	maxSessions  int           // streaming session leases held at once
+	sessionIdle  time.Duration // idle-eviction default for sessions
+	leaseTick    time.Duration // idle janitor granularity
 	resultCache  int
 	bodiesCache  int
 	drainTimeout time.Duration
@@ -63,6 +70,12 @@ func (c daemonConfig) withDefaults() daemonConfig {
 	}
 	if c.maxIdle == 0 {
 		c.maxIdle = 32
+	}
+	if c.maxSessions == 0 {
+		c.maxSessions = 256
+	}
+	if c.sessionIdle <= 0 {
+		c.sessionIdle = 2 * time.Minute
 	}
 	if c.drainTimeout == 0 {
 		c.drainTimeout = 30 * time.Second
@@ -86,6 +99,7 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	cfg = cfg.withDefaults()
 	eng := engine.New(engine.Options{
 		MaxActive: cfg.maxActive, MaxQueue: cfg.maxQueue, MaxIdle: cfg.maxIdle,
+		MaxLeases: cfg.maxSessions, LeaseIdle: cfg.sessionIdle, LeaseTick: cfg.leaseTick,
 	})
 	// The runner's worker pool sits above the engine; sized past
 	// active+queue it never gates, so the engine's admission control is
@@ -125,6 +139,7 @@ func (d *daemon) start(addr string) error {
 func (d *daemon) mount(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/build", d.handleBuild)
 	mux.HandleFunc("/v1/sweep", d.handleSweep)
+	mux.HandleFunc("/v1/session", d.handleSession)
 }
 
 // drain stops admitting work, waits out in-flight builds (bounded by the
@@ -251,6 +266,8 @@ func main() {
 		maxActive    = flag.Int("max-active", 0, "concurrent builds (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", 0, "builds allowed to wait beyond max-active (0 = 4x max-active)")
 		maxIdle      = flag.Int("max-idle", 32, "pooled builder sessions retained across requests")
+		maxSessions  = flag.Int("max-sessions", 256, "streaming session leases held open at once")
+		sessionIdle  = flag.Duration("session-idle", 2*time.Minute, "idle timeout before a streaming session is evicted")
 		resultCache  = flag.Int("result-cache", 4096, "memoized spec results retained (LRU)")
 		bodiesCache  = flag.Int("bodies-cache", 64, "memoized body sets retained (LRU)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight builds")
@@ -267,6 +284,7 @@ func main() {
 
 	d, err := newDaemon(daemonConfig{
 		maxActive: *maxActive, maxQueue: *maxQueue, maxIdle: *maxIdle,
+		maxSessions: *maxSessions, sessionIdle: *sessionIdle,
 		resultCache: *resultCache, bodiesCache: *bodiesCache,
 		drainTimeout: *drainTimeout,
 	})

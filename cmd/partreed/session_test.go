@@ -1,0 +1,325 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// sessionRecord is the union of every server stream record, for test
+// decoding.
+type sessionRecord struct {
+	Event     string  `json:"event"`
+	Error     string  `json:"error"`
+	N         int     `json:"n"`
+	Step      int     `json:"step"`
+	Mode      string  `json:"mode"`
+	Reason    string  `json:"reason"`
+	Fallback  bool    `json:"fallback"`
+	Moved     int64   `json:"moved"`
+	Churn     float64 `json:"churn"`
+	DepthSkew float64 `json:"depth_skew"`
+	Locks     int64   `json:"locks"`
+	BuildNs   int64   `json:"build_ns"`
+	Verified  bool    `json:"verified"`
+	Steps     int     `json:"steps"`
+	Fallbacks int     `json:"fallbacks"`
+}
+
+// sessionClient drives one /v1/session stream: requests go out through a
+// pipe (so the body stays open for the session's life), responses come
+// back on the same exchange.
+type sessionClient struct {
+	t    *testing.T
+	pw   *io.PipeWriter
+	enc  *json.Encoder
+	resp *http.Response
+	dec  *json.Decoder
+}
+
+// openSession opens a stream and consumes the "opened" record. A nil
+// return means the server answered non-200 (the status is returned).
+func openSession(t *testing.T, url string, open sessionOpen) (*sessionClient, int) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/session", pr)
+	if err != nil {
+		t.Fatalf("building request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(pw)
+	// The server reads the open record before answering with headers, so
+	// it must be in flight before Do returns.
+	go enc.Encode(open)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/session: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		pw.Close()
+		return nil, resp.StatusCode
+	}
+	c := &sessionClient{t: t, pw: pw, enc: enc, resp: resp, dec: json.NewDecoder(resp.Body)}
+	t.Cleanup(c.close)
+	if r := c.recv(); r.Event != "opened" || r.N != open.Bodies {
+		t.Fatalf("first record = %+v, want opened with n=%d", r, open.Bodies)
+	}
+	return c, resp.StatusCode
+}
+
+func (c *sessionClient) send(s sessionStep) {
+	c.t.Helper()
+	if err := c.enc.Encode(s); err != nil {
+		c.t.Fatalf("sending step: %v", err)
+	}
+}
+
+func (c *sessionClient) recv() sessionRecord {
+	c.t.Helper()
+	var r sessionRecord
+	if err := c.dec.Decode(&r); err != nil {
+		c.t.Fatalf("reading stream record: %v", err)
+	}
+	return r
+}
+
+func (c *sessionClient) close() {
+	c.pw.Close()
+	c.resp.Body.Close()
+}
+
+func metricsPage(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	page, _ := io.ReadAll(resp.Body)
+	return string(page)
+}
+
+// TestSessionStream100Steps is the tentpole e2e: 100 drifting timesteps
+// against one resident tree, every step's tree differentially verified
+// server-side, all but the first step served as incremental updates.
+func TestSessionStream100Steps(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, drainTimeout: 10 * time.Second})
+	open := sessionOpen{Procs: 2, Bodies: 3000, Seed: 1, Dt: 0.005, Check: true}
+	c, _ := openSession(t, d.srv.URL(), open)
+
+	const steps = 100
+	rebuilds := 0
+	for i := 0; i < steps; i++ {
+		c.send(sessionStep{Drift: i > 0})
+		r := c.recv()
+		if r.Event != "step" {
+			t.Fatalf("step %d: got %+v", i, r)
+		}
+		if r.Step != i {
+			t.Fatalf("step %d: server says step %d", i, r.Step)
+		}
+		if !r.Verified {
+			t.Fatalf("step %d: not verified", i)
+		}
+		if r.Mode == "rebuild" {
+			rebuilds++
+			if i == 0 && r.Reason != "first" {
+				t.Fatalf("step 0: reason %q, want first", r.Reason)
+			}
+		} else if r.Mode != "update" {
+			t.Fatalf("step %d: mode %q", i, r.Mode)
+		}
+	}
+	if rebuilds != 1 {
+		t.Fatalf("%d rebuild steps across a gentle drift, want exactly 1 (step 0)", rebuilds)
+	}
+	c.send(sessionStep{Close: true})
+	if r := c.recv(); r.Event != "closed" || r.Steps != steps {
+		t.Fatalf("close ack = %+v, want closed with steps=%d", r, steps)
+	}
+
+	pg := metricsPage(t, d.srv.URL())
+	if v := metricValue(t, pg, "partree_session_opened_total"); v != 1 {
+		t.Errorf("session_opened_total = %v, want 1", v)
+	}
+	if v := metricValue(t, pg, "partree_session_closed_total"); v != 1 {
+		t.Errorf("session_closed_total = %v, want 1", v)
+	}
+	if v := metricValue(t, pg, "partree_session_unplanned_rebuilds_total"); v != 0 {
+		t.Errorf("session_unplanned_rebuilds_total = %v, want 0", v)
+	}
+	// The per-step histogram saw both serving modes.
+	for _, mode := range []string{"update", "rebuild"} {
+		name := fmt.Sprintf(`partree_session_step_seconds_count{mode=%q}`, mode)
+		if v := metricValue(t, pg, name); v < 1 {
+			t.Errorf("%s = %v, want >= 1", name, v)
+		}
+	}
+}
+
+// TestSessionFasterThanOneShotBuilds is the acceptance benchmark: a
+// 100-step Plummer session must spend measurably less wall time than
+// 100 one-shot /v1/build requests at equal n and P, because the session
+// repairs a resident tree while every one-shot starts cold.
+func TestSessionFasterThanOneShotBuilds(t *testing.T) {
+	const n, p, steps = 10000, 2, 100
+	d := startDaemon(t, daemonConfig{maxActive: 2, drainTimeout: 10 * time.Second})
+	url := d.srv.URL()
+
+	t0 := time.Now()
+	for i := 0; i < steps; i++ {
+		// Distinct seeds so the runner's memoizing result cache cannot
+		// serve repeats — each request must really build.
+		spec := map[string]any{
+			"backend": "native", "algorithm": "LOCAL", "build_only": true,
+			"procs": p, "bodies": n, "steps": 1, "seed": 1000 + i,
+		}
+		resp := postJSON(t, url+"/v1/build", spec)
+		res := decodeResult(t, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || res.Failed() {
+			t.Fatalf("one-shot %d: status %d, %s", i, resp.StatusCode, res.FailureMessage())
+		}
+	}
+	oneShots := time.Since(t0)
+
+	c, _ := openSession(t, url, sessionOpen{Procs: p, Bodies: n, Seed: 7, Dt: 0.005})
+	t0 = time.Now()
+	for i := 0; i < steps; i++ {
+		c.send(sessionStep{Drift: i > 0})
+		if r := c.recv(); r.Event != "step" {
+			t.Fatalf("session step %d: %+v", i, r)
+		}
+	}
+	session := time.Since(t0)
+	c.send(sessionStep{Close: true})
+	c.recv()
+
+	t.Logf("100 one-shot builds: %v; 100-step session: %v (%.1fx)",
+		oneShots, session, float64(oneShots)/float64(session))
+	if session >= oneShots {
+		t.Fatalf("session (%v) not faster than one-shots (%v)", session, oneShots)
+	}
+}
+
+// TestSessionFallbackUnderHighChurn opens a session with a tight churn
+// threshold and collapses the cluster until the auto-fallback policy
+// must fire a SPACE rebuild — visible in-stream and in /metrics.
+func TestSessionFallbackUnderHighChurn(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, drainTimeout: 10 * time.Second})
+	open := sessionOpen{Procs: 2, Bodies: 3000, Seed: 3, Check: true}
+	open.Policy.MaxChurnFrac = 0.1
+	open.Policy.Streak = 2
+	open.Policy.MinSteps = 3
+	c, _ := openSession(t, d.srv.URL(), open)
+
+	fallbacks := 0
+	for i := 0; i < 20; i++ {
+		c.send(sessionStep{Collapse: 0.4})
+		r := c.recv()
+		if r.Event != "step" || !r.Verified {
+			t.Fatalf("step %d: %+v", i, r)
+		}
+		if r.Fallback {
+			fallbacks++
+			if r.Mode != "rebuild" || r.Reason != "requested" {
+				t.Fatalf("fallback step %d: mode=%q reason=%q", i, r.Mode, r.Reason)
+			}
+			if r.Locks != 0 {
+				t.Fatalf("fallback step %d took %d locks, want 0 (SPACE path)", i, r.Locks)
+			}
+		}
+	}
+	if fallbacks == 0 {
+		t.Fatal("no auto-fallback rebuild across 20 high-churn steps")
+	}
+	c.send(sessionStep{Close: true})
+	c.recv()
+
+	pg := metricsPage(t, d.srv.URL())
+	if v := metricValue(t, pg, "partree_session_fallbacks_total"); v != float64(fallbacks) {
+		t.Errorf("session_fallbacks_total = %v, want %d", v, fallbacks)
+	}
+}
+
+// TestSessionIdleEviction lets a session go quiet past its idle timeout
+// and expects the server to end the stream with an eviction record.
+func TestSessionIdleEviction(t *testing.T) {
+	d := startDaemon(t, daemonConfig{
+		maxActive: 2, leaseTick: 5 * time.Millisecond, drainTimeout: 10 * time.Second,
+	})
+	open := sessionOpen{Procs: 1, Bodies: 500, Seed: 1, IdleTimeoutMs: 50}
+	c, _ := openSession(t, d.srv.URL(), open)
+	c.send(sessionStep{})
+	if r := c.recv(); r.Event != "step" {
+		t.Fatalf("step: %+v", r)
+	}
+	// Go quiet. The janitor must evict and the server must say so
+	// in-stream before closing.
+	r := c.recv()
+	if r.Event != "error" || r.Error != "session closed: idle timeout" {
+		t.Fatalf("eviction record = %+v", r)
+	}
+	if r = c.recv(); r.Event != "closed" || r.Reason != "idle timeout" {
+		t.Fatalf("final record = %+v", r)
+	}
+	if v := metricValue(t, metricsPage(t, d.srv.URL()), "partree_session_evicted_total"); v != 1 {
+		t.Errorf("session_evicted_total = %v, want 1", v)
+	}
+}
+
+// TestSessionLeaseExhaustion503 checks lease capacity surfaces as a 503
+// before the stream opens, and frees up when a session closes.
+func TestSessionLeaseExhaustion503(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, maxSessions: 1, drainTimeout: 10 * time.Second})
+	open := sessionOpen{Procs: 1, Bodies: 500, Seed: 1}
+	c, _ := openSession(t, d.srv.URL(), open)
+	if _, code := openSession(t, d.srv.URL(), open); code != http.StatusServiceUnavailable {
+		t.Fatalf("second session: status %d, want 503", code)
+	}
+	c.send(sessionStep{Close: true})
+	c.recv()
+	// The lease is released on handler exit; capacity returns shortly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, code := openSession(t, d.srv.URL(), open); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease capacity never freed after session close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSessionDrainClosesStreams checks graceful drain: in-flight
+// sessions get an in-stream notice and a clean close, new sessions get
+// 503, and the drain itself completes.
+func TestSessionDrainClosesStreams(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, drainTimeout: time.Minute})
+	open := sessionOpen{Procs: 1, Bodies: 500, Seed: 1}
+	c, _ := openSession(t, d.srv.URL(), open)
+	c.send(sessionStep{})
+	if r := c.recv(); r.Event != "step" {
+		t.Fatalf("step: %+v", r)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- d.drain(context.Background()) }()
+
+	r := c.recv()
+	if r.Event != "error" || r.Error != "session closed: draining" {
+		t.Fatalf("drain record = %+v", r)
+	}
+	if r = c.recv(); r.Event != "closed" || r.Reason != "draining" {
+		t.Fatalf("final record = %+v", r)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

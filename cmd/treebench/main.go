@@ -8,8 +8,14 @@
 //
 //	treebench [-alg all] [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8]
 //	          [-model plummer] [-timeout 0] [-check] [-trace out.json]
-//	          [-benchout BENCH_treebuild.json] [-benchcmp BENCH_treebuild.json]
-//	          [-benchthreshold 0.30] [-http :9090] [-v info] [-json]
+//	          [-steps 0] [-benchout BENCH_treebuild.json]
+//	          [-benchcmp BENCH_treebuild.json] [-benchthreshold 0.30]
+//	          [-http :9090] [-v info] [-json]
+//
+// With -steps k the sweep also benchmarks the session serving mode: k
+// drift timesteps against one resident tree, UPDATE repairing it step
+// over step versus a fresh rebuild forced every step, reported as ns per
+// step (step 0's unavoidable fresh build excluded).
 //
 // With -benchcmp the sweep is taken from the named baseline file instead
 // of the flags, fresh timings are diffed against it, and the exit status
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"partree/internal/core"
+	"partree/internal/phys"
 	"partree/internal/runner"
 	"partree/internal/stats"
 )
@@ -37,19 +44,32 @@ import (
 // benchFile is the machine-readable regression baseline -benchout emits
 // (committed as BENCH_treebuild.json; `make bench` regenerates it).
 type benchFile struct {
-	Bodies  int         `json:"bodies"`
-	LeafCap int         `json:"leafcap"`
-	Reps    int         `json:"reps"`
+	Bodies  int `json:"bodies"`
+	LeafCap int `json:"leafcap"`
+	Reps    int `json:"reps"`
+	// Steps is the session-mode step count (cells with a mode), 0 when
+	// the baseline has no session cells.
+	Steps   int         `json:"steps,omitempty"`
 	Spatial bool        `json:"spatial"`
 	Cells   []benchCell `json:"cells"`
 }
 
 type benchCell struct {
-	Alg        string `json:"alg"`
+	// Exactly one of Alg and Mode is set: Alg names a one-shot builder
+	// cell (ns per build), Mode a session cell (ns per step).
+	Alg        string `json:"alg,omitempty"`
+	Mode       string `json:"mode,omitempty"`
 	P          int    `json:"p"`
 	NsPerBuild int64  `json:"ns_per_build"`
 	Locks      int64  `json:"locks"`
 }
+
+// Session-mode cell names: the same Stepper surface and the same motion,
+// differing only in whether the resident tree is repaired or rebuilt.
+const (
+	modeUpdate  = "session-update"  // resident UPDATE repairs step over step
+	modeRebuild = "session-rebuild" // fresh rebuild forced every step
+)
 
 // traceName derives a per-cell trace filename from the -trace argument
 // when the sweep has more than one cell (base.json -> base_ORIG_p4.json).
@@ -82,6 +102,51 @@ func runCells(r *runner.Runner, specs []runner.Spec) []runner.Result {
 	return results
 }
 
+// runSessionCell benchmarks one session cell: steps drift timesteps
+// against a resident tree through core.Stepper at p processors — exactly
+// the surface partreed's /v1/session leases pin. Step 0's unavoidable
+// fresh build is excluded; the remaining steps either let UPDATE repair
+// the tree in place or (rebuild) force a fresh build each, and the best
+// mean ns per step over reps independent runs is reported with the lock
+// total of the winning run's measured steps.
+func runSessionCell(base runner.Spec, p, steps, reps int, rebuild bool) (nsPerStep, locks int64) {
+	sp := base.Normalized()
+	model, _ := phys.ParseModel(sp.Model)
+	best, bestLocks := int64(-1), int64(0)
+	for rep := 0; rep < reps; rep++ {
+		runtime.GC()
+		// Fresh bodies each rep so every rep walks the same trajectory.
+		bodies := phys.Generate(model, sp.Bodies, sp.Seed)
+		st := core.NewStepper(core.Config{P: p, LeafCap: sp.LeafCap}, bodies, core.DefaultFallbackPolicy())
+		st.Step(core.StepInput{})
+		var total, reqLocks int64
+		for i := 1; i < steps; i++ {
+			bodies.Drift(0, bodies.N(), sp.Dt)
+			res := st.Step(core.StepInput{Rebuild: rebuild})
+			total += res.Metrics.Timing.Total().Nanoseconds()
+			reqLocks += res.Metrics.TotalLocks()
+		}
+		ns := total / int64(steps-1)
+		if best < 0 || ns < best {
+			best, bestLocks = ns, reqLocks
+		}
+	}
+	return best, bestLocks
+}
+
+// runSessionCells produces the session-mode baseline cells for every
+// processor count, update mode beside rebuild mode.
+func runSessionCells(base runner.Spec, ps []int, steps, reps int) []benchCell {
+	var cells []benchCell
+	for _, p := range ps {
+		for _, mode := range []string{modeUpdate, modeRebuild} {
+			ns, locks := runSessionCell(base, p, steps, reps, mode == modeRebuild)
+			cells = append(cells, benchCell{Mode: mode, P: p, NsPerBuild: ns, Locks: locks})
+		}
+	}
+	return cells
+}
+
 func main() {
 	sf := runner.RegisterSpecFlags(flag.CommandLine, runner.Spec{
 		Backend:   runner.Native,
@@ -95,6 +160,7 @@ func main() {
 		procs    = flag.String("p", "1,2,4,8", "comma-separated processor counts")
 		reps     = flag.Int("reps", 5, "builds per configuration (best time reported)")
 		spatial  = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
+		steps    = flag.Int("steps", 0, "session-mode benchmark: drift timesteps per resident session, update vs rebuild-per-step (0 = off, min 2)")
 		benchout = flag.String("benchout", "", "write a machine-readable ns-per-build baseline to this JSON file")
 		benchcmp = flag.String("benchcmp", "", "diff a fresh run against this baseline JSON and fail past -benchthreshold")
 		benchthr = flag.Float64("benchthreshold", 0.30, "allowed fractional ns-per-build regression for -benchcmp (0.30 = 30%)")
@@ -113,6 +179,10 @@ func main() {
 	base.BuildOnly = true
 	base.Steps = *reps
 	base.Spatial = *spatial
+	if *steps == 1 || *steps < 0 {
+		slog.Error("bad -steps: a session needs at least 2 steps", "steps", *steps)
+		os.Exit(2)
+	}
 
 	// One worker: concurrent wall-clock benchmarks would contend for the
 	// same cores and corrupt each other's timings.
@@ -167,8 +237,13 @@ func main() {
 
 	results := runCells(r, specs)
 
+	var sessionCells []benchCell
+	if *steps > 0 {
+		sessionCells = runSessionCells(base, ps, *steps, *reps)
+	}
+
 	if *benchout != "" {
-		bf := benchFile{Bodies: base.Bodies, LeafCap: base.LeafCap, Reps: base.Steps, Spatial: base.Spatial}
+		bf := benchFile{Bodies: base.Bodies, LeafCap: base.LeafCap, Reps: base.Steps, Steps: *steps, Spatial: base.Spatial}
 		for _, res := range results {
 			if res.Failed() {
 				slog.Error("spec failed", append(specContext(res.Spec), "err", res.FailureMessage())...)
@@ -179,6 +254,7 @@ func main() {
 				NsPerBuild: int64(res.TreeNs), Locks: res.LocksTotal,
 			})
 		}
+		bf.Cells = append(bf.Cells, sessionCells...)
 		buf, err := json.MarshalIndent(bf, "", "  ")
 		if err != nil {
 			slog.Error("encoding baseline", "err", err)
@@ -237,6 +313,27 @@ func main() {
 		t.Row(row...)
 	}
 	t.Write(os.Stdout)
+
+	if len(sessionCells) > 0 {
+		fmt.Printf("\nsession mode: %d drift steps on one resident tree, ns/step (step 0 excluded)\n\n", *steps)
+		sh := []string{"mode"}
+		for _, p := range ps {
+			sh = append(sh, fmt.Sprintf("%dp", p))
+		}
+		sh = append(sh, "locks")
+		ts := stats.NewTable(sh...)
+		for mi, mode := range []string{modeUpdate, modeRebuild} {
+			row := []any{mode}
+			var locks int64
+			for pi := range ps {
+				c := sessionCells[pi*2+mi]
+				row = append(row, time.Duration(c.NsPerBuild).Round(time.Microsecond).String())
+				locks = c.Locks
+			}
+			ts.Row(append(row, locks)...)
+		}
+		ts.Write(os.Stdout)
+	}
 }
 
 // runBenchcmp re-runs the sweep recorded in the baseline file and diffs
@@ -260,8 +357,24 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 		return 2
 	}
 
-	specs := make([]runner.Spec, 0, len(bf.Cells))
-	for _, c := range bf.Cells {
+	// Session cells (a mode instead of an algorithm) re-run through the
+	// Stepper, not the runner; specIdx maps each baseline cell to its
+	// runner result, -1 for session cells.
+	specIdx := make([]int, len(bf.Cells))
+	var specs []runner.Spec
+	for i, c := range bf.Cells {
+		if c.Mode != "" {
+			if c.Mode != modeUpdate && c.Mode != modeRebuild {
+				slog.Error("baseline names unknown session mode", "path", path, "mode", c.Mode)
+				return 2
+			}
+			if bf.Steps < 2 {
+				slog.Error("baseline has session cells but no steps count", "path", path)
+				return 2
+			}
+			specIdx[i] = -1
+			continue
+		}
 		alg, err := core.ParseAlgorithm(c.Alg)
 		if err != nil {
 			slog.Error("baseline names unknown algorithm", "path", path, "err", err)
@@ -275,35 +388,47 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 		sp.Steps = bf.Reps
 		sp.Spatial = bf.Spatial
 		sp.Trace = ""
+		specIdx[i] = len(specs)
 		specs = append(specs, sp)
 	}
 	results := runCells(r, specs)
 
+	sessBase := base
+	sessBase.Bodies = bf.Bodies
+	sessBase.LeafCap = bf.LeafCap
+
 	fmt.Printf("treebench: benchcmp vs %s (%d bodies, k=%d, best of %d, threshold +%.0f%%)\n\n",
 		path, bf.Bodies, bf.LeafCap, bf.Reps, 100*threshold)
-	t := stats.NewTable("algorithm", "p", "baseline", "fresh", "delta")
+	t := stats.NewTable("cell", "p", "baseline", "fresh", "delta")
 	exit := 0
 	for i, c := range bf.Cells {
-		res := results[i]
-		if res.Failed() {
-			slog.Error("spec failed", append(specContext(res.Spec), "err", res.FailureMessage())...)
-			exit = 1
-			t.Row(c.Alg, c.P, time.Duration(c.NsPerBuild).String(), "-", "FAILED")
-			continue
+		name := c.Alg
+		var fresh int64
+		if j := specIdx[i]; j >= 0 {
+			res := results[j]
+			if res.Failed() {
+				slog.Error("spec failed", append(specContext(res.Spec), "err", res.FailureMessage())...)
+				exit = 1
+				t.Row(name, c.P, time.Duration(c.NsPerBuild).String(), "-", "FAILED")
+				continue
+			}
+			fresh = int64(res.TreeNs)
+		} else {
+			name = c.Mode
+			fresh, _ = runSessionCell(sessBase, c.P, bf.Steps, bf.Reps, c.Mode == modeRebuild)
 		}
-		fresh := int64(res.TreeNs)
 		delta := float64(fresh-c.NsPerBuild) / float64(c.NsPerBuild)
 		mark := ""
 		if delta > threshold {
 			mark = "  REGRESSED"
 			exit = 1
 			slog.Error("benchmark regression",
-				"alg", c.Alg, "p", c.P, "n", bf.Bodies, "seed", res.Spec.Seed,
+				"cell", name, "p", c.P, "n", bf.Bodies,
 				"baseline", time.Duration(c.NsPerBuild).String(),
 				"fresh", time.Duration(fresh).String(),
 				"delta", fmt.Sprintf("%+.1f%%", 100*delta))
 		}
-		t.Row(c.Alg, c.P,
+		t.Row(name, c.P,
 			time.Duration(c.NsPerBuild).Round(10*time.Microsecond).String(),
 			time.Duration(fresh).Round(10*time.Microsecond).String(),
 			fmt.Sprintf("%+.1f%%%s", 100*delta, mark))

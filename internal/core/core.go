@@ -117,8 +117,17 @@ type Input struct {
 	// lists must cover every body exactly once.
 	Assign [][]int32
 	// Step is the time-step number (0-based); UPDATE rebuilds on step 0
-	// and repairs afterwards.
+	// and repairs afterwards. Steps must be continuous (each build's Step
+	// one past the previous build's): a resident UPDATE builder treats a
+	// gap as a restart and rebuilds from scratch.
 	Step int
+	// Rebuild requests that a resident builder discard its retained tree
+	// and rebuild from scratch this step even when an incremental repair
+	// would be possible. UPDATE honors it with a zero-lock SPACE-style
+	// rebuild (the auto-fallback path of a streaming session); the
+	// rebuilding algorithms, which start fresh every step anyway, ignore
+	// it.
+	Rebuild bool
 }
 
 // P returns the processor count implied by the assignment.
@@ -145,6 +154,12 @@ type Config struct {
 	// Margin expands the root bounding cube (relative); all builders use
 	// the same value so trees stay comparable.
 	Margin float64
+	// DepthStats, when set, makes UPDATE walk the finished tree after
+	// every build and publish leaf-depth statistics on Metrics.Depth —
+	// the depth-skew signal the session fallback policy consumes. The
+	// walk is O(live nodes) and runs outside the timed phases; it is off
+	// by default so benchmark baselines are unperturbed.
+	DepthStats bool
 	// Trace, when non-nil and enabled, records per-processor phase spans
 	// and lock events for every build (see internal/trace). The recorder
 	// is reset at the start of each traced build, so it always holds the

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+func TestFallbackControllerThresholds(t *testing.T) {
+	// Policy with no cooldown/streak noise so each case isolates the
+	// threshold comparison itself.
+	base := FallbackPolicy{MaxChurnFrac: 0.25, MaxDepthSkew: 2.5, Streak: 1, MinSteps: 1}
+	cases := []struct {
+		name  string
+		churn float64
+		skew  float64
+		want  bool
+	}{
+		{"quiet", 0.01, 1.2, false},
+		{"churn at threshold stays put", 0.25, 1.2, false},
+		{"churn above threshold", 0.26, 1.2, true},
+		{"skew at threshold stays put", 0.01, 2.5, false},
+		{"skew above threshold", 0.01, 2.51, true},
+		{"both above", 0.9, 9.0, true},
+		{"zero skew ignored", 0.01, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewFallbackController(base)
+			if got := c.Observe(tc.churn, tc.skew, false); got != tc.want {
+				t.Fatalf("Observe(churn=%v, skew=%v) = %v, want %v", tc.churn, tc.skew, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFallbackControllerDefaults(t *testing.T) {
+	p := NewFallbackController(FallbackPolicy{}).Policy()
+	want := FallbackPolicy{MaxChurnFrac: 0.25, MaxDepthSkew: 2.5, Streak: 2, MinSteps: 8}
+	if p != want {
+		t.Fatalf("defaulted policy = %+v, want %+v", p, want)
+	}
+}
+
+func TestFallbackControllerStreakHysteresis(t *testing.T) {
+	c := NewFallbackController(FallbackPolicy{MaxChurnFrac: 0.25, MaxDepthSkew: 2.5, Streak: 3, MinSteps: 1})
+	// Alternating over/under never builds a streak: no flapping on the
+	// boundary even though half the steps are over threshold.
+	for i := 0; i < 20; i++ {
+		churn := 0.5
+		if i%2 == 1 {
+			churn = 0.1
+		}
+		if c.Observe(churn, 1.0, false) {
+			t.Fatalf("rebuild fired at alternating step %d without a streak", i)
+		}
+	}
+	// Three consecutive over-threshold steps do fire.
+	c.Observe(0.5, 1.0, false)
+	c.Observe(0.5, 1.0, false)
+	if !c.Observe(0.5, 1.0, false) {
+		t.Fatal("rebuild did not fire after Streak consecutive over-threshold steps")
+	}
+}
+
+func TestFallbackControllerCooldown(t *testing.T) {
+	c := NewFallbackController(FallbackPolicy{MaxChurnFrac: 0.25, MaxDepthSkew: 2.5, Streak: 1, MinSteps: 5})
+	// Hot from the very first step, but the cooldown holds it back
+	// until sinceRebuild reaches MinSteps.
+	for i := 1; i <= 4; i++ {
+		if c.Observe(0.9, 1.0, false) {
+			t.Fatalf("rebuild fired at step %d, inside the %d-step cooldown", i, 5)
+		}
+	}
+	if !c.Observe(0.9, 1.0, false) {
+		t.Fatal("rebuild did not fire once the cooldown elapsed")
+	}
+	// The verdict latches until a fresh build is observed...
+	if !c.Observe(0.0, 1.0, false) {
+		t.Fatal("pending rebuild verdict did not latch")
+	}
+	// ...and a fresh build resets everything, restarting the cooldown.
+	if c.Observe(0.0, 1.0, true) {
+		t.Fatal("fresh build did not clear the pending verdict")
+	}
+	if c.Observe(0.9, 1.0, false) {
+		t.Fatal("cooldown did not restart after the fresh build")
+	}
+}
+
+// TestStepperPlummerCollapse runs a Plummer model through a violent
+// contraction: every body's position shrinks toward the origin each
+// step, so boundary-crossing churn explodes and the fallback policy must
+// fire — and with a cooldown longer than the remaining sequence, it must
+// fire exactly once, as a SPACE-style requested rebuild.
+func TestStepperPlummerCollapse(t *testing.T) {
+	const n, p, steps = 2000, 4, 24
+	b := phys.Generate(phys.ModelPlummer, n, 42)
+	st := NewStepper(Config{P: p, LeafCap: 8},
+		b,
+		FallbackPolicy{MaxChurnFrac: 0.2, MaxDepthSkew: 100, Streak: 2, MinSteps: 4})
+
+	rebuilds := 0
+	for i := 0; i < steps; i++ {
+		if i > 0 {
+			// Collapse, not uniform scaling: uniform contraction is a
+			// no-op for churn because UPDATE rescales the whole tree with
+			// the root bounds. Outer shells fall faster (free-fall-like
+			// profile), so relative positions shear and bodies cross
+			// leaf boundaries in bulk.
+			for j := range b.Pos {
+				r := b.Pos[j].Len()
+				b.Pos[j] = b.Pos[j].Scale(1 / (1 + 0.4*r))
+			}
+		}
+		res := st.Step(StepInput{})
+		if res.Step != i {
+			t.Fatalf("step %d: result.Step = %d", i, res.Step)
+		}
+		if i == 0 {
+			if !res.Fresh || res.Reason != FreshFirst {
+				t.Fatalf("step 0: fresh=%v reason=%q, want first fresh build", res.Fresh, res.Reason)
+			}
+			continue
+		}
+		if res.Fallback {
+			rebuilds++
+			if !res.Fresh || res.Reason != FreshRequested {
+				t.Fatalf("step %d: fallback step has fresh=%v reason=%q", i, res.Fresh, res.Reason)
+			}
+			if res.Metrics.TotalLocks() != 0 {
+				t.Fatalf("step %d: SPACE fallback rebuild took %d locks, want 0", i, res.Metrics.TotalLocks())
+			}
+			// After the rebuild, contraction stops: the cooldown plus a
+			// quiet tail must not trigger a second rebuild.
+			for k := i + 1; k < steps; k++ {
+				if tail := st.Step(StepInput{}); tail.Fallback {
+					t.Fatalf("step %d: second fallback rebuild on a quiet tail", k)
+				}
+			}
+			break
+		}
+	}
+	if rebuilds != 1 {
+		t.Fatalf("Plummer collapse triggered %d fallback rebuilds, want exactly 1", rebuilds)
+	}
+}
+
+// TestStepperVerifiedSteps checks the stepper's trees stay structurally
+// valid across repairs and a caller-forced rebuild.
+func TestStepperVerifiedSteps(t *testing.T) {
+	const n, p = 1500, 4
+	b := phys.Generate(phys.ModelPlummer, n, 7)
+	st := NewStepper(Config{P: p, LeafCap: 8}, b, DefaultFallbackPolicy())
+	for i := 0; i < 6; i++ {
+		if i > 0 {
+			b.Drift(0, n, 0.01)
+		}
+		in := StepInput{Rebuild: i == 3}
+		res := st.Step(in)
+		if i == 3 && (!res.Fresh || res.Reason != FreshRequested) {
+			t.Fatalf("forced rebuild step: fresh=%v reason=%q", res.Fresh, res.Reason)
+		}
+		if i == 3 && res.Fallback {
+			t.Fatal("caller-forced rebuild must not be reported as a policy fallback")
+		}
+		d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+		if err := octree.Check(res.Tree, d, octree.CheckOptions{Canonical: res.Fresh, Moments: true, Tol: 1e-9}); err != nil {
+			t.Fatalf("step %d invariants: %v", i, err)
+		}
+	}
+}

@@ -22,11 +22,65 @@ type procCounters struct {
 	_           [8]int64
 }
 
+// Reasons an UPDATE build rebuilt from scratch (Metrics.FreshReason).
+const (
+	// FreshFirst: the builder had no resident tree yet.
+	FreshFirst = "first"
+	// FreshStep0: the caller restarted the step sequence at step 0.
+	FreshStep0 = "step0"
+	// FreshRequested: the caller set Input.Rebuild (fallback policy or
+	// an explicit client request) — served as a SPACE-style rebuild.
+	FreshRequested = "requested"
+	// FreshRestart: the body set was resized across a step-sequence
+	// discontinuity — an intentional restart with a new body set.
+	FreshRestart = "restart"
+	// FreshSwap: the body set was resized while the step sequence stayed
+	// continuous — an accidental body-set swap under a resident tree.
+	// Before the continuity check this case was a silent fresh rebuild;
+	// sessions count it as an unplanned rebuild.
+	FreshSwap = "body-set swap"
+	// FreshDiscontinuity: the step sequence jumped with the body set
+	// unchanged; the retained bodyLeaf map can no longer be trusted.
+	FreshDiscontinuity = "step discontinuity"
+)
+
+// DepthStats summarizes the leaf depths of a built tree — the shape
+// signal the session fallback policy watches. UPDATE never collapses
+// cells, so a long-resident tree's max leaf depth creeps up while the
+// mean stays put; the ratio is the skew.
+type DepthStats struct {
+	MaxLeaf  int     // deepest live leaf
+	MeanLeaf float64 // mean live-leaf depth
+	Leaves   int     // live leaves
+}
+
+// Skew returns MaxLeaf/MeanLeaf, or 0 for an empty tree.
+func (d DepthStats) Skew() float64 {
+	if d.MeanLeaf <= 0 {
+		return 0
+	}
+	return float64(d.MaxLeaf) / d.MeanLeaf
+}
+
 // Metrics aggregates per-processor counters for one build.
 type Metrics struct {
 	Alg    Algorithm
 	PerP   []procCounters
 	Timing Timing
+	// FreshRebuild reports that a resident builder (UPDATE) discarded
+	// its retained tree and rebuilt from scratch this step instead of
+	// repairing incrementally. Always false for the rebuilding
+	// algorithms, which have no resident tree to lose. Sessions use it
+	// to count unplanned rebuilds: a fresh rebuild on a step where the
+	// caller expected a repair (Step > 0 and Input.Rebuild unset) means
+	// the resident state was invalidated under the caller.
+	FreshRebuild bool
+	// FreshReason names why FreshRebuild happened (Fresh* constants);
+	// empty on incremental steps.
+	FreshReason string
+	// Depth carries leaf-depth statistics when the builder ran with
+	// Config.DepthStats; nil otherwise.
+	Depth *DepthStats
 	// Trace is the per-processor trace summary of this build when the
 	// builder ran with an enabled Config.Trace recorder; nil otherwise.
 	// Its per-processor lock-event counts must equal PerP[w].Locks —

@@ -49,13 +49,16 @@ type subspace struct {
 	bodies []int32
 }
 
-func (sb *spaceBuilder) threshold(n, p int) int {
-	th := sb.cfg.SpaceThreshold
+// spaceThreshold resolves the subdivision threshold for a SPACE-style
+// partition: the configured value, or the documented default n/(4·p),
+// never below the leaf capacity.
+func spaceThreshold(cfg Config, n, p int) int {
+	th := cfg.SpaceThreshold
 	if th <= 0 {
 		th = n / (4 * p)
 	}
-	if th < sb.cfg.LeafCap {
-		th = sb.cfg.LeafCap
+	if th < cfg.LeafCap {
+		th = cfg.LeafCap
 	}
 	return th
 }
@@ -64,42 +67,18 @@ func (sb *spaceBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 	p := in.P()
 	m := newMetrics(SPACE, p)
 	s := sb.store
-	pos := in.Bodies.Pos
 
 	tr := sb.cfg.traceStart()
 	t0 := time.Now()
 	cube := parallelBounds(in, sb.cfg.Margin, tr)
 	s.Reset()
 	tree := octree.NewTree(s, 0, 0, cube)
-	subs := sb.partition(tree, in, m, tr)
+	subs := spacePartition(s, tree, in, spaceThreshold(sb.cfg, in.Bodies.N(), p), m, tr)
 	assignSubspaces(tree.RootCube(), subs, p)
 	t1 := time.Now()
 
-	// Build and attach subtrees, one processor per subspace, no locks.
-	tracedDo(tr, trace.PhaseInsert, p, func(w int) {
-		ins := &inserter{s: s, arena: w, proc: w, pc: &m.PerP[w], tp: tr.Proc(w)}
-		for i := range subs {
-			ss := &subs[i]
-			if ss.owner != w {
-				continue
-			}
-			var node octree.Ref
-			if ss.count <= s.LeafCap || ss.depth >= s.MaxDepth {
-				lr, l := ins.allocLeaf(ss.cube, ss.parent)
-				l.Bodies = append(l.Bodies, ss.bodies...)
-				node = lr
-			} else {
-				cr, _ := ins.allocCell(ss.cube, ss.parent)
-				for _, b := range ss.bodies {
-					ins.insertPrivate(cr, ss.depth, b, pos)
-				}
-				node = cr
-			}
-			// Attach without locking: this slot is ours alone.
-			s.Cell(ss.parent).SetChild(ss.oct, node)
-			ins.pc.Attached++
-			m.PerP[w].BodiesBuilt += int64(ss.count)
-		}
+	spaceAttach(s, in, subs, m, tr, func(w int) *inserter {
+		return &inserter{s: s, arena: w, proc: w, pc: &m.PerP[w], tp: tr.Proc(w)}
 	})
 	t2 := time.Now()
 
@@ -117,17 +96,57 @@ func (sb *spaceBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 	return tree, m
 }
 
-// partition runs the parallel counting/subdivision rounds. Each round,
+// spaceAttach builds and attaches one subtree per finalized subspace —
+// one processor per subspace, no locking: a given attachment slot
+// belongs to exactly one processor. mkIns supplies each worker's
+// inserter, so callers control the arena layout and whether a bodyLeaf
+// map is maintained (UPDATE's session fallback rebuild threads its
+// persistent map through here; plain SPACE passes none).
+func spaceAttach(s *octree.Store, in *Input, subs []subspace, m *Metrics,
+	tr *trace.Recorder, mkIns func(w int) *inserter) {
+
+	p := in.P()
+	pos := in.Bodies.Pos
+	tracedDo(tr, trace.PhaseInsert, p, func(w int) {
+		ins := mkIns(w)
+		for i := range subs {
+			ss := &subs[i]
+			if ss.owner != w {
+				continue
+			}
+			var node octree.Ref
+			if ss.count <= s.LeafCap || ss.depth >= s.MaxDepth {
+				lr, l := ins.allocLeaf(ss.cube, ss.parent)
+				l.Bodies = append(l.Bodies, ss.bodies...)
+				if ins.bodyLeaf != nil {
+					for _, b := range ss.bodies {
+						ins.setBodyLeaf(b, lr)
+					}
+				}
+				node = lr
+			} else {
+				cr, _ := ins.allocCell(ss.cube, ss.parent)
+				for _, b := range ss.bodies {
+					ins.insertPrivate(cr, ss.depth, b, pos)
+				}
+				node = cr
+			}
+			// Attach without locking: this slot is ours alone.
+			s.Cell(ss.parent).SetChild(ss.oct, node)
+			ins.pc.Attached++
+			m.PerP[w].BodiesBuilt += int64(ss.count)
+		}
+	})
+}
+
+// spacePartition runs the parallel counting/subdivision rounds. Each round,
 // every processor histograms its own bodies over the current frontier
 // cells' octants (no synchronization beyond the round barrier); frontier
 // children above the threshold become new prefix cells, the rest become
 // finalized subspaces with their body lists bucketed per processor.
-func (sb *spaceBuilder) partition(tree *octree.Tree, in *Input, m *Metrics, tr *trace.Recorder) []subspace {
+func spacePartition(s *octree.Store, tree *octree.Tree, in *Input, threshold int, m *Metrics, tr *trace.Recorder) []subspace {
 	p := in.P()
-	s := sb.store
 	pos := in.Bodies.Pos
-	n := in.Bodies.N()
-	threshold := sb.threshold(n, p)
 
 	type frontierCell struct {
 		ref   octree.Ref

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+// StepInput is one timestep of a long-lived session driven through a
+// Stepper. The caller mutates the Stepper's bodies in place (drift, or
+// overwriting positions from a client) before each Step call; StepInput
+// carries only the per-step control knobs.
+type StepInput struct {
+	// Rebuild forces a fresh rebuild this step regardless of what the
+	// fallback policy decided.
+	Rebuild bool
+}
+
+// StepResult is the outcome of one Stepper step.
+type StepResult struct {
+	Step    int
+	Tree    *octree.Tree
+	Metrics *Metrics
+	// ChurnFrac is the fraction of bodies that crossed their leaf
+	// boundary this step (0 on fresh rebuilds, which move everything by
+	// definition).
+	ChurnFrac float64
+	// DepthSkew is Metrics.Depth.Skew() — max/mean live-leaf depth.
+	DepthSkew float64
+	// Fresh reports the builder rebuilt from scratch; Reason names why.
+	Fresh  bool
+	Reason string
+	// Fallback reports this step's rebuild was requested by the
+	// auto-fallback policy rather than by the caller.
+	Fallback bool
+}
+
+// Stepper drives a resident UPDATE builder step over step, the way a
+// session does: it owns the step counter, keeps the body→processor
+// assignment stable across steps, feeds each step's churn and depth-skew
+// stats to a FallbackController, and converts the controller's verdict
+// into an Input.Rebuild on the following step. This is the step-over-step
+// surface internal/engine leases pin; internal/nbody keeps its own loop
+// because it also owns integration and costzones repartitioning.
+type Stepper struct {
+	cfg    Config
+	b      Builder
+	ctrl   *FallbackController
+	bodies *phys.Bodies
+	assign [][]int32
+	step   int
+	// pendingRebuild is the controller's verdict from the previous step,
+	// consumed (and reset) by the next Step call.
+	pendingRebuild bool
+}
+
+// NewStepper pins a fresh UPDATE builder over bodies. DepthStats is
+// forced on so the fallback policy always has its shape signal.
+func NewStepper(cfg Config, bodies *phys.Bodies, policy FallbackPolicy) *Stepper {
+	cfg.DepthStats = true
+	return &Stepper{
+		cfg:    cfg,
+		b:      New(UPDATE, cfg),
+		ctrl:   NewFallbackController(policy),
+		bodies: bodies,
+		assign: SpatialAssign(bodies, cfg.P),
+	}
+}
+
+// Bodies returns the resident body state for in-place mutation between
+// steps. The slice headers must not be replaced; N is fixed for the
+// stepper's lifetime.
+func (st *Stepper) Bodies() *phys.Bodies { return st.bodies }
+
+// Builder exposes the pinned resident builder for storage accounting
+// (engine.Stats aggregates its store via StoresOf).
+func (st *Stepper) Builder() Builder { return st.b }
+
+// Steps returns how many steps have been taken.
+func (st *Stepper) Steps() int { return st.step }
+
+// Step builds (or repairs) the tree for the current body state and
+// advances the step counter.
+func (st *Stepper) Step(in StepInput) *StepResult {
+	fallback := st.pendingRebuild && !in.Rebuild
+	st.pendingRebuild = false
+
+	bi := &Input{
+		Bodies:  st.bodies,
+		Assign:  st.assign,
+		Step:    st.step,
+		Rebuild: in.Rebuild || fallback,
+	}
+	tree, m := st.b.Build(bi)
+
+	res := &StepResult{
+		Step:     st.step,
+		Tree:     tree,
+		Metrics:  m,
+		Fresh:    m.FreshRebuild,
+		Reason:   m.FreshReason,
+		Fallback: fallback && m.FreshRebuild,
+	}
+	if n := st.bodies.N(); n > 0 && !m.FreshRebuild {
+		res.ChurnFrac = float64(m.TotalBodiesMoved()) / float64(n)
+	}
+	if m.Depth != nil {
+		res.DepthSkew = m.Depth.Skew()
+	}
+	st.pendingRebuild = st.ctrl.Observe(res.ChurnFrac, res.DepthSkew, m.FreshRebuild)
+	st.step++
+	return res
+}

@@ -24,6 +24,11 @@ type updateBuilder struct {
 	bodyLeaf []uint32
 	// insPerProc persists so leaf free-lists survive across steps.
 	insPerProc []*inserter
+	// lastStep is the Step of the most recent build, so a gap in the
+	// sequence (or a body-set swap hiding behind an unchanged count's
+	// inverse — a resize on a continuous sequence) is detected instead
+	// of silently repairing against a stale bodyLeaf map.
+	lastStep int
 }
 
 func newUpdate(cfg Config) Builder {
@@ -32,12 +37,51 @@ func newUpdate(cfg Config) Builder {
 
 func (ub *updateBuilder) Algorithm() Algorithm { return UPDATE }
 
+// freshReason decides whether this build must start from scratch and
+// why; "" means the resident tree can be repaired incrementally.
+func (ub *updateBuilder) freshReason(in *Input) string {
+	resized := len(ub.bodyLeaf) != in.Bodies.N()
+	discontinuous := in.Step != ub.lastStep+1
+	switch {
+	case ub.tree == nil:
+		return FreshFirst
+	case in.Rebuild:
+		return FreshRequested
+	case in.Step == 0:
+		return FreshStep0
+	case resized && discontinuous:
+		return FreshRestart
+	case resized:
+		return FreshSwap
+	case discontinuous:
+		return FreshDiscontinuity
+	}
+	return ""
+}
+
 func (ub *updateBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 	p := in.P()
 	m := newMetrics(UPDATE, p)
+	t, m := ub.build(in, m)
+	ub.lastStep = in.Step
+	if ub.cfg.DepthStats {
+		st := octree.CollectStats(t)
+		m.Depth = &DepthStats{MaxLeaf: st.MaxDepth, MeanLeaf: st.AvgDepth, Leaves: st.Leaves}
+	}
+	return t, m
+}
 
-	fresh := ub.tree == nil || in.Step == 0 || len(ub.bodyLeaf) != in.Bodies.N()
-	if fresh {
+func (ub *updateBuilder) build(in *Input, m *Metrics) (*octree.Tree, *Metrics) {
+	p := in.P()
+	if reason := ub.freshReason(in); reason != "" {
+		m.FreshRebuild = true
+		m.FreshReason = reason
+		if reason == FreshRequested {
+			// A requested rebuild runs inside a live session: take
+			// SPACE's zero-lock path so the reset costs no lock traffic.
+			ub.rebuildSpace(in, m)
+			return ub.tree, m
+		}
 		ub.bodyLeaf = make([]uint32, in.Bodies.N())
 		ub.insPerProc = make([]*inserter, p)
 		ub.tree = buildShared(ub.store, in, ub.cfg, m, func(w int) int { return w }, ub.bodyLeaf)
@@ -101,6 +145,47 @@ func (ub *updateBuilder) Build(in *Input) (*octree.Tree, *Metrics) {
 		m.Trace = tr.Summarize()
 	}
 	return tree, m
+}
+
+// rebuildSpace discards the resident tree and rebuilds it with SPACE's
+// zero-lock spatial partition — the session fallback path. The rebuild
+// runs in the builder's own store with inserters that carry the
+// persistent bodyLeaf map, so subsequent steps can resume incremental
+// repair against the fresh tree.
+func (ub *updateBuilder) rebuildSpace(in *Input, m *Metrics) {
+	p := in.P()
+	s := ub.store
+	ub.bodyLeaf = make([]uint32, in.Bodies.N())
+	ub.insPerProc = make([]*inserter, p)
+
+	tr := ub.cfg.traceStart()
+	t0 := time.Now()
+	cube := parallelBounds(in, ub.cfg.Margin, tr)
+	s.Reset()
+	tree := octree.NewTree(s, 0, 0, cube)
+	subs := spacePartition(s, tree, in, spaceThreshold(ub.cfg, in.Bodies.N(), p), m, tr)
+	assignSubspaces(tree.RootCube(), subs, p)
+	t1 := time.Now()
+
+	spaceAttach(s, in, subs, m, tr, func(w int) *inserter {
+		ins := &inserter{s: s, arena: w, proc: w, pc: &m.PerP[w], tp: tr.Proc(w), bodyLeaf: ub.bodyLeaf}
+		ub.insPerProc[w] = ins
+		return ins
+	})
+	t2 := time.Now()
+
+	mt := traceNow(tr)
+	octree.ComputeMomentsParallel(tree, bodyData(in.Bodies), p)
+	spanAll(tr, trace.PhaseMoments, mt, p)
+	t3 := time.Now()
+
+	m.Timing.Bounds += t1.Sub(t0)
+	m.Timing.Insert += t2.Sub(t1)
+	m.Timing.Moments += t3.Sub(t2)
+	if tr != nil {
+		m.Trace = tr.Summarize()
+	}
+	ub.tree = tree
 }
 
 // depthOf recovers a node's depth from its cube size: cubes halve exactly

@@ -28,8 +28,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"partree/internal/core"
+	"partree/internal/obs"
 	"partree/internal/octree"
 )
 
@@ -88,6 +90,17 @@ type Options struct {
 	// the least recently used is evicted past it (0 = 32; negative =
 	// retain nothing, every release frees the session).
 	MaxIdle int
+	// MaxLeases bounds concurrently open session leases — the resident
+	// streaming sessions of OpenLease, accounted separately from build
+	// slots because an idle lease holds memory, not CPU (0 = 256;
+	// negative = unbounded).
+	MaxLeases int
+	// LeaseIdle is the idle-eviction timeout applied to leases opened
+	// without their own (0 = 2m).
+	LeaseIdle time.Duration
+	// LeaseTick is the deadline wheel's granularity — the idle janitor's
+	// eviction resolution (0 = 100ms).
+	LeaseTick time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +113,15 @@ func (o Options) withDefaults() Options {
 	if o.MaxIdle == 0 {
 		o.MaxIdle = 32
 	}
+	if o.MaxLeases == 0 {
+		o.MaxLeases = 256
+	}
+	if o.LeaseIdle <= 0 {
+		o.LeaseIdle = 2 * time.Minute
+	}
+	if o.LeaseTick <= 0 {
+		o.LeaseTick = 100 * time.Millisecond
+	}
 	return o
 }
 
@@ -110,12 +132,23 @@ type Engine struct {
 	// session. Drain seizes every token to wait out in-flight builds.
 	slots chan struct{}
 
-	mu        sync.Mutex
-	idle      map[Key][]*Session
-	lru       *list.List // *Session, front = most recently released
-	sessions  map[*Session]struct{}
-	draining  bool
-	drainDone chan struct{} // non-nil once a drain has started
+	// drainCh is closed the moment a drain begins, waking lease steps
+	// (and queued acquires) that would otherwise wait on a slot Drain is
+	// busy seizing.
+	drainCh chan struct{}
+
+	mu             sync.Mutex
+	idle           map[Key][]*Session
+	lru            *list.List // *Session, front = most recently released
+	sessions       map[*Session]struct{}
+	leases         map[*Lease]struct{}
+	janitorRunning bool
+	draining       bool
+	drainDone      chan struct{} // non-nil once a drain has started
+
+	// wheelMu guards the deadline wheel and every lease's deadline/slot.
+	wheelMu sync.Mutex
+	wheel   [wheelSlots]map[*Lease]struct{}
 
 	queued            atomic.Int64
 	inUse             atomic.Int64
@@ -125,6 +158,17 @@ type Engine struct {
 	rejectedFull      atomic.Int64
 	rejectedDraining  atomic.Int64
 	rejectedCancelled atomic.Int64
+
+	leasesOpened   atomic.Int64
+	leasesClosed   atomic.Int64
+	leasesEvicted  atomic.Int64
+	leaseRejected  atomic.Int64
+	leaseFallbacks atomic.Int64
+	leaseUnplanned atomic.Int64
+	// stepSeconds is the per-step duration histogram, labeled by mode
+	// (update vs rebuild). Created eagerly so steps can observe whether
+	// or not RegisterObs was called.
+	stepSeconds *obs.Vec[*obs.Histogram]
 }
 
 // New creates an engine.
@@ -133,9 +177,14 @@ func New(o Options) *Engine {
 	return &Engine{
 		opts:     o,
 		slots:    make(chan struct{}, o.MaxActive),
+		drainCh:  make(chan struct{}),
 		idle:     map[Key][]*Session{},
 		lru:      list.New(),
 		sessions: map[*Session]struct{}{},
+		leases:   map[*Lease]struct{}{},
+		stepSeconds: obs.NewHistogramVec("partree_session_step_seconds",
+			"Session step wall time, by serving mode (incremental update vs fresh rebuild).",
+			obs.ExpBuckets(1e-5, 2, 20), "mode"),
 	}
 }
 
@@ -295,6 +344,9 @@ func (e *Engine) Drain(ctx context.Context) error {
 	first := e.drainDone == nil
 	if first {
 		e.drainDone = make(chan struct{})
+		// Wake lease steps and queued acquires blocked on a slot before
+		// the seize loop below starves them.
+		close(e.drainCh)
 	}
 	done := e.drainDone
 	e.draining = true
@@ -305,7 +357,19 @@ func (e *Engine) Drain(ctx context.Context) error {
 	}
 	e.idle = map[Key][]*Session{}
 	e.lru.Init()
+	leases := make([]*Lease, 0, len(e.leases))
+	for l := range e.leases {
+		leases = append(leases, l)
+	}
 	e.mu.Unlock()
+
+	// Close every lease. Lease.Close takes l.mu, which a mid-step lease
+	// holds until its current step finishes — so this loop is exactly
+	// "finish the in-flight step, then close the stream". Steps *waiting*
+	// for a slot were already woken by drainCh with ErrDraining.
+	for _, l := range leases {
+		l.Close()
+	}
 
 	if !first {
 		select {
@@ -336,8 +400,19 @@ type Stats struct {
 	RejectedCancelled        int64
 	InUse, Idle, Queued      int64
 	Draining                 bool
+	// Lease lifecycle (streaming sessions).
+	LeasesActive  int64
+	LeasesOpened  int64
+	LeasesClosed  int64
+	LeasesEvicted int64
+	LeaseRejected int64
+	// LeaseFallbacks counts policy-triggered SPACE rebuilds;
+	// LeaseUnplanned counts fresh rebuilds nobody asked for (resident
+	// state invalidated under the session).
+	LeaseFallbacks int64
+	LeaseUnplanned int64
 	// Store aggregates retained octree storage over every live session
-	// (idle and in use).
+	// (idle and in use) and every open lease's resident builder.
 	Store octree.StoreStats
 }
 
@@ -349,6 +424,10 @@ func (e *Engine) Stats() Stats {
 	sessions := make([]*Session, 0, len(e.sessions))
 	for s := range e.sessions {
 		sessions = append(sessions, s)
+	}
+	steppers := make([]*core.Stepper, 0, len(e.leases))
+	for l := range e.leases {
+		steppers = append(steppers, l.st)
 	}
 	idle := int64(e.lru.Len())
 	draining := e.draining
@@ -364,9 +443,21 @@ func (e *Engine) Stats() Stats {
 		Idle:              idle,
 		Queued:            e.queued.Load(),
 		Draining:          draining,
+		LeasesActive:      int64(len(steppers)),
+		LeasesOpened:      e.leasesOpened.Load(),
+		LeasesClosed:      e.leasesClosed.Load(),
+		LeasesEvicted:     e.leasesEvicted.Load(),
+		LeaseRejected:     e.leaseRejected.Load(),
+		LeaseFallbacks:    e.leaseFallbacks.Load(),
+		LeaseUnplanned:    e.leaseUnplanned.Load(),
 	}
 	for _, s := range sessions {
 		for _, store := range core.StoresOf(s.b) {
+			st.Store = st.Store.Add(store.Stats())
+		}
+	}
+	for _, sp := range steppers {
+		for _, store := range core.StoresOf(sp.Builder()) {
 			st.Store = st.Store.Add(store.Stats())
 		}
 	}

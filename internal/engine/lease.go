@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"partree/internal/core"
+)
+
+// Lease sentinels. Like the acquire sentinels they surface to HTTP
+// callers (as a 503 before the stream opens, or an in-stream error
+// record afterwards), so their text is part of the service contract.
+var (
+	// ErrLeasesFull rejects an OpenLease past Options.MaxLeases.
+	ErrLeasesFull = errors.New("engine: leases full")
+	// ErrLeaseClosed rejects a Step on a lease that was closed.
+	ErrLeaseClosed = errors.New("engine: lease closed")
+	// ErrLeaseEvicted rejects a Step on a lease the idle janitor evicted.
+	ErrLeaseEvicted = errors.New("engine: lease evicted (idle)")
+)
+
+// wheelSlots is the deadline wheel's size. Idle timeouts are coarse
+// (seconds to minutes) and the wheel re-checks a lease at most once per
+// revolution, so a small power of two is plenty.
+const wheelSlots = 64
+
+// Lease is one long-lived simulation session: a pinned core.Stepper
+// (resident UPDATE builder + body state + fallback controller) plus the
+// lifecycle around it. Leases are capacity-accounted separately from
+// one-shot build slots — an idle lease holds memory, not a build slot —
+// but every Step borrows a build slot for its duration, so step CPU and
+// one-shot build CPU share the engine's single MaxActive budget.
+//
+// A lease is owned by one stream handler; Step and Close may race with
+// the idle janitor and with Drain, never with each other.
+type Lease struct {
+	eng *Engine
+	st  *core.Stepper
+
+	// mu serializes Step against Close/evict. Lock order: l.mu before
+	// e.mu; nothing takes l.mu while holding e.mu.
+	mu      sync.Mutex
+	closed  bool
+	evicted bool
+	done    chan struct{}
+
+	idle time.Duration
+	// deadline is the idle eviction instant in unixnanos, refreshed
+	// (lazily — no wheel traffic) after every step. The wheel re-buckets
+	// when a bucket fires and finds the deadline moved.
+	deadline int64 // guarded by eng.wheelMu together with slot
+	slot     int   // current wheel bucket, -1 once removed
+}
+
+// Stepper returns the pinned stepper for callers that need the body
+// state or step counter. Mutating bodies between Step calls is the
+// owner's job; the janitor never touches them.
+func (l *Lease) Stepper() *core.Stepper { return l.st }
+
+// Done is closed when the lease ends for any reason — Close, idle
+// eviction, or engine drain. Stream handlers select on it to end their
+// stream when the server side gives up first.
+func (l *Lease) Done() <-chan struct{} { return l.done }
+
+// Evicted reports whether the lease was ended by the idle janitor.
+func (l *Lease) Evicted() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}
+
+// OpenLease pins st into a new session lease. idle <= 0 selects
+// Options.LeaseIdle. Rejects with ErrLeasesFull past Options.MaxLeases
+// and ErrDraining once Drain has begun.
+func (e *Engine) OpenLease(st *core.Stepper, idle time.Duration) (*Lease, error) {
+	if idle <= 0 {
+		idle = e.opts.LeaseIdle
+	}
+	l := &Lease{eng: e, st: st, done: make(chan struct{}), idle: idle, slot: -1}
+
+	e.mu.Lock()
+	switch {
+	case e.draining:
+		e.mu.Unlock()
+		e.leaseRejected.Add(1)
+		return nil, ErrDraining
+	case e.opts.MaxLeases >= 0 && len(e.leases) >= e.opts.MaxLeases:
+		e.mu.Unlock()
+		e.leaseRejected.Add(1)
+		return nil, ErrLeasesFull
+	}
+	e.leases[l] = struct{}{}
+	e.leasesOpened.Add(1)
+	if !e.janitorRunning {
+		e.janitorRunning = true
+		go e.leaseJanitor()
+	}
+	e.mu.Unlock()
+
+	e.armLease(l, time.Now().Add(idle))
+	return l, nil
+}
+
+// Step runs one timestep through the lease's pinned builder. It borrows
+// a build slot (waiting up to ctx, aborting with ErrDraining if a drain
+// starts first) so concurrent session steps and one-shot builds share
+// MaxActive.
+func (l *Lease) Step(ctx context.Context, in core.StepInput) (*core.StepResult, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.evicted:
+		return nil, ErrLeaseEvicted
+	case l.closed:
+		return nil, ErrLeaseClosed
+	}
+	e := l.eng
+	if err := e.acquireSlot(ctx); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	res := l.st.Step(in)
+	dur := time.Since(t0)
+	<-e.slots
+
+	mode := "update"
+	if res.Fresh {
+		mode = "rebuild"
+	}
+	e.stepSeconds.With(mode).Observe(dur.Seconds())
+	if res.Fallback {
+		e.leaseFallbacks.Add(1)
+	}
+	// An unplanned rebuild: the builder started over on a step where the
+	// caller expected incremental repair (not step 0, not requested).
+	if res.Fresh && res.Reason != core.FreshFirst && res.Reason != core.FreshStep0 &&
+		res.Reason != core.FreshRequested {
+		e.leaseUnplanned.Add(1)
+	}
+
+	e.wheelMu.Lock()
+	l.deadline = time.Now().Add(l.idle).UnixNano()
+	e.wheelMu.Unlock()
+	return res, nil
+}
+
+// Close ends the lease. Idempotent; safe to call after eviction.
+func (l *Lease) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closeLocked(false)
+}
+
+// closeLocked finishes the lease under l.mu. evict marks a janitor
+// eviction (counted separately and surfaced via ErrLeaseEvicted).
+func (l *Lease) closeLocked(evict bool) {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.evicted = evict
+	close(l.done)
+	e := l.eng
+
+	e.wheelMu.Lock()
+	if l.slot >= 0 {
+		delete(e.wheel[l.slot], l)
+		l.slot = -1
+	}
+	e.wheelMu.Unlock()
+
+	e.mu.Lock()
+	delete(e.leases, l)
+	e.mu.Unlock()
+	if evict {
+		e.leasesEvicted.Add(1)
+	} else {
+		e.leasesClosed.Add(1)
+	}
+}
+
+// armLease places l in the wheel bucket for its deadline.
+func (e *Engine) armLease(l *Lease, deadline time.Time) {
+	e.wheelMu.Lock()
+	defer e.wheelMu.Unlock()
+	l.deadline = deadline.UnixNano()
+	slot := e.wheelSlot(l.deadline)
+	if l.slot == slot {
+		return
+	}
+	if l.slot >= 0 {
+		delete(e.wheel[l.slot], l)
+	}
+	if e.wheel[slot] == nil {
+		e.wheel[slot] = map[*Lease]struct{}{}
+	}
+	e.wheel[slot][l] = struct{}{}
+	l.slot = slot
+}
+
+func (e *Engine) wheelSlot(deadlineNanos int64) int {
+	return int((deadlineNanos / int64(e.opts.LeaseTick))) & (wheelSlots - 1)
+}
+
+// leaseJanitor is the deadline wheel driver: every LeaseTick it sweeps
+// the buckets whose turn came up, re-buckets leases whose deadline moved
+// (the lazy re-arm Step performs), and evicts the truly expired. It
+// exits when the engine drains or the last lease ends.
+func (e *Engine) leaseJanitor() {
+	tk := time.NewTicker(e.opts.LeaseTick)
+	defer tk.Stop()
+	last := time.Now().UnixNano() / int64(e.opts.LeaseTick)
+	for {
+		select {
+		case <-e.drainCh:
+			e.mu.Lock()
+			e.janitorRunning = false
+			e.mu.Unlock()
+			return
+		case now := <-tk.C:
+			cur := now.UnixNano() / int64(e.opts.LeaseTick)
+			var expired []*Lease
+			e.wheelMu.Lock()
+			for t := last + 1; t <= cur; t++ {
+				slot := int(t) & (wheelSlots - 1)
+				for l := range e.wheel[slot] {
+					if l.deadline > now.UnixNano() {
+						// Lazily re-armed (or a future revolution's
+						// tenant): move it to its deadline's bucket.
+						ns := e.wheelSlot(l.deadline)
+						if ns != slot {
+							delete(e.wheel[slot], l)
+							if e.wheel[ns] == nil {
+								e.wheel[ns] = map[*Lease]struct{}{}
+							}
+							e.wheel[ns][l] = struct{}{}
+							l.slot = ns
+						}
+						continue
+					}
+					expired = append(expired, l)
+				}
+			}
+			last = cur
+			e.wheelMu.Unlock()
+
+			for _, l := range expired {
+				// TryLock: a lease mid-step is busy, not idle — its
+				// deadline refreshes when the step ends, and its bucket
+				// comes round again next revolution.
+				if l.mu.TryLock() {
+					if !l.closed && l.deadline <= now.UnixNano() {
+						l.closeLocked(true)
+					}
+					l.mu.Unlock()
+				}
+			}
+
+			e.mu.Lock()
+			if len(e.leases) == 0 {
+				e.janitorRunning = false
+				e.mu.Unlock()
+				return
+			}
+			e.mu.Unlock()
+		}
+	}
+}
+
+// acquireSlot takes one build slot, waiting until ctx expires or a drain
+// begins. Lease steps use it directly; it is the same semaphore Acquire
+// fills, so session steps and one-shot builds share one budget.
+func (e *Engine) acquireSlot(ctx context.Context) error {
+	select {
+	case e.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case e.slots <- struct{}{}:
+		return nil
+	case <-e.drainCh:
+		return ErrDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/phys"
+)
+
+func testStepper(t *testing.T, n, p int, seed int64) *core.Stepper {
+	t.Helper()
+	b := phys.Generate(phys.ModelPlummer, n, seed)
+	return core.NewStepper(core.Config{P: p, LeafCap: 8}, b, core.DefaultFallbackPolicy())
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	e := New(Options{MaxActive: 2})
+	l, err := e.OpenLease(testStepper(t, 500, 2, 1), time.Minute)
+	if err != nil {
+		t.Fatalf("OpenLease: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			l.Stepper().Bodies().Drift(0, 500, 0.01)
+		}
+		res, err := l.Step(context.Background(), core.StepInput{})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if res.Step != i {
+			t.Fatalf("step %d: result.Step = %d", i, res.Step)
+		}
+		if (i == 0) != res.Fresh {
+			t.Fatalf("step %d: fresh = %v", i, res.Fresh)
+		}
+	}
+	st := e.Stats()
+	if st.LeasesActive != 1 || st.LeasesOpened != 1 {
+		t.Fatalf("stats: active=%d opened=%d, want 1/1", st.LeasesActive, st.LeasesOpened)
+	}
+	if st.Store.Leaves == 0 {
+		t.Fatal("stats: lease's resident store not aggregated")
+	}
+	l.Close()
+	if _, err := l.Step(context.Background(), core.StepInput{}); !errors.Is(err, ErrLeaseClosed) {
+		t.Fatalf("step after close: %v, want ErrLeaseClosed", err)
+	}
+	l.Close() // idempotent
+	st = e.Stats()
+	if st.LeasesActive != 0 || st.LeasesClosed != 1 {
+		t.Fatalf("stats after close: active=%d closed=%d, want 0/1", st.LeasesActive, st.LeasesClosed)
+	}
+}
+
+func TestLeaseCapacity(t *testing.T) {
+	e := New(Options{MaxActive: 2, MaxLeases: 2})
+	l1, err := e.OpenLease(testStepper(t, 100, 1, 1), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OpenLease(testStepper(t, 100, 1, 2), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OpenLease(testStepper(t, 100, 1, 3), time.Minute); !errors.Is(err, ErrLeasesFull) {
+		t.Fatalf("third open: %v, want ErrLeasesFull", err)
+	}
+	if got := e.Stats().LeaseRejected; got != 1 {
+		t.Fatalf("LeaseRejected = %d, want 1", got)
+	}
+	l1.Close()
+	if _, err := e.OpenLease(testStepper(t, 100, 1, 4), time.Minute); err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+}
+
+func TestLeaseIdleEviction(t *testing.T) {
+	e := New(Options{MaxActive: 2, LeaseTick: 5 * time.Millisecond})
+	l, err := e.OpenLease(testStepper(t, 200, 1, 1), 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Step(context.Background(), core.StepInput{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-l.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle lease was never evicted")
+	}
+	if !l.Evicted() {
+		t.Fatal("Done fired but lease not marked evicted")
+	}
+	if _, err := l.Step(context.Background(), core.StepInput{}); !errors.Is(err, ErrLeaseEvicted) {
+		t.Fatalf("step after eviction: %v, want ErrLeaseEvicted", err)
+	}
+	st := e.Stats()
+	if st.LeasesEvicted != 1 || st.LeasesActive != 0 {
+		t.Fatalf("stats: evicted=%d active=%d, want 1/0", st.LeasesEvicted, st.LeasesActive)
+	}
+}
+
+// TestLeaseStepKeepsAlive steps more often than the idle timeout and
+// checks the janitor leaves the lease alone: the lazy deadline refresh
+// must actually move the eviction point.
+func TestLeaseStepKeepsAlive(t *testing.T) {
+	e := New(Options{MaxActive: 2, LeaseTick: 5 * time.Millisecond})
+	l, err := e.OpenLease(testStepper(t, 200, 1, 1), 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := l.Step(context.Background(), core.StepInput{}); err != nil {
+			t.Fatalf("live lease evicted under active stepping: %v", err)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	l.Close()
+}
+
+// TestLeaseDrain checks the drain contract: a step waiting for a build
+// slot aborts with ErrDraining instead of deadlocking against Drain's
+// slot seizure, and every lease's Done fires.
+func TestLeaseDrain(t *testing.T) {
+	e := New(Options{MaxActive: 1})
+	l, err := e.OpenLease(testStepper(t, 200, 1, 1), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only build slot with a one-shot session.
+	s, err := e.Acquire(context.Background(), Key{Alg: core.ORIG, P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepErr := make(chan error, 1)
+	go func() {
+		_, err := l.Step(context.Background(), core.StepInput{})
+		stepErr <- err
+	}()
+	// Give the step time to block on the slot, then drain. Drain cannot
+	// seize the slot until the one-shot releases, so the waiting step
+	// must be woken by drainCh, not by a token.
+	time.Sleep(20 * time.Millisecond)
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- e.Drain(ctx)
+	}()
+	if err := <-stepErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("step during drain: %v, want ErrDraining", err)
+	}
+	s.Release()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	select {
+	case <-l.Done():
+	case <-time.After(time.Second):
+		t.Fatal("lease Done did not fire on drain")
+	}
+	if _, err := e.OpenLease(testStepper(t, 100, 1, 2), time.Minute); !errors.Is(err, ErrDraining) {
+		t.Fatalf("open after drain: %v, want ErrDraining", err)
+	}
+}
+
+// TestLeaseContention hammers the engine from both sides at once —
+// streaming sessions stepping and one-shot builds acquiring — to give
+// the race detector something to chew on and to check the shared
+// MaxActive budget never wedges.
+func TestLeaseContention(t *testing.T) {
+	const leases, stepsEach, oneShots = 8, 20, 40
+	e := New(Options{MaxActive: 4, MaxQueue: 1024, MaxLeases: leases})
+	var wg sync.WaitGroup
+	for i := 0; i < leases; i++ {
+		l, err := e.OpenLease(testStepper(t, 300, 2, int64(i)), time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(l *Lease) {
+			defer wg.Done()
+			defer l.Close()
+			for s := 0; s < stepsEach; s++ {
+				l.Stepper().Bodies().Drift(0, 300, 0.01)
+				if _, err := l.Step(context.Background(), core.StepInput{}); err != nil {
+					t.Errorf("lease step: %v", err)
+					return
+				}
+			}
+		}(l)
+	}
+	for i := 0; i < oneShots; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := e.Acquire(context.Background(), Key{Alg: core.SPACE, P: 2})
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			defer s.Release()
+			b := phys.Generate(phys.ModelPlummer, 300, int64(i))
+			s.Build(&core.Input{Bodies: b, Assign: core.EvenAssign(300, 2)})
+		}(i)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.InUse != 0 || st.Queued != 0 {
+		t.Fatalf("quiesced stats: inUse=%d queued=%d, want 0/0", st.InUse, st.Queued)
+	}
+	if st.LeasesActive != 0 || st.LeasesOpened != leases {
+		t.Fatalf("lease stats: active=%d opened=%d, want 0/%d", st.LeasesActive, st.LeasesOpened, leases)
+	}
+}

@@ -39,6 +39,21 @@ func (e *Engine) RegisterObs(reg *obs.Registry) error {
 				}
 				return 0
 			}),
+		ctr("partree_session_opened_total", "Streaming session leases opened.", &e.leasesOpened),
+		ctr("partree_session_closed_total", "Session leases closed by their owner (or by drain).", &e.leasesClosed),
+		ctr("partree_session_evicted_total", "Session leases evicted by the idle-deadline janitor.", &e.leasesEvicted),
+		ctr("partree_session_rejected_total", "Session opens rejected (lease capacity or draining).", &e.leaseRejected),
+		ctr("partree_session_fallbacks_total", "Policy-triggered SPACE rebuilds inside live sessions.", &e.leaseFallbacks),
+		ctr("partree_session_unplanned_rebuilds_total", "Fresh rebuilds on steps that expected incremental repair.", &e.leaseUnplanned),
+		obs.NewGaugeFunc("partree_session_active", "Session leases currently open.",
+			func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				return float64(len(e.leases))
+			}),
+		obs.NewGaugeFunc("partree_session_max_leases", "Lease capacity (MaxLeases; -1 = unbounded).",
+			func() float64 { return float64(e.opts.MaxLeases) }),
+		e.stepSeconds,
 		rejectedCollector{e},
 		storeCollector{e},
 	)

@@ -2,7 +2,9 @@
 # obs_smoke.sh — smoke-test the live observability layer end to end:
 # launch treebench with -http, wait for the server to come up, assert
 # /healthz reports ok and /metrics exposes the key series, then let the
-# sweep finish and check it exited cleanly. Run via `make obs-smoke`
+# sweep finish and check it exited cleanly. Then launch partreed, drive
+# one streaming session through /v1/session, assert the session metric
+# families, and check SIGTERM drains cleanly. Run via `make obs-smoke`
 # (part of `make check`).
 set -e
 
@@ -12,8 +14,10 @@ bin="$tmp/treebench"
 log="$tmp/treebench.log"
 metrics="$tmp/metrics.txt"
 pid=
+pid2=
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    [ -n "$pid2" ] && kill "$pid2" 2>/dev/null
     rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
@@ -87,4 +91,83 @@ wait "$pid" || {
     exit 1
 }
 pid=
-echo "obs-smoke: ok ($url, $(wc -l <"$metrics") metric lines)"
+echo "obs-smoke: treebench ok ($url, $(wc -l <"$metrics") metric lines)"
+
+# --- partreed: streaming session + drain ------------------------------
+dbin="$tmp/partreed"
+dlog="$tmp/partreed.log"
+stream="$tmp/session.ndjson"
+$GO build -o "$dbin" ./cmd/partreed
+
+"$dbin" -addr 127.0.0.1:0 -v info 2>"$dlog" &
+pid2=$!
+
+durl=
+i=0
+while [ $i -lt 100 ]; do
+    durl=$(sed -n 's/.*msg=serving .* url=\(http:[^ ]*\).*/\1/p' "$dlog" | head -1)
+    [ -n "$durl" ] && break
+    if ! kill -0 "$pid2" 2>/dev/null; then
+        echo "obs-smoke: partreed exited before serving" >&2
+        cat "$dlog" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$durl" ]; then
+    echo "obs-smoke: no partreed serving address in log" >&2
+    cat "$dlog" >&2
+    exit 1
+fi
+
+# One short session: open, three drift steps, close. The histogram only
+# renders buckets once a step is observed, so this run is what makes the
+# partree_session_* families assertable below.
+curl -fsS --no-buffer "$durl/v1/session" --data-binary @- >"$stream" <<'EOF'
+{"procs": 2, "bodies": 4096, "model": "plummer"}
+{"drift": true}
+{"drift": true}
+{"drift": true}
+{"close": true}
+EOF
+grep -q '"event":"step"' "$stream" || {
+    echo "obs-smoke: session stream has no step records" >&2
+    cat "$stream" >&2
+    exit 1
+}
+grep -q '"event":"closed"' "$stream" || {
+    echo "obs-smoke: session stream was not acknowledged closed" >&2
+    cat "$stream" >&2
+    exit 1
+}
+
+curl -fsS "$durl/metrics" >"$metrics"
+missing=
+for series in \
+    partree_session_opened_total \
+    partree_session_closed_total \
+    partree_session_evicted_total \
+    partree_session_rejected_total \
+    partree_session_fallbacks_total \
+    partree_session_unplanned_rebuilds_total \
+    partree_session_active \
+    partree_session_max_leases \
+    partree_session_step_seconds_bucket \
+; do
+    grep -q "^$series" "$metrics" || missing="$missing $series"
+done
+[ -n "$missing" ] && {
+    echo "obs-smoke: partreed /metrics is missing series:$missing" >&2
+    exit 1
+}
+
+# SIGTERM must drain: in-flight work finishes, the process exits 0.
+kill -TERM "$pid2"
+wait "$pid2" || {
+    echo "obs-smoke: partreed did not drain cleanly on SIGTERM" >&2
+    cat "$dlog" >&2
+    exit 1
+}
+pid2=
+echo "obs-smoke: ok ($durl, session metrics present, drain clean)"
