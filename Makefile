@@ -17,10 +17,11 @@ test:
 # session pool, lease lifecycle (idle-eviction wheel, lease-vs-build
 # contention) and admission control, the runner's worker pool / result
 # cache, the differential verifier's algorithm cross-product, the tracing
-# layer's emit path under all five builders, and the partreed daemon's
-# concurrent HTTP serving, streaming-session e2e, and drain.
+# layer's emit path under all five builders, the adaptive feedback loop
+# driving traced steppers, and the partreed daemon's concurrent HTTP
+# serving, streaming-session e2e, and drain.
 race:
-	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./cmd/partreed
+	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./internal/adapt ./cmd/partreed
 
 # smoke builds real trees with every algorithm and verifies each against
 # the sequential reference (-check), end to end through cmd/treebench.
@@ -42,11 +43,12 @@ repro:
 
 # bench refreshes the committed native tree-build baseline: best-of-3
 # ns per build for every algorithm at p in {1,4,8} on 10k bodies, plus
-# the session serving mode (50 drift steps on one resident tree, UPDATE
-# repair vs rebuild-per-step, ns per step). Compare a fresh run against
-# the committed file to spot regressions.
+# the session serving modes (50 drift steps on one resident tree, UPDATE
+# repair vs rebuild-per-step vs measured-cost adaptive repair, ns per
+# step). Compare a fresh run against the committed file to spot
+# regressions.
 bench:
-	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -steps 50 -benchout BENCH_treebuild.json
+	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -steps 50 -adaptive -benchout BENCH_treebuild.json
 
 # benchcmp re-runs the committed baseline's sweep and fails if any cell's
 # ns-per-build regressed more than 30%. Timings are machine-relative:

@@ -59,6 +59,10 @@ type daemonConfig struct {
 	resultCache  int
 	bodiesCache  int
 	drainTimeout time.Duration
+	// adaptive turns on measured-cost adaptive partitioning for every
+	// streaming session (each session can also opt in individually via
+	// its open record's "adaptive" field).
+	adaptive bool
 }
 
 func (c daemonConfig) withDefaults() daemonConfig {
@@ -271,6 +275,7 @@ func main() {
 		resultCache  = flag.Int("result-cache", 4096, "memoized spec results retained (LRU)")
 		bodiesCache  = flag.Int("bodies-cache", 64, "memoized body sets retained (LRU)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight builds")
+		adaptive     = flag.Bool("adaptive", false, "measured-cost adaptive partitioning for every streaming session")
 		level        = flag.String("v", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
@@ -286,7 +291,7 @@ func main() {
 		maxActive: *maxActive, maxQueue: *maxQueue, maxIdle: *maxIdle,
 		maxSessions: *maxSessions, sessionIdle: *sessionIdle,
 		resultCache: *resultCache, bodiesCache: *bodiesCache,
-		drainTimeout: *drainTimeout,
+		drainTimeout: *drainTimeout, adaptive: *adaptive,
 	})
 	if err != nil {
 		slog.Error("building daemon", "err", err)

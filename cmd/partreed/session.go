@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"time"
 
+	"partree/internal/adapt"
 	"partree/internal/core"
 	"partree/internal/engine"
 	"partree/internal/octree"
@@ -39,7 +40,13 @@ type sessionOpen struct {
 	Dt      float64 `json:"dt"` // drift timestep for {"drift":true} records
 	// Check verifies every step's tree against the octree invariants
 	// (canonical vs a serial rebuild on fresh steps) before answering.
-	Check         bool  `json:"check"`
+	Check bool `json:"check"`
+	// Adaptive turns on measured-cost adaptive partitioning for this
+	// session: each step's traced phase times feed a cost ledger that
+	// corrects the next step's costzones cut, and a tuner may retune
+	// build knobs mid-session. The daemon's -adaptive flag turns it on
+	// for every session.
+	Adaptive      bool  `json:"adaptive"`
 	IdleTimeoutMs int64 `json:"idle_timeout_ms"`
 	Policy        struct {
 		MaxChurnFrac float64 `json:"max_churn_frac"`
@@ -86,7 +93,10 @@ type sessionStepResult struct {
 	// Reason names why a rebuild step started fresh ("" on updates).
 	Reason string `json:"reason,omitempty"`
 	// Fallback marks a rebuild forced by the auto-fallback policy.
-	Fallback  bool    `json:"fallback,omitempty"`
+	Fallback bool `json:"fallback,omitempty"`
+	// Retuned marks a rebuild caused by the adaptive tuner changing a
+	// build knob (adaptive sessions only).
+	Retuned   bool    `json:"retuned,omitempty"`
 	Moved     int64   `json:"moved"`
 	Churn     float64 `json:"churn"`
 	DepthSkew float64 `json:"depth_skew"`
@@ -166,15 +176,20 @@ func (d *daemon) handleSession(w http.ResponseWriter, req *http.Request) {
 	}
 
 	bodies := phys.Generate(model, open.Bodies, open.Seed)
-	st := core.NewStepper(
-		core.Config{P: open.Procs, LeafCap: open.LeafCap},
-		bodies,
-		core.FallbackPolicy{
-			MaxChurnFrac: open.Policy.MaxChurnFrac,
-			MaxDepthSkew: open.Policy.MaxDepthSkew,
-			Streak:       open.Policy.Streak,
-			MinSteps:     open.Policy.MinSteps,
-		})
+	cfg := core.Config{P: open.Procs, LeafCap: open.LeafCap}
+	policy := core.FallbackPolicy{
+		MaxChurnFrac: open.Policy.MaxChurnFrac,
+		MaxDepthSkew: open.Policy.MaxDepthSkew,
+		Streak:       open.Policy.Streak,
+		MinSteps:     open.Policy.MinSteps,
+	}
+	var st *core.Stepper
+	if open.Adaptive || d.cfg.adaptive {
+		st = core.NewAdaptiveStepper(cfg, bodies, policy,
+			adapt.NewController(cfg, adapt.Options{}))
+	} else {
+		st = core.NewStepper(cfg, bodies, policy)
+	}
 	lease, err := d.eng.OpenLease(st, time.Duration(open.IdleTimeoutMs)*time.Millisecond)
 	if err != nil {
 		// The only post-validation errors before the stream opens: lease
@@ -267,6 +282,7 @@ func (d *daemon) handleSession(w http.ResponseWriter, req *http.Request) {
 				Mode:      "update",
 				Reason:    res.Reason,
 				Fallback:  res.Fallback,
+				Retuned:   res.Retuned,
 				Moved:     res.Metrics.TotalBodiesMoved(),
 				Churn:     res.ChurnFrac,
 				DepthSkew: res.DepthSkew,

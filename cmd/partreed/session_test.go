@@ -162,6 +162,51 @@ func TestSessionStream100Steps(t *testing.T) {
 	}
 }
 
+// TestSessionAdaptiveStream opens an adaptive session end to end: every
+// step must verify exactly like a static session's, and the
+// measured-cost feedback loop must leave its partree_adapt_* footprint
+// on /metrics — a controller constructed, a correction and a recut per
+// step, knob gauges published. Counter assertions are lower bounds
+// because the adapt totals are package-global across the test binary.
+func TestSessionAdaptiveStream(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, drainTimeout: 10 * time.Second})
+	open := sessionOpen{Procs: 2, Bodies: 3000, Seed: 7, Dt: 0.005, Check: true, Adaptive: true}
+	c, _ := openSession(t, d.srv.URL(), open)
+
+	const steps = 12
+	for i := 0; i < steps; i++ {
+		c.send(sessionStep{Drift: i > 0})
+		r := c.recv()
+		if r.Event != "step" || r.Step != i {
+			t.Fatalf("step %d: got %+v", i, r)
+		}
+		if !r.Verified {
+			t.Fatalf("step %d: not verified", i)
+		}
+	}
+	c.send(sessionStep{Close: true})
+	if r := c.recv(); r.Event != "closed" || r.Steps != steps {
+		t.Fatalf("close ack = %+v, want closed with steps=%d", r, steps)
+	}
+
+	pg := metricsPage(t, d.srv.URL())
+	if v := metricValue(t, pg, "partree_adapt_sessions_total"); v < 1 {
+		t.Errorf("adapt_sessions_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, pg, "partree_adapt_repartitions_total"); v < steps {
+		t.Errorf("adapt_repartitions_total = %v, want >= %d", v, steps)
+	}
+	if v := metricValue(t, pg, "partree_adapt_corrections_total"); v < steps-1 {
+		t.Errorf("adapt_corrections_total = %v, want >= %d", v, steps-1)
+	}
+	if v := metricValue(t, pg, "partree_adapt_leafcap"); v < 1 {
+		t.Errorf("adapt_leafcap gauge = %v, want >= 1", v)
+	}
+	if v := metricValue(t, pg, "partree_adapt_effective_p"); v < 1 {
+		t.Errorf("adapt_effective_p gauge = %v, want >= 1", v)
+	}
+}
+
 // TestSessionFasterThanOneShotBuilds is the acceptance benchmark: a
 // 100-step Plummer session must spend measurably less wall time than
 // 100 one-shot /v1/build requests at equal n and P, because the session

@@ -8,14 +8,17 @@
 //
 //	treebench [-alg all] [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8]
 //	          [-model plummer] [-timeout 0] [-check] [-trace out.json]
-//	          [-steps 0] [-benchout BENCH_treebuild.json]
+//	          [-steps 0] [-adaptive] [-benchout BENCH_treebuild.json]
 //	          [-benchcmp BENCH_treebuild.json] [-benchthreshold 0.30]
 //	          [-http :9090] [-v info] [-json]
 //
 // With -steps k the sweep also benchmarks the session serving mode: k
 // drift timesteps against one resident tree, UPDATE repairing it step
 // over step versus a fresh rebuild forced every step, reported as ns per
-// step (step 0's unavoidable fresh build excluded).
+// step (step 0's unavoidable fresh build excluded). Adding -adaptive
+// appends a session-adaptive cell: the same repair loop with
+// measured-cost adaptive partitioning (internal/adapt) closing the
+// feedback path each step.
 //
 // With -benchcmp the sweep is taken from the named baseline file instead
 // of the flags, fresh timings are diffed against it, and the exit status
@@ -35,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"partree/internal/adapt"
 	"partree/internal/core"
 	"partree/internal/phys"
 	"partree/internal/runner"
@@ -65,11 +69,26 @@ type benchCell struct {
 }
 
 // Session-mode cell names: the same Stepper surface and the same motion,
-// differing only in whether the resident tree is repaired or rebuilt.
+// differing in whether the resident tree is repaired or rebuilt and in
+// whether the partition comes from modeled or measured costs.
 const (
 	modeUpdate  = "session-update"  // resident UPDATE repairs step over step
 	modeRebuild = "session-rebuild" // fresh rebuild forced every step
+	// modeAdaptive repairs like modeUpdate but closes the feedback loop:
+	// each step's traced phase times correct the next step's costzones
+	// cut through an adapt.Controller (the daemon's -adaptive path).
+	modeAdaptive = "session-adaptive"
 )
+
+// sessionModes lists the session cells a sweep produces; the adaptive
+// cell is opt-in so existing baselines stay comparable.
+func sessionModes(adaptive bool) []string {
+	modes := []string{modeUpdate, modeRebuild}
+	if adaptive {
+		modes = append(modes, modeAdaptive)
+	}
+	return modes
+}
 
 // traceName derives a per-cell trace filename from the -trace argument
 // when the sweep has more than one cell (base.json -> base_ORIG_p4.json).
@@ -106,18 +125,27 @@ func runCells(r *runner.Runner, specs []runner.Spec) []runner.Result {
 // against a resident tree through core.Stepper at p processors — exactly
 // the surface partreed's /v1/session leases pin. Step 0's unavoidable
 // fresh build is excluded; the remaining steps either let UPDATE repair
-// the tree in place or (rebuild) force a fresh build each, and the best
-// mean ns per step over reps independent runs is reported with the lock
-// total of the winning run's measured steps.
-func runSessionCell(base runner.Spec, p, steps, reps int, rebuild bool) (nsPerStep, locks int64) {
+// the tree in place or (session-rebuild) force a fresh build each —
+// session-adaptive repairs with the measured-cost feedback loop in the
+// path — and the best mean ns per step over reps independent runs is
+// reported with the lock total of the winning run's measured steps.
+func runSessionCell(base runner.Spec, p, steps, reps int, mode string) (nsPerStep, locks int64) {
 	sp := base.Normalized()
 	model, _ := phys.ParseModel(sp.Model)
+	rebuild := mode == modeRebuild
 	best, bestLocks := int64(-1), int64(0)
 	for rep := 0; rep < reps; rep++ {
 		runtime.GC()
 		// Fresh bodies each rep so every rep walks the same trajectory.
 		bodies := phys.Generate(model, sp.Bodies, sp.Seed)
-		st := core.NewStepper(core.Config{P: p, LeafCap: sp.LeafCap}, bodies, core.DefaultFallbackPolicy())
+		cfg := core.Config{P: p, LeafCap: sp.LeafCap}
+		var st *core.Stepper
+		if mode == modeAdaptive {
+			st = core.NewAdaptiveStepper(cfg, bodies, core.DefaultFallbackPolicy(),
+				adapt.NewController(cfg, adapt.Options{}))
+		} else {
+			st = core.NewStepper(cfg, bodies, core.DefaultFallbackPolicy())
+		}
 		st.Step(core.StepInput{})
 		var total, reqLocks int64
 		for i := 1; i < steps; i++ {
@@ -135,12 +163,12 @@ func runSessionCell(base runner.Spec, p, steps, reps int, rebuild bool) (nsPerSt
 }
 
 // runSessionCells produces the session-mode baseline cells for every
-// processor count, update mode beside rebuild mode.
-func runSessionCells(base runner.Spec, ps []int, steps, reps int) []benchCell {
+// processor count, one cell per serving mode.
+func runSessionCells(base runner.Spec, ps []int, steps, reps int, modes []string) []benchCell {
 	var cells []benchCell
 	for _, p := range ps {
-		for _, mode := range []string{modeUpdate, modeRebuild} {
-			ns, locks := runSessionCell(base, p, steps, reps, mode == modeRebuild)
+		for _, mode := range modes {
+			ns, locks := runSessionCell(base, p, steps, reps, mode)
 			cells = append(cells, benchCell{Mode: mode, P: p, NsPerBuild: ns, Locks: locks})
 		}
 	}
@@ -161,6 +189,7 @@ func main() {
 		reps     = flag.Int("reps", 5, "builds per configuration (best time reported)")
 		spatial  = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
 		steps    = flag.Int("steps", 0, "session-mode benchmark: drift timesteps per resident session, update vs rebuild-per-step (0 = off, min 2)")
+		adaptive = flag.Bool("adaptive", false, "add a session-adaptive cell (measured-cost adaptive partitioning) to the session sweep")
 		benchout = flag.String("benchout", "", "write a machine-readable ns-per-build baseline to this JSON file")
 		benchcmp = flag.String("benchcmp", "", "diff a fresh run against this baseline JSON and fail past -benchthreshold")
 		benchthr = flag.Float64("benchthreshold", 0.30, "allowed fractional ns-per-build regression for -benchcmp (0.30 = 30%)")
@@ -237,9 +266,10 @@ func main() {
 
 	results := runCells(r, specs)
 
+	modes := sessionModes(*adaptive)
 	var sessionCells []benchCell
 	if *steps > 0 {
-		sessionCells = runSessionCells(base, ps, *steps, *reps)
+		sessionCells = runSessionCells(base, ps, *steps, *reps, modes)
 	}
 
 	if *benchout != "" {
@@ -322,11 +352,11 @@ func main() {
 		}
 		sh = append(sh, "locks")
 		ts := stats.NewTable(sh...)
-		for mi, mode := range []string{modeUpdate, modeRebuild} {
+		for mi, mode := range modes {
 			row := []any{mode}
 			var locks int64
 			for pi := range ps {
-				c := sessionCells[pi*2+mi]
+				c := sessionCells[pi*len(modes)+mi]
 				row = append(row, time.Duration(c.NsPerBuild).Round(time.Microsecond).String())
 				locks = c.Locks
 			}
@@ -364,7 +394,7 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 	var specs []runner.Spec
 	for i, c := range bf.Cells {
 		if c.Mode != "" {
-			if c.Mode != modeUpdate && c.Mode != modeRebuild {
+			if c.Mode != modeUpdate && c.Mode != modeRebuild && c.Mode != modeAdaptive {
 				slog.Error("baseline names unknown session mode", "path", path, "mode", c.Mode)
 				return 2
 			}
@@ -415,7 +445,7 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 			fresh = int64(res.TreeNs)
 		} else {
 			name = c.Mode
-			fresh, _ = runSessionCell(sessBase, c.P, bf.Steps, bf.Reps, c.Mode == modeRebuild)
+			fresh, _ = runSessionCell(sessBase, c.P, bf.Steps, bf.Reps, c.Mode)
 		}
 		delta := float64(fresh-c.NsPerBuild) / float64(c.NsPerBuild)
 		mark := ""

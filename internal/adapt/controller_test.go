@@ -1,0 +1,54 @@
+package adapt
+
+import (
+	"testing"
+
+	"partree/internal/core"
+	"partree/internal/octree"
+	"partree/internal/partition"
+	"partree/internal/phys"
+)
+
+// TestControllerDrivesStepper runs the real loop: an adaptive
+// core.Stepper with a Controller in the feedback path, real traced
+// builds, real measured times. Asserts the plumbing (every step
+// observed and repartitioned, totals advancing, assignments covering)
+// rather than timing-dependent balance, which the deterministic skew
+// gate owns.
+func TestControllerDrivesStepper(t *testing.T) {
+	const n, p, steps = 4000, 4, 10
+	before := Snapshot()
+	b := phys.Generate(phys.ModelPlummer, n, 41)
+	cfg := core.Config{P: p, LeafCap: 8}
+	ctrl := NewController(cfg, Options{})
+	st := core.NewAdaptiveStepper(cfg, b, core.DefaultFallbackPolicy(), ctrl)
+	for i := 0; i < steps; i++ {
+		if i > 0 {
+			b.Drift(0, n, 0.01)
+		}
+		res := st.Step(core.StepInput{})
+		if res.Metrics.Trace == nil {
+			t.Fatalf("step %d untraced", i)
+		}
+		d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+		if err := octree.Check(res.Tree, d, octree.CheckOptions{Canonical: res.Fresh, Moments: true, Tol: 1e-9}); err != nil {
+			t.Fatalf("step %d invariants: %v", i, err)
+		}
+		if err := partition.Validate(st.Assign(), n); err != nil {
+			t.Fatalf("step %d next assignment: %v", i, err)
+		}
+	}
+	after := Snapshot()
+	if got := after.Repartitions - before.Repartitions; got != steps {
+		t.Fatalf("repartitions advanced by %d, want %d", got, steps)
+	}
+	if got := after.Corrections - before.Corrections; got < int64(steps)-1 {
+		t.Fatalf("corrections advanced by %d, want >= %d", got, steps-1)
+	}
+	if after.Sessions <= before.Sessions {
+		t.Fatal("sessions total did not advance")
+	}
+	if after.EffectiveP < 1 || after.LeafCap < 1 {
+		t.Fatalf("knob gauges unpublished: %+v", after)
+	}
+}

@@ -1,0 +1,147 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"partree/internal/octree"
+	"partree/internal/trace"
+)
+
+// mkSummary builds a synthetic traced-step summary with the given
+// per-processor insert-phase times — the only channel the ledger reads.
+func mkSummary(insertNs ...int64) *trace.Summary {
+	s := &trace.Summary{PerProc: make([]trace.ProcSummary, len(insertNs))}
+	for w, v := range insertNs {
+		s.PerProc[w].PhaseNs[trace.PhaseInsert] = v
+	}
+	return s
+}
+
+// seqAssign splits bodies 0..n-1 into even contiguous zones.
+func seqAssign(n, p int) [][]int32 {
+	out := make([][]int32, p)
+	for w := 0; w < p; w++ {
+		for i := n * w / p; i < n*(w+1)/p; i++ {
+			out[w] = append(out[w], int32(i))
+		}
+	}
+	return out
+}
+
+func TestLedgerAttributesMeasuredTime(t *testing.T) {
+	lg := NewLedger(0.5)
+	assign := seqAssign(8, 2)
+	// Zone 0 measured 3x zone 1's time: its bodies' estimates must rise
+	// above zone 1's after the blend.
+	if !lg.Observe(assign, mkSummary(3000, 1000)) {
+		t.Fatal("observe rejected a valid summary")
+	}
+	est := lg.Estimates()
+	if len(est) != 8 {
+		t.Fatalf("estimate sized %d, want 8", len(est))
+	}
+	for _, b := range assign[0] {
+		for _, c := range assign[1] {
+			if est[b] <= est[c] {
+				t.Fatalf("slow zone body %d (%.3f) not costlier than fast zone body %d (%.3f)",
+					b, est[b], c, est[c])
+			}
+		}
+	}
+	// Normalization: mean stays 1.
+	var sum float64
+	for _, e := range est {
+		sum += e
+	}
+	if mean := sum / float64(len(est)); math.Abs(mean-1) > 1e-9 {
+		t.Fatalf("estimates mean %.6f, want 1", mean)
+	}
+}
+
+func TestLedgerConvergesToMeasuredRatio(t *testing.T) {
+	lg := NewLedger(0.5)
+	assign := seqAssign(4, 2)
+	for i := 0; i < 30; i++ {
+		lg.Observe(assign, mkSummary(3000, 1000))
+	}
+	est := lg.Estimates()
+	// Steady state: zone 0's per-body share is 3x zone 1's.
+	ratio := est[0] / est[2]
+	if math.Abs(ratio-3) > 0.05 {
+		t.Fatalf("converged ratio %.3f, want ~3", ratio)
+	}
+}
+
+func TestLedgerSkipsUnusableSummaries(t *testing.T) {
+	lg := NewLedger(0)
+	assign := seqAssign(6, 2)
+	if lg.Observe(assign, nil) {
+		t.Fatal("accepted nil summary")
+	}
+	if lg.Observe(assign, mkSummary(10, 20, 30)) {
+		t.Fatal("accepted proc-count mismatch")
+	}
+	if lg.Observe(assign, mkSummary(0, 0)) {
+		t.Fatal("accepted zero measured time")
+	}
+	if lg.Observe([][]int32{{}, {}}, mkSummary(10, 20)) {
+		t.Fatal("accepted empty assignment")
+	}
+}
+
+func TestLedgerSeedsFromModeledCosts(t *testing.T) {
+	lg := NewLedger(0)
+	d := octree.BodyData{Cost: []int64{1, 1, 6, 1}}
+	costs, total := lg.Costs(d, 4)
+	if len(costs) != 4 {
+		t.Fatalf("rendered %d costs, want 4", len(costs))
+	}
+	var sum int64
+	for _, c := range costs {
+		if c < 1 {
+			t.Fatalf("rendered cost %d below floor", c)
+		}
+		sum += c
+	}
+	if sum != total {
+		t.Fatalf("reported total %d, slice sums to %d", total, sum)
+	}
+	// Modeled shape survives: body 2 carries ~2/3 of the mass.
+	if costs[2] <= 3*costs[0] {
+		t.Fatalf("modeled skew lost in seeding: %v", costs)
+	}
+}
+
+func TestLedgerCostsBounded(t *testing.T) {
+	lg := NewLedger(1)
+	assign := seqAssign(4, 2)
+	// Pathological measurement: all time on one zone, repeated. Clamps
+	// and normalization must keep every rendered cost in range.
+	for i := 0; i < 50; i++ {
+		lg.Observe(assign, mkSummary(1<<40, 0))
+	}
+	costs, total := lg.Costs(octree.BodyData{}, 4)
+	if total <= 0 {
+		t.Fatalf("total %d", total)
+	}
+	for i, c := range costs {
+		if c < 1 || c > maxCostInt {
+			t.Fatalf("cost[%d] = %d out of [1, %d]", i, c, maxCostInt)
+		}
+	}
+}
+
+func TestLedgerResetsOnResize(t *testing.T) {
+	lg := NewLedger(0.5)
+	lg.Observe(seqAssign(8, 2), mkSummary(100, 300))
+	costs, _ := lg.Costs(octree.BodyData{}, 4)
+	if len(costs) != 4 {
+		t.Fatalf("rendered %d costs after resize, want 4", len(costs))
+	}
+	for _, e := range lg.Estimates() {
+		if e != 1 {
+			t.Fatalf("resize did not reset estimates: %v", lg.Estimates())
+		}
+	}
+}

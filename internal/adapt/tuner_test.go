@@ -1,0 +1,178 @@
+package adapt
+
+import (
+	"testing"
+
+	"partree/internal/core"
+	"partree/internal/trace"
+)
+
+// tunedSummary builds a summary exhibiting the given signal fractions:
+// one "slow" processor carries extra insert time for skew, and lock/
+// barrier time is spread evenly.
+func tunedSummary(p int, lockFrac, barrierFrac, skew float64) *trace.Summary {
+	const base = 1_000_000
+	s := &trace.Summary{PerProc: make([]trace.ProcSummary, p)}
+	var insert [16]int64
+	for w := 0; w < p; w++ {
+		insert[w] = base
+	}
+	if skew > 1 && p > 1 {
+		// max/mean = skew with mean held at base: max = skew*base, and
+		// the others share the remainder evenly.
+		rest := int64((float64(p) - skew) * base / float64(p-1))
+		insert[0] = int64(skew * base)
+		for w := 1; w < p; w++ {
+			insert[w] = rest
+		}
+	}
+	var insTotal int64
+	for w := 0; w < p; w++ {
+		insTotal += insert[w]
+	}
+	// Solve barrier so barrier/(insert+barrier) = barrierFrac.
+	barTotal := int64(barrierFrac / (1 - barrierFrac) * float64(insTotal))
+	for w := 0; w < p; w++ {
+		s.PerProc[w].PhaseNs[trace.PhaseInsert] = insert[w]
+		s.PerProc[w].PhaseNs[trace.PhaseBarrier] = barTotal / int64(p)
+		s.PerProc[w].LockWaitNs = int64(lockFrac * float64(insTotal+barTotal) / float64(p))
+	}
+	return s
+}
+
+func TestTunerNeedsStreakAndCooldown(t *testing.T) {
+	tn := NewTuner(TunerPolicy{Streak: 3, MinSteps: 5}, 8)
+	cfg := core.Config{P: 8, LeafCap: 8}
+	hot := tunedSummary(8, 0.5, 0, 1) // heavy lock contention
+	for i := 0; i < 2; i++ {
+		tn.Observe(hot)
+	}
+	// Streak unmet (2 < 3): no proposal even though cooldown... also unmet.
+	if _, _, ok := tn.Propose(cfg, 10000); ok {
+		t.Fatal("proposed before streak satisfied")
+	}
+	for i := 0; i < 3; i++ {
+		tn.Observe(hot)
+	}
+	// Streak met (5 >= 3) and cooldown met (5 observed >= 5).
+	next, knob, ok := tn.Propose(cfg, 10000)
+	if !ok || knob != KnobLeafCap {
+		t.Fatalf("want leafcap proposal, got ok=%v knob=%q", ok, knob)
+	}
+	if next.LeafCap != 16 {
+		t.Fatalf("leafcap %d, want 16", next.LeafCap)
+	}
+	// Firing resets the cooldown: an immediate re-propose stands pat.
+	if _, _, ok := tn.Propose(next, 10000); ok {
+		t.Fatal("proposed again inside cooldown")
+	}
+}
+
+func TestTunerStreakResetsOnRecovery(t *testing.T) {
+	tn := NewTuner(TunerPolicy{Streak: 3, MinSteps: 1}, 8)
+	cfg := core.Config{P: 8, LeafCap: 8}
+	hot := tunedSummary(8, 0.5, 0, 1)
+	calm := tunedSummary(8, 0, 0.2, 1)
+	tn.Observe(hot)
+	tn.Observe(hot)
+	tn.Observe(calm) // breaks the lock streak
+	tn.Observe(hot)
+	tn.Observe(hot)
+	if _, _, ok := tn.Propose(cfg, 10000); ok {
+		t.Fatal("a broken streak still fired")
+	}
+}
+
+func TestTunerKnobPriorityAndBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		sum  *trace.Summary
+		cfg  core.Config
+		knob string
+		want func(core.Config) bool
+	}{
+		{
+			name: "locks beat barrier and skew",
+			sum:  tunedSummary(8, 0.5, 0.6, 3),
+			cfg:  core.Config{P: 8, LeafCap: 8},
+			knob: KnobLeafCap,
+			want: func(c core.Config) bool { return c.LeafCap == 16 && c.P == 8 },
+		},
+		{
+			name: "barrier halves P",
+			sum:  tunedSummary(8, 0, 0.6, 1),
+			cfg:  core.Config{P: 8, LeafCap: 8},
+			knob: KnobPDown,
+			want: func(c core.Config) bool { return c.P == 4 },
+		},
+		{
+			name: "skew halves the space threshold",
+			sum:  tunedSummary(8, 0, 0.2, 3),
+			cfg:  core.Config{P: 8, LeafCap: 8, SpaceThreshold: 256},
+			knob: KnobSpaceThreshold,
+			want: func(c core.Config) bool { return c.SpaceThreshold == 128 },
+		},
+		{
+			name: "skew resolves the implicit default threshold",
+			sum:  tunedSummary(8, 0, 0.2, 3),
+			cfg:  core.Config{P: 8, LeafCap: 8}, // default: 10000/(4*8) = 312
+			knob: KnobSpaceThreshold,
+			want: func(c core.Config) bool { return c.SpaceThreshold == 156 },
+		},
+		{
+			name: "calm restores halved P",
+			sum:  tunedSummary(4, 0, 0.01, 1),
+			cfg:  core.Config{P: 4, LeafCap: 8},
+			knob: KnobPUp,
+			want: func(c core.Config) bool { return c.P == 8 },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tn := NewTuner(TunerPolicy{Streak: 2, MinSteps: 2}, 8)
+			tn.Observe(tc.sum)
+			tn.Observe(tc.sum)
+			next, knob, ok := tn.Propose(tc.cfg, 10000)
+			if !ok {
+				t.Fatalf("no proposal (lastKnob %q)", tn.LastKnob())
+			}
+			if knob != tc.knob {
+				t.Fatalf("knob %q, want %q", knob, tc.knob)
+			}
+			if !tc.want(next) {
+				t.Fatalf("proposed config %+v fails the case's check", next)
+			}
+		})
+	}
+}
+
+func TestTunerRespectsCeilings(t *testing.T) {
+	// LeafCap at its cap: the lock rule cannot fire, and with nothing
+	// else hot the tuner stands pat.
+	tn := NewTuner(TunerPolicy{Streak: 1, MinSteps: 1, MaxLeafCap: 64}, 8)
+	tn.Observe(tunedSummary(8, 0.5, 0, 1))
+	if _, _, ok := tn.Propose(core.Config{P: 8, LeafCap: 64}, 10000); ok {
+		t.Fatal("doubled leafcap past its cap")
+	}
+	// P already 1: the barrier rule cannot fire.
+	tn2 := NewTuner(TunerPolicy{Streak: 1, MinSteps: 1}, 8)
+	tn2.Observe(tunedSummary(1, 0, 0.6, 1))
+	if _, _, ok := tn2.Propose(core.Config{P: 1, LeafCap: 8}, 10000); ok {
+		t.Fatal("halved P below 1")
+	}
+	// P at the session ceiling: recovery cannot fire.
+	tn3 := NewTuner(TunerPolicy{Streak: 1, MinSteps: 1}, 8)
+	tn3.Observe(tunedSummary(8, 0, 0.01, 1))
+	if _, _, ok := tn3.Propose(core.Config{P: 8, LeafCap: 8}, 10000); ok {
+		t.Fatal("raised P past the session ceiling")
+	}
+}
+
+func TestTunerIgnoresUntracedSteps(t *testing.T) {
+	tn := NewTuner(TunerPolicy{Streak: 1, MinSteps: 1}, 8)
+	tn.Observe(nil)
+	tn.Observe(&trace.Summary{})
+	if _, _, ok := tn.Propose(core.Config{P: 8, LeafCap: 8}, 10000); ok {
+		t.Fatal("proposed off untraced steps")
+	}
+}

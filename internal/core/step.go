@@ -2,7 +2,9 @@ package core
 
 import (
 	"partree/internal/octree"
+	"partree/internal/partition"
 	"partree/internal/phys"
+	"partree/internal/trace"
 )
 
 // StepInput is one timestep of a long-lived session driven through a
@@ -32,15 +34,40 @@ type StepResult struct {
 	// Fallback reports this step's rebuild was requested by the
 	// auto-fallback policy rather than by the caller.
 	Fallback bool
+	// Retuned reports this step ran with knobs the adapter changed after
+	// the previous step (the step that pays the retune's fresh rebuild).
+	Retuned bool
+}
+
+// Adapter is the measured-cost feedback hook a Stepper consults between
+// steps: it sees each finished step's owner assignment and trace summary,
+// may propose a knob change, and cuts the next step's body partition.
+// Implemented by internal/adapt; declared here so core never depends on
+// the adaptive layer.
+type Adapter interface {
+	// Observe attributes the just-finished step's measured per-processor
+	// time (sum may be nil on untraced builds) back to the zones of
+	// assign — the assignment the step was built with.
+	Observe(assign [][]int32, sum *trace.Summary)
+	// Retune may propose a changed Config (leaf capacity, SPACE
+	// threshold, effective P) for the following steps. Returning false
+	// keeps cur. A true return costs one fresh rebuild on the next step:
+	// the Stepper recreates its resident builder around the new knobs.
+	Retune(cur Config) (Config, bool)
+	// Partition cuts the next step's body assignment over the finished
+	// tree — typically costzones along measurement-corrected costs. It
+	// must cover every body exactly once.
+	Partition(t *octree.Tree, d octree.BodyData, p int) [][]int32
 }
 
 // Stepper drives a resident UPDATE builder step over step, the way a
-// session does: it owns the step counter, keeps the body→processor
-// assignment stable across steps, feeds each step's churn and depth-skew
-// stats to a FallbackController, and converts the controller's verdict
-// into an Input.Rebuild on the following step. This is the step-over-step
-// surface internal/engine leases pin; internal/nbody keeps its own loop
-// because it also owns integration and costzones repartitioning.
+// session does: it owns the step counter, repartitions the bodies after
+// every step so the assignment tracks the moving distribution, feeds each
+// step's churn and depth-skew stats to a FallbackController, and converts
+// the controller's verdict into an Input.Rebuild on the following step.
+// This is the step-over-step surface internal/engine leases pin;
+// internal/nbody keeps its own loop because it also owns integration and
+// costzones repartitioning.
 type Stepper struct {
 	cfg    Config
 	b      Builder
@@ -51,10 +78,19 @@ type Stepper struct {
 	// pendingRebuild is the controller's verdict from the previous step,
 	// consumed (and reset) by the next Step call.
 	pendingRebuild bool
+	// adapter, when non-nil, closes the measured-cost feedback loop: it
+	// replaces the static costzones repartition and may retune knobs.
+	adapter Adapter
+	// retuned marks that the adapter changed knobs after the last step;
+	// consumed by the next Step call into StepResult.Retuned.
+	retuned bool
 }
 
 // NewStepper pins a fresh UPDATE builder over bodies. DepthStats is
-// forced on so the fallback policy always has its shape signal.
+// forced on so the fallback policy always has its shape signal. Step 0
+// builds over a spatially compact Morton split; every later step's
+// assignment is recut with costzones over the freshly built tree, so the
+// partition follows the bodies instead of freezing at step 0.
 func NewStepper(cfg Config, bodies *phys.Bodies, policy FallbackPolicy) *Stepper {
 	cfg.DepthStats = true
 	return &Stepper{
@@ -64,6 +100,29 @@ func NewStepper(cfg Config, bodies *phys.Bodies, policy FallbackPolicy) *Stepper
 		bodies: bodies,
 		assign: SpatialAssign(bodies, cfg.P),
 	}
+}
+
+// NewAdaptiveStepper is NewStepper with a measured-cost adapter in the
+// loop. The stepper needs per-processor phase times for the adapter to
+// attribute, so when cfg.Trace is unset an enabled recorder is created;
+// an explicitly provided recorder is used as-is.
+func NewAdaptiveStepper(cfg Config, bodies *phys.Bodies, policy FallbackPolicy, a Adapter) *Stepper {
+	if cfg.Trace == nil && a != nil {
+		cfg.Trace = trace.New(resolveP(cfg.P))
+		cfg.Trace.SetEnabled(true)
+	}
+	st := NewStepper(cfg, bodies, policy)
+	st.adapter = a
+	return st
+}
+
+// resolveP mirrors Config.withDefaults's processor-count defaulting for
+// callers that size companion state (trace recorders) before New runs.
+func resolveP(p int) int {
+	if p <= 0 {
+		return 1
+	}
+	return p
 }
 
 // Bodies returns the resident body state for in-place mutation between
@@ -78,11 +137,21 @@ func (st *Stepper) Builder() Builder { return st.b }
 // Steps returns how many steps have been taken.
 func (st *Stepper) Steps() int { return st.step }
 
+// Config returns the stepper's current configuration — the live knob
+// values after any adapter retunes.
+func (st *Stepper) Config() Config { return st.cfg }
+
+// Assign returns the body assignment the next Step will build with. The
+// returned slices are the stepper's own: read-only for callers.
+func (st *Stepper) Assign() [][]int32 { return st.assign }
+
 // Step builds (or repairs) the tree for the current body state and
 // advances the step counter.
 func (st *Stepper) Step(in StepInput) *StepResult {
 	fallback := st.pendingRebuild && !in.Rebuild
 	st.pendingRebuild = false
+	retuned := st.retuned
+	st.retuned = false
 
 	bi := &Input{
 		Bodies:  st.bodies,
@@ -99,6 +168,7 @@ func (st *Stepper) Step(in StepInput) *StepResult {
 		Fresh:    m.FreshRebuild,
 		Reason:   m.FreshReason,
 		Fallback: fallback && m.FreshRebuild,
+		Retuned:  retuned,
 	}
 	if n := st.bodies.N(); n > 0 && !m.FreshRebuild {
 		res.ChurnFrac = float64(m.TotalBodiesMoved()) / float64(n)
@@ -107,6 +177,48 @@ func (st *Stepper) Step(in StepInput) *StepResult {
 		res.DepthSkew = m.Depth.Skew()
 	}
 	st.pendingRebuild = st.ctrl.Observe(res.ChurnFrac, res.DepthSkew, m.FreshRebuild)
+	st.repartition(tree, m)
 	st.step++
 	return res
+}
+
+// repartition recuts the body assignment for the next step over the tree
+// just built — the staleness fix: before it, the step-0 partition (and
+// its costs) served every subsequent step unchanged. Without an adapter
+// the cut is plain costzones over the modeled costs; with one, the
+// adapter observes this step's measured times, may retune knobs (applied
+// before the cut so the new P shapes it), and cuts along its corrected
+// costs.
+func (st *Stepper) repartition(tree *octree.Tree, m *Metrics) {
+	if st.bodies.N() == 0 {
+		return
+	}
+	d := octree.BodyData{Pos: st.bodies.Pos, Mass: st.bodies.Mass, Cost: st.bodies.Cost}
+	if st.adapter == nil {
+		st.assign = partition.Costzones(tree, d, st.cfg.P)
+		return
+	}
+	st.adapter.Observe(st.assign, m.Trace)
+	if cfg, changed := st.adapter.Retune(st.cfg); changed {
+		st.applyKnobs(cfg)
+	}
+	st.assign = st.adapter.Partition(tree, d, st.cfg.P)
+}
+
+// applyKnobs rebuilds the stepper around an adapter-retuned Config. The
+// resident builder's store is sized by (P, LeafCap) at construction, so a
+// knob change means a new builder — the next step is a FreshFirst rebuild,
+// which sessions do not count as unplanned. The trace recorder is per-P
+// too (verify's law 6 demands trace and metrics agree on processor
+// count), so a P change recreates it.
+func (st *Stepper) applyKnobs(cfg Config) {
+	cfg.DepthStats = true
+	if cfg.P != st.cfg.P && st.cfg.Trace != nil {
+		tr := trace.New(resolveP(cfg.P))
+		tr.SetEnabled(true)
+		cfg.Trace = tr
+	}
+	st.cfg = cfg
+	st.b = New(UPDATE, cfg)
+	st.retuned = true
 }

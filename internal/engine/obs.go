@@ -3,6 +3,7 @@ package engine
 import (
 	"sync/atomic"
 
+	"partree/internal/adapt"
 	"partree/internal/obs"
 )
 
@@ -56,6 +57,7 @@ func (e *Engine) RegisterObs(reg *obs.Registry) error {
 		e.stepSeconds,
 		rejectedCollector{e},
 		storeCollector{e},
+		adaptCollector{},
 	)
 }
 
@@ -75,6 +77,42 @@ func (c rejectedCollector) Collect(out []obs.Family) []obs.Family {
 			{Labels: []obs.Label{{Name: "reason", Value: "queue_full"}}, Value: float64(c.e.rejectedFull.Load())},
 		},
 	})
+}
+
+// adaptCollector renders internal/adapt's package totals (the
+// measured-cost feedback loop behind adaptive sessions) as the
+// partree_adapt_* families. adapt keeps plain atomics with no obs
+// dependency, so exposition lives here with the rest of the daemon's
+// families.
+type adaptCollector struct{}
+
+// Collect implements obs.Collector.
+func (adaptCollector) Collect(out []obs.Family) []obs.Family {
+	s := adapt.Snapshot()
+	fam := func(name, help string, typ obs.Type, v float64) obs.Family {
+		return obs.Family{Name: name, Help: help, Type: typ,
+			Series: []obs.Series{{Value: v}}}
+	}
+	return append(out,
+		fam("partree_adapt_sessions_total", "Adaptive controllers constructed.",
+			obs.TypeCounter, float64(s.Sessions)),
+		fam("partree_adapt_corrections_total", "Measured-cost ledger updates applied to traced steps.",
+			obs.TypeCounter, float64(s.Corrections)),
+		fam("partree_adapt_knob_changes_total", "Auto-tuner decisions that moved a knob.",
+			obs.TypeCounter, float64(s.KnobChanges)),
+		fam("partree_adapt_repartitions_total", "Measured-cost costzones cuts served to steppers.",
+			obs.TypeCounter, float64(s.Repartitions)),
+		fam("partree_adapt_skew_before", "Latest measured max/mean insert-time skew before correction.",
+			obs.TypeGauge, s.SkewBefore),
+		fam("partree_adapt_skew_after", "Latest predicted max/mean cost skew of the corrected partition.",
+			obs.TypeGauge, s.SkewAfter),
+		fam("partree_adapt_leafcap", "Latest tuned leaf capacity.",
+			obs.TypeGauge, float64(s.LeafCap)),
+		fam("partree_adapt_space_threshold", "Latest tuned SPACE partition threshold.",
+			obs.TypeGauge, float64(s.SpaceThreshold)),
+		fam("partree_adapt_effective_p", "Latest tuned effective processor count.",
+			obs.TypeGauge, float64(s.EffectiveP)),
+	)
 }
 
 // storeCollector aggregates octree.Store.Stats over every live session

@@ -7,6 +7,14 @@
 // and locality. The paper uses costzones for the force-calculation (and
 // update) phases of every algorithm; the previous step's zones are also
 // the tree-building partition for ORIG, LOCAL, UPDATE, and PARTREE.
+//
+// The costs the zones are cut along are *modeled*: each body carries the
+// interaction count it incurred in the previous force pass (or 1 before
+// any pass ran). Modeled costs drift from what the hardware actually
+// spends when distributions are skewed or time-evolving; internal/adapt
+// closes that gap by blending the measured per-processor phase time from
+// internal/trace back into the per-body cost estimate and cutting the
+// zones along the corrected costs instead.
 package partition
 
 import (
@@ -20,15 +28,41 @@ import (
 // The tree must have its moments (including Cost) computed. Every body
 // appears in exactly one zone; zones follow the deterministic in-order
 // traversal, so equal inputs give equal partitions.
+//
+// Degenerate costs still yield an exact cover: when the total subtree
+// cost is zero (an all-zero Cost slice — e.g. the first step, before any
+// measurement or force pass has run), every body is weighted 1 and the
+// zones become an even split along the traversal; a negative per-body
+// cost (a corrupt measurement) is clamped to zero rather than allowed to
+// walk the accumulator backwards.
 func Costzones(t *octree.Tree, d octree.BodyData, p int) [][]int32 {
+	var total int64
+	if !t.Root.IsNil() {
+		total = rootCost(t)
+	}
+	return CostzonesTotal(t, d, p, total)
+}
+
+// CostzonesTotal is Costzones with the caller supplying the total cost of
+// d over the bodies in t. Costzones reads the total from the tree's cost
+// moments, which is only right when d carries the same costs the moments
+// pass saw; callers partitioning on a substituted cost slice — like
+// internal/adapt cutting zones along measurement-corrected costs without
+// re-running the moments pass — must supply Σ d.CostOf themselves.
+func CostzonesTotal(t *octree.Tree, d octree.BodyData, p int, total int64) [][]int32 {
 	out := make([][]int32, p)
 	if t.Root.IsNil() || p == 0 {
 		return out
 	}
-	total := rootCost(t)
-	if total <= 0 {
-		// Degenerate (e.g. zero bodies): nothing to hand out.
-		return out
+	unit := total <= 0
+	if unit {
+		// Even-split fallback: weight every body 1 so the zones cover the
+		// bodies evenly instead of leaving them unassigned (or piling them
+		// all into zone 0).
+		total = countBodies(t)
+		if total == 0 {
+			return out
+		}
 	}
 	// Zone w covers accumulated cost [w*total/p, (w+1)*total/p).
 	var acc int64
@@ -38,6 +72,11 @@ func Costzones(t *octree.Tree, d octree.BodyData, p int) [][]int32 {
 			l := t.Store.Leaf(r)
 			for _, b := range l.Bodies {
 				c := d.CostOf(b)
+				if unit {
+					c = 1
+				} else if c < 0 {
+					c = 0
+				}
 				w := int(acc * int64(p) / total)
 				if w >= p {
 					w = p - 1
@@ -66,6 +105,29 @@ func rootCost(t *octree.Tree) int64 {
 		return t.Store.Leaf(t.Root).Cost
 	}
 	return t.Store.Cell(t.Root).Cost
+}
+
+// countBodies walks the tree and counts bodies in leaves. Used by the
+// even-split fallback, where the body count stands in for total cost.
+func countBodies(t *octree.Tree) int64 {
+	var n int64
+	var rec func(r octree.Ref)
+	rec = func(r octree.Ref) {
+		if r.IsLeaf() {
+			n += int64(len(t.Store.Leaf(r).Bodies))
+			return
+		}
+		c := t.Store.Cell(r)
+		for o := vec.Octant(0); o < vec.NOctants; o++ {
+			if ch := c.Child(o); !ch.IsNil() {
+				rec(ch)
+			}
+		}
+	}
+	if !t.Root.IsNil() {
+		rec(t.Root)
+	}
+	return n
 }
 
 // Validate checks that assign covers bodies 0..n-1 exactly once.

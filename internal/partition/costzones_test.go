@@ -164,6 +164,87 @@ func TestCostzonesEmptyAndTiny(t *testing.T) {
 	}
 }
 
+// TestCostzonesZeroTotalCost is the regression test for the degenerate
+// total==0 case: before a force pass or any measurement runs, every
+// Cost entry can legitimately be zero. Costzones must still hand out an
+// exact cover — and an even one, not all bodies piled into zone 0.
+func TestCostzonesZeroTotalCost(t *testing.T) {
+	const n = 1000
+	b := phys.Generate(phys.ModelPlummer, n, 17)
+	for i := range b.Cost {
+		b.Cost[i] = 0
+	}
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+	octree.ComputeMomentsSerial(tr, d)
+	if got := rootCost(tr); got != 0 {
+		t.Fatalf("setup: root cost = %d, want 0", got)
+	}
+	for _, p := range []int{1, 4, 7} {
+		assign := Costzones(tr, d, p)
+		if err := Validate(assign, n); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		min, max := n, 0
+		for _, zone := range assign {
+			if len(zone) < min {
+				min = len(zone)
+			}
+			if len(zone) > max {
+				max = len(zone)
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("p=%d: zero-cost fallback not an even split: zone sizes range [%d,%d]", p, min, max)
+		}
+	}
+}
+
+// TestCostzonesSingleHeavyBody pins the other degenerate edge: one body
+// carrying the entire tree cost. All zone boundaries land on that one
+// body, but coverage must stay exact — bodies before it share zone 0,
+// bodies after it land in the last zone, nothing is dropped.
+func TestCostzonesSingleHeavyBody(t *testing.T) {
+	const n = 500
+	b := phys.Generate(phys.ModelPlummer, n, 19)
+	for i := range b.Cost {
+		b.Cost[i] = 0
+	}
+	b.Cost[n/2] = 1 << 20
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+	octree.ComputeMomentsSerial(tr, d)
+	for _, p := range []int{2, 8} {
+		assign := Costzones(tr, d, p)
+		if err := Validate(assign, n); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestCostzonesNegativeCostClamped: a negative per-body cost (corrupt
+// measurement) must not walk the accumulator backwards or break the
+// exact-cover invariant.
+func TestCostzonesNegativeCostClamped(t *testing.T) {
+	const n = 800
+	b := phys.Generate(phys.ModelPlummer, n, 23)
+	for i := range b.Cost {
+		b.Cost[i] = 10
+	}
+	for i := 0; i < n; i += 7 {
+		b.Cost[i] = -50
+	}
+	tr := octree.BuildSerial(b.Pos, 8)
+	d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+	octree.ComputeMomentsSerial(tr, d)
+	for _, p := range []int{3, 8} {
+		assign := Costzones(tr, d, p)
+		if err := Validate(assign, n); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
 func TestValidateCatchesErrors(t *testing.T) {
 	if err := Validate([][]int32{{0, 1}, {1}}, 3); err == nil {
 		t.Fatal("accepted duplicate")

@@ -115,6 +115,10 @@ func Tree(t *octree.Tree, bodies *phys.Bodies, opt Options) error {
 //  6. When the build was traced, the trace is a faithful witness of the
 //     lock counters: one recorded lock event per counted lock, processor
 //     by processor.
+//
+// (Law 7 is the runner's observability audit, Runner.AuditObs; law 8 is
+// CostConservation below — it needs the bodies, so it lives on Build's
+// path rather than here.)
 func Metrics(m *core.Metrics, t *octree.Tree, n int, rebuild bool) error {
 	var built int64
 	for i := range m.PerP {
@@ -180,12 +184,47 @@ func Metrics(m *core.Metrics, t *octree.Tree, n int, rebuild bool) error {
 	return nil
 }
 
+// CostConservation is conservation law 8: the root's Cost moment must
+// equal the sum of the per-body costs the moments pass was fed —
+// whatever path built or repaired the tree, no body's cost may be
+// dropped or double-counted on the way up. The law earns its keep on
+// UPDATE's paths: the incremental repair re-aggregates a tree whose
+// shape it only partially touched, and its policy-forced fallback
+// rebuild runs the SPACE partition/attach machinery into the resident
+// store — both must still hand the moments pass every body exactly once.
+func CostConservation(t *octree.Tree, bodies *phys.Bodies) error {
+	d := octree.BodyData{Pos: bodies.Pos, Mass: bodies.Mass, Cost: bodies.Cost}
+	var want int64
+	for b := int32(0); int(b) < bodies.N(); b++ {
+		want += d.CostOf(b)
+	}
+	if t.Root.IsNil() {
+		if want != 0 {
+			return fmt.Errorf("verify: cost conservation: empty tree over bodies with total cost %d", want)
+		}
+		return nil
+	}
+	var got int64
+	if t.Root.IsLeaf() {
+		got = t.Store.Leaf(t.Root).Cost
+	} else {
+		got = t.Store.Cell(t.Root).Cost
+	}
+	if got != want {
+		return fmt.Errorf("verify: cost conservation: root cost %d, bodies sum to %d", got, want)
+	}
+	return nil
+}
+
 // Build verifies one Builder.Build outcome end to end: the tree against
-// the bodies (differentially, when the step is a rebuild) and the
-// metrics against the conservation laws.
+// the bodies (differentially, when the step is a rebuild), the metrics
+// against the conservation laws, and the cost moments against law 8.
 func Build(alg core.Algorithm, t *octree.Tree, m *core.Metrics, bodies *phys.Bodies, step int) error {
 	canonical := Canonical(alg, step)
 	if err := Tree(t, bodies, Options{Canonical: canonical, Moments: true}); err != nil {
+		return fmt.Errorf("%s step %d: %w", alg, step, err)
+	}
+	if err := CostConservation(t, bodies); err != nil {
 		return fmt.Errorf("%s step %d: %w", alg, step, err)
 	}
 	if m != nil {

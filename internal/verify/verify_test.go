@@ -214,6 +214,66 @@ func TestMetricsLawsRejectCorruption(t *testing.T) {
 	})
 }
 
+// TestCostConservationLaw gives law 8 its teeth: a tampered root Cost
+// moment on an otherwise pristine tree must be rejected, by the law
+// directly and by the Build bundle.
+func TestCostConservationLaw(t *testing.T) {
+	tree, m, bodies := buildFor(t, core.SPACE, 1200, 4, 8)
+	if tree.Root.IsLeaf() {
+		t.Fatal("workload too small: root is a leaf")
+	}
+	tree.Store.Cell(tree.Root).Cost++
+	if err := CostConservation(tree, bodies); err == nil || !strings.Contains(err.Error(), "cost conservation") {
+		t.Fatalf("tampered root cost accepted: %v", err)
+	}
+	// Build also rejects it (the moments recomputation catches the same
+	// tamper first; either way the corrupted total cannot pass).
+	if err := Build(core.SPACE, tree, m, bodies, 0); err == nil {
+		t.Fatal("Build missed the tampered root cost")
+	}
+}
+
+// TestCostConservationUnderUpdateFallback is the law-8 session test: a
+// resident UPDATE builder over non-uniform costs must conserve the cost
+// total on every path — the step-0 load, incremental repairs after
+// drift, and the policy-forced SPACE-fallback rebuild into the resident
+// store (Input.Rebuild → FreshRequested), which re-partitions space and
+// re-attaches every body without going through the repair queue.
+func TestCostConservationUnderUpdateFallback(t *testing.T) {
+	const n, p = 2000, 4
+	bodies := phys.Generate(phys.ModelPlummer, n, 17)
+	for i := range bodies.Cost {
+		bodies.Cost[i] = 1 + int64(i%97) // non-trivial, position-independent
+	}
+	bld := core.New(core.UPDATE, core.Config{P: p, LeafCap: 8})
+	sawRequested := false
+	for step := 0; step < 6; step++ {
+		in := &core.Input{
+			Bodies:  bodies,
+			Assign:  core.EvenAssign(n, p),
+			Step:    step,
+			Rebuild: step == 3,
+		}
+		tree, m := bld.Build(in)
+		if step == 3 {
+			if !m.FreshRebuild || m.FreshReason != core.FreshRequested {
+				t.Fatalf("step 3: fallback rebuild not taken (fresh=%v reason=%q)", m.FreshRebuild, m.FreshReason)
+			}
+			sawRequested = true
+		}
+		if err := CostConservation(tree, bodies); err != nil {
+			t.Fatalf("step %d (fresh=%v): %v", step, m.FreshRebuild, err)
+		}
+		if err := Build(core.UPDATE, tree, m, bodies, step); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		bodies.Drift(0, n, 0.05)
+	}
+	if !sawRequested {
+		t.Fatal("fallback rebuild never exercised")
+	}
+}
+
 // TestAlgorithmCompanionCheck exercises the self-contained entry point
 // every simulated spec uses.
 func TestAlgorithmCompanionCheck(t *testing.T) {

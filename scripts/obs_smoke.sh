@@ -121,11 +121,13 @@ if [ -z "$durl" ]; then
     exit 1
 fi
 
-# One short session: open, three drift steps, close. The histogram only
-# renders buckets once a step is observed, so this run is what makes the
-# partree_session_* families assertable below.
+# One short adaptive session: open, three drift steps, close. The
+# histogram only renders buckets once a step is observed, so this run is
+# what makes the partree_session_* families assertable below — and
+# because it opts into adaptive partitioning, it also advances the
+# partree_adapt_* feedback-loop counters past zero.
 curl -fsS --no-buffer "$durl/v1/session" --data-binary @- >"$stream" <<'EOF'
-{"procs": 2, "bodies": 4096, "model": "plummer"}
+{"procs": 2, "bodies": 4096, "model": "plummer", "adaptive": true}
 {"drift": true}
 {"drift": true}
 {"drift": true}
@@ -154,6 +156,15 @@ for series in \
     partree_session_active \
     partree_session_max_leases \
     partree_session_step_seconds_bucket \
+    partree_adapt_sessions_total \
+    partree_adapt_corrections_total \
+    partree_adapt_knob_changes_total \
+    partree_adapt_repartitions_total \
+    partree_adapt_skew_before \
+    partree_adapt_skew_after \
+    partree_adapt_leafcap \
+    partree_adapt_space_threshold \
+    partree_adapt_effective_p \
 ; do
     grep -q "^$series" "$metrics" || missing="$missing $series"
 done
@@ -161,6 +172,19 @@ done
     echo "obs-smoke: partreed /metrics is missing series:$missing" >&2
     exit 1
 }
+
+# The adaptive session ran real steps, so the feedback loop must have
+# actually turned: a controller constructed and at least one
+# measured-cost recut served (not just zero-valued families present).
+for series in partree_adapt_sessions_total partree_adapt_repartitions_total; do
+    v=$(awk -v s="$series" '$1 == s { print $2 }' "$metrics")
+    case $v in
+    '' | 0 | 0.0)
+        echo "obs-smoke: $series = '$v', want > 0 after an adaptive session" >&2
+        exit 1
+        ;;
+    esac
+done
 
 # SIGTERM must drain: in-flight work finishes, the process exits 0.
 kill -TERM "$pid2"
