@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke check repro bench benchcmp
+.PHONY: all build vet test race smoke obs-smoke loadgen-smoke check repro bench benchcmp
 
 all: build
 
@@ -18,10 +18,11 @@ test:
 # contention) and admission control, the runner's worker pool / result
 # cache, the differential verifier's algorithm cross-product, the tracing
 # layer's emit path under all five builders, the adaptive feedback loop
-# driving traced steppers, and the partreed daemon's concurrent HTTP
-# serving, streaming-session e2e, and drain.
+# driving traced steppers, the partreed daemon's concurrent HTTP
+# serving, streaming-session e2e, and drain, and the workload
+# generators' concurrent use from loadgen's per-arrival goroutines.
 race:
-	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./internal/adapt ./cmd/partreed
+	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./internal/adapt ./internal/workload ./cmd/partreed
 
 # smoke builds real trees with every algorithm and verifies each against
 # the sequential reference (-check), end to end through cmd/treebench.
@@ -34,21 +35,29 @@ smoke:
 obs-smoke:
 	sh scripts/obs_smoke.sh
 
+# loadgen-smoke replays a seeded bursty-diurnal session workload
+# against a live partreed twice and asserts the reports come out
+# byte-identical, internally consistent with the daemon's counters,
+# and that the daemon drains cleanly afterwards.
+loadgen-smoke:
+	sh scripts/loadgen_smoke.sh
+
 # check is the tier-1+ gate: everything must pass before a PR lands.
-check: build vet test race smoke obs-smoke
+check: build vet test race smoke obs-smoke loadgen-smoke
 
 # repro regenerates the paper's tables and figures into ./results.
 repro:
 	$(GO) run ./cmd/paperrepro -out results
 
 # bench refreshes the committed native tree-build baseline: best-of-3
-# ns per build for every algorithm at p in {1,4,8} on 10k bodies, plus
+# ns per build for every algorithm at p in {1,4,8} on 10k bodies, SPACE
+# builds on the disk-galaxy and hierarchical-clustering scenarios, plus
 # the session serving modes (50 drift steps on one resident tree, UPDATE
 # repair vs rebuild-per-step vs measured-cost adaptive repair, ns per
 # step). Compare a fresh run against the committed file to spot
 # regressions.
 bench:
-	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -steps 50 -adaptive -benchout BENCH_treebuild.json
+	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -steps 50 -adaptive -scenario-cells disk,hierarchical -benchout BENCH_treebuild.json
 
 # benchcmp re-runs the committed baseline's sweep and fails if any cell's
 # ns-per-build regressed more than 30%. Timings are machine-relative:

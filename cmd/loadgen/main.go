@@ -1,0 +1,250 @@
+// Command loadgen drives a live partreed with a scenario × arrival
+// process workload and writes a replayable report. It is the traffic
+// half of internal/workload: a physical scenario picks what each
+// request computes (disk galaxy, colliding clusters, hierarchical
+// halos, evolving variants), an arrival process picks when requests
+// fire (Poisson, bursty, diurnal, or a replayed NDJSON trace), and the
+// daemon's admission control decides what survives.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:9732 [-mode session|build]
+//	        [-scenario disk] [-arrival bursty:rate=60,on=250ms,off=250ms]
+//	        [-horizon 5s] [-speedup 0] [-n 2048] [-procs 2] [-steps 8]
+//	        [-seed 1998] [-timeout 60s] [-adaptive] [-idle-ms 0] [-linger]
+//	        [-trace-in f] [-trace-out f] [-report f] [-timings f]
+//
+// Two outputs, split by determinism:
+//
+//   - The report (-report, default stdout) is byte-deterministic for a
+//     fixed (scenario, arrival, seed, flags) as long as the server
+//     rejects nothing and sessions are non-adaptive: run config, the
+//     schedule digest, outcome counts, per-session server-reported
+//     step aggregates, and /metrics counter deltas. Two identical runs
+//     produce identical bytes — the replay contract.
+//   - The timings CSV (-timings, optional) holds everything measured:
+//     latency percentiles (p50/p95/p99), queue-depth samples. Never
+//     byte-stable, by design.
+//
+// The -timeout bound is mandatory: a load run that can hang is worse
+// than no run, so loadgen refuses to start without one and exits 1 if
+// the horizon's work does not complete inside it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"partree/internal/workload"
+)
+
+type config struct {
+	url      string
+	mode     string
+	scenario workload.Scenario
+	arrival  workload.Process
+	horizon  time.Duration
+	speedup  float64
+	n        int
+	procs    int
+	steps    int
+	seed     int64
+	timeout  time.Duration
+	adaptive bool
+	idleMs   int64
+	linger   bool
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "", "base URL of a running partreed (required)")
+		mode     = flag.String("mode", "session", "what each arrival does: session (streaming /v1/session) or build (one-shot /v1/build)")
+		scenario = flag.String("scenario", "plummer", "physical scenario spec, e.g. disk, collision:impact=1.5, hierarchical:evolve=4")
+		arrival  = flag.String("arrival", "poisson:rate=20", "arrival process spec, e.g. bursty:rate=60,on=250ms,off=250ms,period=1s,depth=0.6")
+		horizon  = flag.Duration("horizon", 5*time.Second, "virtual-time horizon the arrival schedule covers")
+		speedup  = flag.Float64("speedup", 0, "virtual seconds per real second (0 = fire as fast as possible, order preserved)")
+		n        = flag.Int("n", 2048, "bodies per request")
+		procs    = flag.Int("procs", 2, "processors per request")
+		steps    = flag.Int("steps", 8, "timesteps per session")
+		seed     = flag.Int64("seed", 1998, "base seed; request i uses seed+i")
+		timeout  = flag.Duration("timeout", 60*time.Second, "mandatory wall-clock bound for the whole run")
+		adaptive = flag.Bool("adaptive", false, "open adaptive sessions (measured-cost partitioning; reports stop being byte-stable)")
+		idleMs   = flag.Int64("idle-ms", 0, "per-session idle eviction timeout in ms (0 = server default)")
+		linger   = flag.Bool("linger", false, "sessions hold their lease open after their steps instead of closing (eviction pressure)")
+		traceIn  = flag.String("trace-in", "", "replay this NDJSON trace instead of sampling the arrival process")
+		traceOut = flag.String("trace-out", "", "write the effective schedule as an NDJSON trace")
+		report   = flag.String("report", "", "deterministic JSON report path (default stdout)")
+		timings  = flag.String("timings", "", "measured-latency CSV path (optional)")
+	)
+	flag.Parse()
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)).With("bin", "loadgen"))
+	if err := run(*url, *mode, *scenario, *arrival, *horizon, *speedup, *n, *procs,
+		*steps, *seed, *timeout, *adaptive, *idleMs, *linger,
+		*traceIn, *traceOut, *report, *timings); err != nil {
+		slog.Error("loadgen failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, mode, scenarioSpec, arrivalSpec string, horizon time.Duration,
+	speedup float64, n, procs, steps int, seed int64, timeout time.Duration,
+	adaptive bool, idleMs int64, linger bool,
+	traceIn, traceOut, reportPath, timingsPath string) error {
+
+	if url == "" {
+		return fmt.Errorf("-url is required (a running partreed)")
+	}
+	if timeout <= 0 {
+		return fmt.Errorf("a positive -timeout is mandatory: a load run must not be able to hang")
+	}
+	if mode != "session" && mode != "build" {
+		return fmt.Errorf("-mode must be session or build, got %q", mode)
+	}
+	sc, err := workload.ParseScenario(scenarioSpec)
+	if err != nil {
+		return err
+	}
+	cfg := config{
+		url: strings.TrimRight(url, "/"), mode: mode, scenario: sc,
+		horizon: horizon, speedup: speedup, n: n, procs: procs, steps: steps,
+		seed: seed, timeout: timeout, adaptive: adaptive, idleMs: idleMs, linger: linger,
+	}
+	if _, ok := sc.ServerModel(); !ok && mode == "build" {
+		return fmt.Errorf("scenario %s needs client-driven motion, which build mode cannot stream (use -mode session)", sc.Name())
+	}
+
+	// The schedule: sampled from the arrival process, or replayed.
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		evs, rerr := workload.ReadTrace(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+		cfg.arrival = workload.TraceProcess(workload.Offsets(evs))
+	} else {
+		p, err := workload.ParseArrival(arrivalSpec)
+		if err != nil {
+			return err
+		}
+		cfg.arrival = p
+	}
+	schedule := cfg.arrival.Schedule(horizon, seed)
+	evs := workload.EventsFromOffsets(schedule, mode)
+	var traceBytes bytes.Buffer
+	if err := workload.WriteTrace(&traceBytes, evs); err != nil {
+		return err
+	}
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, traceBytes.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(schedule) == 0 {
+		return fmt.Errorf("the arrival schedule is empty (horizon %s at rate %g)", horizon, cfg.arrival.MeanRate())
+	}
+	slog.Info("run starting", "mode", mode, "scenario", sc.Name(),
+		"arrival", cfg.arrival.Name(), "arrivals", len(schedule), "timeout", timeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	before, err := scrapeMetrics(ctx, cfg.url)
+	if err != nil {
+		return fmt.Errorf("scraping /metrics before the run: %w", err)
+	}
+	sampler := startQueueSampler(ctx, cfg.url)
+
+	// Fire the schedule. Each arrival runs on its own goroutine; pacing
+	// happens here on the launch path so ordering is the schedule's.
+	results := make([]arrivalResult, len(schedule))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, at := range schedule {
+		if d := workload.Pace(at, time.Since(start), speedup); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			// Past the timeout: mark the rest unlaunched and stop.
+			for j := i; j < len(schedule); j++ {
+				results[j] = arrivalResult{ID: j, AtNs: int64(schedule[j]), Outcome: "unlaunched"}
+			}
+			break
+		}
+		wg.Add(1)
+		go func(i int, at time.Duration) {
+			defer wg.Done()
+			if mode == "build" {
+				results[i] = runBuild(ctx, cfg, i, at)
+			} else {
+				results[i] = runSession(ctx, cfg, i, at)
+			}
+		}(i, at)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	depths := sampler.stop()
+
+	after, err := scrapeMetrics(context.Background(), cfg.url)
+	if err != nil {
+		return fmt.Errorf("scraping /metrics after the run: %w", err)
+	}
+
+	rep := buildReport(cfg, schedule, traceBytes.Bytes(), results, before, after)
+	if err := writeReport(reportPath, rep); err != nil {
+		return err
+	}
+	if timingsPath != "" {
+		if err := writeTimings(timingsPath, results, depths, wall); err != nil {
+			return err
+		}
+	}
+	slog.Info("run complete", "ok", rep.Outcomes.OK, "rejected", rep.Outcomes.Rejected,
+		"failed", rep.Outcomes.Failed, "wall", wall.Round(time.Millisecond))
+	if ctx.Err() != nil {
+		return fmt.Errorf("run exceeded the mandatory -timeout %s (%d arrivals unlaunched)",
+			timeout, rep.Outcomes.Unlaunched)
+	}
+	return nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted
+// durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func sortedLatencies(results []arrivalResult) []time.Duration {
+	var out []time.Duration
+	for _, r := range results {
+		if r.Outcome == "ok" {
+			out = append(out, r.latency)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,177 @@
+// Report emission. The JSON report carries only data that is a pure
+// function of (flags, seed, server determinism): struct field order is
+// fixed, encoding/json sorts map keys, and floats render canonically,
+// so two identical runs emit identical bytes. Measured quantities
+// (latency, queue depth, wall time) go to the timings CSV instead.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+type report struct {
+	Loadgen  runConfig      `json:"loadgen"`
+	Schedule scheduleInfo   `json:"schedule"`
+	Outcomes outcomeCounts  `json:"outcomes"`
+	Sessions []sessionEntry `json:"sessions,omitempty"`
+	Metrics  metricsDelta   `json:"metrics_delta"`
+}
+
+type runConfig struct {
+	Mode      string  `json:"mode"`
+	Scenario  string  `json:"scenario"`
+	Arrival   string  `json:"arrival"`
+	HorizonNs int64   `json:"horizon_ns"`
+	Speedup   float64 `json:"speedup"`
+	Bodies    int     `json:"bodies"`
+	Procs     int     `json:"procs"`
+	Steps     int     `json:"steps"`
+	Seed      int64   `json:"seed"`
+	Adaptive  bool    `json:"adaptive"`
+	Linger    bool    `json:"linger"`
+}
+
+type scheduleInfo struct {
+	Arrivals int `json:"arrivals"`
+	// Digest is the SHA-256 of the schedule's canonical NDJSON trace —
+	// two runs with the same digest replayed the same traffic.
+	Digest  string `json:"digest"`
+	FirstNs int64  `json:"first_ns"`
+	LastNs  int64  `json:"last_ns"`
+}
+
+type outcomeCounts struct {
+	OK         int `json:"ok"`
+	Rejected   int `json:"rejected"`
+	Failed     int `json:"failed"`
+	Unlaunched int `json:"unlaunched"`
+}
+
+// sessionEntry is one session's server-reported deterministic
+// aggregates, keyed and sorted by arrival ID.
+type sessionEntry struct {
+	ID        int     `json:"id"`
+	AtNs      int64   `json:"at_ns"`
+	Outcome   string  `json:"outcome"`
+	Steps     int     `json:"steps"`
+	Rebuilds  int     `json:"rebuilds"`
+	Fallbacks int     `json:"fallbacks"`
+	Moved     int64   `json:"moved"`
+	ChurnSum  float64 `json:"churn_sum"`
+	Closed    string  `json:"closed,omitempty"`
+}
+
+// metricsDelta is the before→after difference of the daemon counters
+// the run is accountable for.
+type metricsDelta struct {
+	EngineRejected   map[string]int64 `json:"engine_rejected"`
+	SessionsOpened   int64            `json:"sessions_opened"`
+	SessionsClosed   int64            `json:"sessions_closed"`
+	SessionsEvicted  int64            `json:"sessions_evicted"`
+	SessionsRejected int64            `json:"sessions_rejected"`
+	SessionFallbacks int64            `json:"session_fallbacks"`
+}
+
+func buildReport(cfg config, schedule []time.Duration, traceBytes []byte,
+	results []arrivalResult, before, after metricsSnapshot) report {
+
+	rep := report{
+		Loadgen: runConfig{
+			Mode: cfg.mode, Scenario: cfg.scenario.Name(), Arrival: cfg.arrival.Name(),
+			HorizonNs: int64(cfg.horizon), Speedup: cfg.speedup,
+			Bodies: cfg.n, Procs: cfg.procs, Steps: cfg.steps, Seed: cfg.seed,
+			Adaptive: cfg.adaptive, Linger: cfg.linger,
+		},
+		Schedule: scheduleInfo{
+			Arrivals: len(schedule),
+			Digest:   fmt.Sprintf("%x", sha256.Sum256(traceBytes)),
+			FirstNs:  int64(schedule[0]),
+			LastNs:   int64(schedule[len(schedule)-1]),
+		},
+	}
+	for _, r := range results {
+		switch r.Outcome {
+		case "ok":
+			rep.Outcomes.OK++
+		case "rejected":
+			rep.Outcomes.Rejected++
+		case "unlaunched":
+			rep.Outcomes.Unlaunched++
+		default:
+			rep.Outcomes.Failed++
+		}
+		if cfg.mode == "session" {
+			rep.Sessions = append(rep.Sessions, sessionEntry{
+				ID: r.ID, AtNs: r.AtNs, Outcome: r.Outcome, Steps: r.Steps,
+				Rebuilds: r.Rebuilds, Fallbacks: r.Fallbacks,
+				Moved: r.Moved, ChurnSum: r.ChurnSum, Closed: r.Closed,
+			})
+		}
+	}
+	sort.Slice(rep.Sessions, func(i, j int) bool { return rep.Sessions[i].ID < rep.Sessions[j].ID })
+
+	d := func(name string) int64 { return int64(after.sum(name) - before.sum(name)) }
+	rep.Metrics = metricsDelta{
+		EngineRejected: map[string]int64{
+			"cancelled":  d(`partree_engine_rejected_total{reason="cancelled"}`),
+			"draining":   d(`partree_engine_rejected_total{reason="draining"}`),
+			"queue_full": d(`partree_engine_rejected_total{reason="queue_full"}`),
+		},
+		SessionsOpened:   d("partree_session_opened_total"),
+		SessionsClosed:   d("partree_session_closed_total"),
+		SessionsEvicted:  d("partree_session_evicted_total"),
+		SessionsRejected: d("partree_session_rejected_total"),
+		SessionFallbacks: d("partree_session_fallbacks_total"),
+	}
+	return rep
+}
+
+func writeReport(path string, rep report) error {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// writeTimings emits the measured side as metric,value CSV rows.
+func writeTimings(path string, results []arrivalResult, depths []float64, wall time.Duration) error {
+	lat := sortedLatencies(results)
+	var maxDepth, sumDepth float64
+	for _, d := range depths {
+		sumDepth += d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	meanDepth := 0.0
+	if len(depths) > 0 {
+		meanDepth = sumDepth / float64(len(depths))
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	var b []byte
+	b = append(b, "metric,value\n"...)
+	add := func(k string, v float64) { b = append(b, fmt.Sprintf("%s,%g\n", k, v)...) }
+	add("completed", float64(len(lat)))
+	add("p50_ms", ms(percentile(lat, 50)))
+	add("p95_ms", ms(percentile(lat, 95)))
+	add("p99_ms", ms(percentile(lat, 99)))
+	if len(lat) > 0 {
+		add("max_ms", ms(lat[len(lat)-1]))
+	}
+	add("queue_depth_max", maxDepth)
+	add("queue_depth_mean", meanDepth)
+	add("queue_depth_samples", float64(len(depths)))
+	add("wall_ms", ms(wall))
+	return os.WriteFile(path, b, 0o644)
+}

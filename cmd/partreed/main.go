@@ -6,7 +6,7 @@
 //
 //	partreed [-addr 127.0.0.1:9732] [-max-active 0] [-max-queue 0]
 //	         [-max-idle 32] [-result-cache 4096] [-bodies-cache 64]
-//	         [-drain-timeout 30s] [-v info]
+//	         [-session-model plummer] [-drain-timeout 30s] [-v info]
 //
 // Endpoints:
 //
@@ -45,6 +45,7 @@ import (
 
 	"partree/internal/engine"
 	"partree/internal/obs"
+	"partree/internal/phys"
 	"partree/internal/runner"
 )
 
@@ -63,6 +64,9 @@ type daemonConfig struct {
 	// streaming session (each session can also opt in individually via
 	// its open record's "adaptive" field).
 	adaptive bool
+	// sessionModel is the mass model for sessions whose open record
+	// leaves "model" empty — any phys scenario model name.
+	sessionModel string
 }
 
 func (c daemonConfig) withDefaults() daemonConfig {
@@ -83,6 +87,9 @@ func (c daemonConfig) withDefaults() daemonConfig {
 	}
 	if c.drainTimeout == 0 {
 		c.drainTimeout = 30 * time.Second
+	}
+	if c.sessionModel == "" {
+		c.sessionModel = "plummer"
 	}
 	return c
 }
@@ -276,6 +283,7 @@ func main() {
 		bodiesCache  = flag.Int("bodies-cache", 64, "memoized body sets retained (LRU)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight builds")
 		adaptive     = flag.Bool("adaptive", false, "measured-cost adaptive partitioning for every streaming session")
+		sessionModel = flag.String("session-model", "plummer", "default mass model for sessions that omit one: "+strings.Join(phys.ModelNames(), ", "))
 		level        = flag.String("v", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
@@ -291,7 +299,7 @@ func main() {
 		maxActive: *maxActive, maxQueue: *maxQueue, maxIdle: *maxIdle,
 		maxSessions: *maxSessions, sessionIdle: *sessionIdle,
 		resultCache: *resultCache, bodiesCache: *bodiesCache,
-		drainTimeout: *drainTimeout, adaptive: *adaptive,
+		drainTimeout: *drainTimeout, adaptive: *adaptive, sessionModel: *sessionModel,
 	})
 	if err != nil {
 		slog.Error("building daemon", "err", err)

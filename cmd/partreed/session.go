@@ -32,12 +32,14 @@ const maxSessionBodies = 4 << 20
 
 // sessionOpen is the stream's first client record.
 type sessionOpen struct {
-	Procs   int     `json:"procs"`
-	Bodies  int     `json:"bodies"`
-	LeafCap int     `json:"leaf_cap"`
-	Model   string  `json:"model"` // plummer | uniform | twoclusters
-	Seed    int64   `json:"seed"`
-	Dt      float64 `json:"dt"` // drift timestep for {"drift":true} records
+	Procs   int `json:"procs"`
+	Bodies  int `json:"bodies"`
+	LeafCap int `json:"leaf_cap"`
+	// Model is any phys scenario model (plummer, uniform, twoclusters,
+	// disk, hierarchical); empty selects the daemon's -session-model.
+	Model string  `json:"model"`
+	Seed  int64   `json:"seed"`
+	Dt    float64 `json:"dt"` // drift timestep for {"drift":true} records
 	// Check verifies every step's tree against the octree invariants
 	// (canonical vs a serial rebuild on fresh steps) before answering.
 	Check bool `json:"check"`
@@ -133,9 +135,6 @@ func (o *sessionOpen) validate() (phys.Model, error) {
 	if o.Dt == 0 {
 		o.Dt = 0.01
 	}
-	if o.Model == "" {
-		o.Model = "plummer"
-	}
 	model, ok := phys.ParseModel(o.Model)
 	if !ok {
 		return 0, fmt.Errorf("unknown model %q", o.Model)
@@ -168,6 +167,9 @@ func (d *daemon) handleSession(w http.ResponseWriter, req *http.Request) {
 	if err := dec.Decode(&open); err != nil {
 		reject(http.StatusBadRequest, fmt.Sprintf("parsing open record: %v", err))
 		return
+	}
+	if open.Model == "" {
+		open.Model = d.cfg.sessionModel
 	}
 	model, err := open.validate()
 	if err != nil {

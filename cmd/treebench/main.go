@@ -8,9 +8,16 @@
 //
 //	treebench [-alg all] [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8]
 //	          [-model plummer] [-timeout 0] [-check] [-trace out.json]
-//	          [-steps 0] [-adaptive] [-benchout BENCH_treebuild.json]
+//	          [-steps 0] [-adaptive] [-scenario-cells disk,hierarchical]
+//	          [-benchout BENCH_treebuild.json]
 //	          [-benchcmp BENCH_treebuild.json] [-benchthreshold 0.30]
 //	          [-http :9090] [-v info] [-json]
+//
+// -model accepts any workload scenario kind with a direct mass model:
+// plummer, uniform, twoclusters, disk, hierarchical. With
+// -scenario-cells the sweep appends one SPACE build cell per listed
+// scenario per processor count — the skewed-distribution regression
+// cells the -benchcmp gate watches alongside the algorithm grid.
 //
 // With -steps k the sweep also benchmarks the session serving mode: k
 // drift timesteps against one resident tree, UPDATE repairing it step
@@ -43,6 +50,7 @@ import (
 	"partree/internal/phys"
 	"partree/internal/runner"
 	"partree/internal/stats"
+	"partree/internal/workload"
 )
 
 // benchFile is the machine-readable regression baseline -benchout emits
@@ -61,8 +69,12 @@ type benchFile struct {
 type benchCell struct {
 	// Exactly one of Alg and Mode is set: Alg names a one-shot builder
 	// cell (ns per build), Mode a session cell (ns per step).
-	Alg        string `json:"alg,omitempty"`
-	Mode       string `json:"mode,omitempty"`
+	Alg  string `json:"alg,omitempty"`
+	Mode string `json:"mode,omitempty"`
+	// Scenario, on an Alg cell, marks a workload-scenario cell: the same
+	// build-only measurement but on that internal/workload scenario's
+	// mass model instead of -model (e.g. disk, hierarchical).
+	Scenario   string `json:"scenario,omitempty"`
 	P          int    `json:"p"`
 	NsPerBuild int64  `json:"ns_per_build"`
 	Locks      int64  `json:"locks"`
@@ -162,6 +174,54 @@ func runSessionCell(base runner.Spec, p, steps, reps int, mode string) (nsPerSte
 	return best, bestLocks
 }
 
+// scenarioCellDef pairs a canonical workload scenario name with the
+// phys model that regenerates it, for the -scenario-cells sweep.
+type scenarioCellDef struct {
+	name  string
+	model string
+}
+
+// parseScenarioCells resolves a comma-separated -scenario-cells list.
+// Cells must be plain scenario kinds (no options, no evolution): a
+// build-only runner spec regenerates bodies from (model, n, seed), so
+// only scenarios with a direct mass model are benchable here.
+func parseScenarioCells(arg string) ([]scenarioCellDef, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []scenarioCellDef
+	for _, f := range strings.Split(arg, ",") {
+		sc, err := workload.ParseScenario(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		model, ok := sc.ServerModel()
+		if !ok {
+			return nil, fmt.Errorf("scenario %s carries options or evolution; scenario cells take plain kinds (%s)",
+				sc.Name(), strings.Join(workload.ScenarioNames(), ", "))
+		}
+		out = append(out, scenarioCellDef{name: sc.Name(), model: model})
+	}
+	return out, nil
+}
+
+// scenarioCellSpecs lays out the extra SPACE build cells, one per
+// scenario × processor count.
+func scenarioCellSpecs(base runner.Spec, defs []scenarioCellDef, ps []int) []runner.Spec {
+	var specs []runner.Spec
+	for _, def := range defs {
+		for _, p := range ps {
+			spec := base
+			spec.Alg = core.SPACE
+			spec.Procs = p
+			spec.Model = def.model
+			spec.Trace = ""
+			specs = append(specs, spec)
+		}
+	}
+	return specs
+}
+
 // runSessionCells produces the session-mode baseline cells for every
 // processor count, one cell per serving mode.
 func runSessionCells(base runner.Spec, ps []int, steps, reps int, modes []string) []benchCell {
@@ -184,15 +244,16 @@ func main() {
 	}, "alg", "p", "steps", "theta", "dt")
 	obsFlags := runner.RegisterObsFlags(flag.CommandLine)
 	var (
-		algFlag  = flag.String("alg", "", "restrict the sweep to one tree builder: "+strings.Join(core.AlgorithmNames(), ", ")+" (default all)")
-		procs    = flag.String("p", "1,2,4,8", "comma-separated processor counts")
-		reps     = flag.Int("reps", 5, "builds per configuration (best time reported)")
-		spatial  = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
-		steps    = flag.Int("steps", 0, "session-mode benchmark: drift timesteps per resident session, update vs rebuild-per-step (0 = off, min 2)")
-		adaptive = flag.Bool("adaptive", false, "add a session-adaptive cell (measured-cost adaptive partitioning) to the session sweep")
-		benchout = flag.String("benchout", "", "write a machine-readable ns-per-build baseline to this JSON file")
-		benchcmp = flag.String("benchcmp", "", "diff a fresh run against this baseline JSON and fail past -benchthreshold")
-		benchthr = flag.Float64("benchthreshold", 0.30, "allowed fractional ns-per-build regression for -benchcmp (0.30 = 30%)")
+		algFlag   = flag.String("alg", "", "restrict the sweep to one tree builder: "+strings.Join(core.AlgorithmNames(), ", ")+" (default all)")
+		procs     = flag.String("p", "1,2,4,8", "comma-separated processor counts")
+		reps      = flag.Int("reps", 5, "builds per configuration (best time reported)")
+		spatial   = flag.Bool("spatial", true, "spatially coherent body partition (like settled costzones)")
+		steps     = flag.Int("steps", 0, "session-mode benchmark: drift timesteps per resident session, update vs rebuild-per-step (0 = off, min 2)")
+		adaptive  = flag.Bool("adaptive", false, "add a session-adaptive cell (measured-cost adaptive partitioning) to the session sweep")
+		scenarios = flag.String("scenario-cells", "", "comma-separated workload scenarios benchmarked as extra SPACE build cells, e.g. disk,hierarchical (valid kinds: "+strings.Join(workload.ScenarioNames(), ", ")+"; each must resolve to a server-side mass model)")
+		benchout  = flag.String("benchout", "", "write a machine-readable ns-per-build baseline to this JSON file")
+		benchcmp  = flag.String("benchcmp", "", "diff a fresh run against this baseline JSON and fail past -benchthreshold")
+		benchthr  = flag.Float64("benchthreshold", 0.30, "allowed fractional ns-per-build regression for -benchcmp (0.30 = 30%)")
 	)
 	flag.Parse()
 	if _, err := obsFlags.SetupLogging("treebench"); err != nil {
@@ -249,6 +310,12 @@ func main() {
 		ps = append(ps, v)
 	}
 
+	scDefs, err := parseScenarioCells(*scenarios)
+	if err != nil {
+		slog.Error("bad -scenario-cells", "err", err)
+		os.Exit(2)
+	}
+
 	var specs []runner.Spec
 	for _, alg := range algs {
 		for _, p := range ps {
@@ -265,6 +332,7 @@ func main() {
 	}
 
 	results := runCells(r, specs)
+	scenarioResults := runCells(r, scenarioCellSpecs(base, scDefs, ps))
 
 	modes := sessionModes(*adaptive)
 	var sessionCells []benchCell
@@ -283,6 +351,21 @@ func main() {
 				Alg: res.Spec.Alg.String(), P: res.Spec.Procs,
 				NsPerBuild: int64(res.TreeNs), Locks: res.LocksTotal,
 			})
+		}
+		si := 0
+		for _, def := range scDefs {
+			for range ps {
+				res := scenarioResults[si]
+				si++
+				if res.Failed() {
+					slog.Error("scenario cell failed", append(specContext(res.Spec), "scenario", def.name, "err", res.FailureMessage())...)
+					os.Exit(1)
+				}
+				bf.Cells = append(bf.Cells, benchCell{
+					Alg: res.Spec.Alg.String(), Scenario: def.name, P: res.Spec.Procs,
+					NsPerBuild: int64(res.TreeNs), Locks: res.LocksTotal,
+				})
+			}
 		}
 		bf.Cells = append(bf.Cells, sessionCells...)
 		buf, err := json.MarshalIndent(bf, "", "  ")
@@ -343,6 +426,31 @@ func main() {
 		t.Row(row...)
 	}
 	t.Write(os.Stdout)
+
+	if len(scDefs) > 0 {
+		fmt.Printf("\nscenario cells: SPACE build on workload scenarios\n\n")
+		sh := []string{"scenario"}
+		for _, p := range ps {
+			sh = append(sh, fmt.Sprintf("%dp", p))
+		}
+		ts := stats.NewTable(sh...)
+		si := 0
+		for _, def := range scDefs {
+			row := []any{def.name}
+			for range ps {
+				res := scenarioResults[si]
+				si++
+				if res.Failed() {
+					slog.Error("scenario cell failed", append(specContext(res.Spec), "scenario", def.name, "err", res.FailureMessage())...)
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, time.Duration(res.TreeNs).Round(10*time.Microsecond).String())
+			}
+			ts.Row(row...)
+		}
+		ts.Write(os.Stdout)
+	}
 
 	if len(sessionCells) > 0 {
 		fmt.Printf("\nsession mode: %d drift steps on one resident tree, ns/step (step 0 excluded)\n\n", *steps)
@@ -418,6 +526,19 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 		sp.Steps = bf.Reps
 		sp.Spatial = bf.Spatial
 		sp.Trace = ""
+		if c.Scenario != "" {
+			sc, err := workload.ParseScenario(c.Scenario)
+			if err != nil {
+				slog.Error("baseline names unknown scenario", "path", path, "err", err)
+				return 2
+			}
+			model, ok := sc.ServerModel()
+			if !ok {
+				slog.Error("baseline scenario cell has no direct mass model", "path", path, "scenario", c.Scenario)
+				return 2
+			}
+			sp.Model = model
+		}
 		specIdx[i] = len(specs)
 		specs = append(specs, sp)
 	}
@@ -433,6 +554,9 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 	exit := 0
 	for i, c := range bf.Cells {
 		name := c.Alg
+		if c.Scenario != "" {
+			name = c.Scenario
+		}
 		var fresh int64
 		if j := specIdx[i]; j >= 0 {
 			res := results[j]

@@ -1,0 +1,35 @@
+#!/bin/sh
+# h1-adaptive-hierarchical: measured-cost adaptive partitioning beats
+# static costzones on the hierarchical clustering scenario.
+#
+# Decision rule: at every p in {4, 8}, the adaptive loop's final
+# max/mean insert skew must be strictly below static costzones' skew
+# AND must converge below 1.30. Fully deterministic (seed 7, synthetic
+# measured costs), so the report is byte-identical across reruns.
+cd "$(dirname "$0")"
+. ../lib/harness.sh
+pt_init
+
+drv="$PT_TMP/h1driver"
+pt_run 120 "$GO" build -o "$drv" ./driver
+pt_run 120 "$drv" -n 4000 -seed 7 -p 4,8 -rounds 12 -radius 0.2 \
+    -report results/report.json
+
+# Determinism: a second run must emit the same bytes.
+pt_run 120 "$drv" -n 4000 -seed 7 -p 4,8 -rounds 12 -radius 0.2 \
+    -report "$PT_TMP/report2.json"
+cmp results/report.json "$PT_TMP/report2.json" || {
+    echo "h1: report is not byte-deterministic" >&2
+    exit 1
+}
+
+ok=$(jq -r '.confirmed and ([.cells[].adaptive_skew] | max) < 1.30' results/report.json)
+jq -r '.cells[] | "p=\(.p)  static=\(.static_skew)  adaptive=\(.adaptive_skew)  improvement=\(.improvement_pct)%"' \
+    results/report.json
+
+if [ "$ok" = "true" ]; then
+    pt_confirm "adaptive skew strictly below static at p=4 and p=8, converged under 1.30"
+else
+    pt_refute "adaptive did not beat static costzones on hierarchical clustering (see results/report.json)"
+    exit 1
+fi

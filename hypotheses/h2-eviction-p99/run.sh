@@ -1,0 +1,67 @@
+#!/bin/sh
+# h2-eviction-p99: session idle eviction keeps p99 session latency
+# bounded under diurnal overload.
+#
+# Setup: one partreed with a tight lease limit (-max-sessions 8), and
+# lingering loadgen sessions (-linger: clients hold the lease open
+# after their steps instead of closing). Under a diurnal overload
+# arrival the leases are the bottleneck; the only thing that frees
+# them is the server's idle eviction.
+#
+# Two arms, identical traffic (same scenario, arrival, seed — the
+# schedule digest in the reports proves it):
+#   evict:    -idle-ms 200    (eviction reclaims leases promptly)
+#   no-evict: -idle-ms 10000  (eviction so slow it never helps in-run)
+#
+# Decision rule: the evict arm's p99 stays under 2000 ms AND the
+# no-evict arm's p99 is at least 3x the evict arm's AND the evict arm
+# actually evicted sessions (metrics_delta.sessions_evicted > 0).
+cd "$(dirname "$0")"
+. ../lib/harness.sh
+pt_init
+
+lg="$PT_TMP/loadgen"
+pd="$PT_TMP/partreed"
+pt_run 120 "$GO" build -o "$lg" ../../cmd/loadgen
+pt_run 120 "$GO" build -o "$pd" ../../cmd/partreed
+
+pt_daemon_start "$pd" -max-sessions 8
+echo "h2: partreed at $PT_URL (max-sessions 8)"
+
+common="-url $PT_URL -mode session -scenario plummer \
+    -arrival diurnal:rate=40,period=2s,depth=0.9 -horizon 3s -speedup 1 \
+    -n 512 -procs 2 -steps 3 -seed 1998 -linger -timeout 30s"
+
+pt_run 60 "$lg" $common -idle-ms 200 \
+    -report results/evict.report.json -timings results/evict.timings.csv
+pt_run 60 "$lg" $common -idle-ms 10000 \
+    -report results/noevict.report.json -timings results/noevict.timings.csv
+
+# Same traffic in both arms?
+d1=$(jq -r .schedule.digest results/evict.report.json)
+d2=$(jq -r .schedule.digest results/noevict.report.json)
+if [ "$d1" != "$d2" ]; then
+    echo "h2: arms saw different schedules ($d1 vs $d2)" >&2
+    exit 1
+fi
+
+p99() { awk -F, '$1 == "p99_ms" { print int($2) }' "$1"; }
+p99_evict=$(p99 results/evict.timings.csv)
+p99_noevict=$(p99 results/noevict.timings.csv)
+evicted=$(jq -r .metrics_delta.sessions_evicted results/evict.report.json)
+ok_evict=$(jq -r .outcomes.ok results/evict.report.json)
+ok_noevict=$(jq -r .outcomes.ok results/noevict.report.json)
+rej_evict=$(jq -r .outcomes.rejected results/evict.report.json)
+rej_noevict=$(jq -r .outcomes.rejected results/noevict.report.json)
+
+echo "h2: evict    p99=${p99_evict}ms ok=$ok_evict rejected=$rej_evict evicted=$evicted"
+echo "h2: no-evict p99=${p99_noevict}ms ok=$ok_noevict rejected=$rej_noevict"
+
+if [ "$evicted" -gt 0 ] && [ "$p99_evict" -lt 2000 ] &&
+    [ "$p99_noevict" -ge $((3 * p99_evict)) ] &&
+    [ "$ok_evict" -gt "$ok_noevict" ]; then
+    pt_confirm "eviction bounds p99 at ${p99_evict}ms (vs ${p99_noevict}ms) and admits $ok_evict vs $ok_noevict sessions on identical traffic"
+else
+    pt_refute "p99 evict=${p99_evict}ms no-evict=${p99_noevict}ms evicted=$evicted (see results/)"
+    exit 1
+fi

@@ -1,0 +1,99 @@
+# harness.sh — shared guardrails for hypothesis run.sh scripts.
+#
+# Every experiment sources this file instead of reinventing its own
+# timeout wrapping and daemon lifecycle handling. The contract:
+#
+#   . "$(dirname "$0")/../lib/harness.sh"
+#   pt_init                      # scratch dir, results/, traps
+#   pt_run 120 some-command ...  # mandatory wall-clock limit
+#   pt_daemon_start ./partreed -max-sessions 8   # background partreed
+#   pt_confirm "one-line verdict"   (or pt_refute "...")
+#
+# Rules enforced here, per the experiment methodology in
+# hypotheses/README.md:
+#   - No command runs without a timeout: pt_run requires an explicit
+#     per-invocation limit and fails the experiment on expiry (exit
+#     124 from coreutils timeout) instead of hanging the session.
+#   - Background daemons are always reaped: pt_init installs an EXIT
+#     trap that kills anything registered via pt_daemon_start and
+#     removes the scratch dir, so a failing experiment cannot leak a
+#     partreed onto the machine.
+#   - Verdicts are explicit: run.sh must end by calling pt_confirm or
+#     pt_refute, which prints the verdict in a grep-friendly form and
+#     records it in results/verdict.txt for FINDINGS.md to cite.
+
+GO=${GO:-go}
+
+# pt_init: create the scratch dir and results/ (relative to the
+# experiment directory, which must be the caller's cwd) and install the
+# cleanup trap.
+pt_init() {
+    set -e
+    PT_TMP=$(mktemp -d)
+    PT_PIDS=
+    mkdir -p results
+    trap pt_cleanup EXIT INT TERM
+}
+
+pt_cleanup() {
+    for p in $PT_PIDS; do
+        kill "$p" 2>/dev/null || true
+    done
+    [ -n "$PT_TMP" ] && rm -rf "$PT_TMP"
+}
+
+# pt_run <seconds> <cmd...>: run cmd under a mandatory wall-clock
+# limit. Exit 124 (timed out) is converted into an experiment failure
+# with a diagnostic, never a hang.
+pt_run() {
+    _pt_limit=$1
+    shift
+    if [ -z "$_pt_limit" ] || [ "$_pt_limit" -le 0 ] 2>/dev/null; then
+        echo "harness: pt_run needs a positive timeout in seconds" >&2
+        exit 2
+    fi
+    timeout "$_pt_limit" "$@"
+    _pt_rc=$?
+    if [ $_pt_rc -eq 124 ]; then
+        echo "harness: TIMEOUT after ${_pt_limit}s: $*" >&2
+        exit 124
+    fi
+    return $_pt_rc
+}
+
+# pt_daemon_start <binary> [args...]: launch a partree daemon on an
+# ephemeral port, wait for its serving log line, and export PT_URL.
+# The process is registered for cleanup; its log lands in $PT_TMP.
+pt_daemon_start() {
+    _pt_log="$PT_TMP/daemon.$$.log"
+    "$@" -addr 127.0.0.1:0 -v info 2>"$_pt_log" &
+    _pt_pid=$!
+    PT_PIDS="$PT_PIDS $_pt_pid"
+    PT_URL=
+    _pt_i=0
+    while [ $_pt_i -lt 100 ]; do
+        PT_URL=$(sed -n 's/.*msg=serving .* url=\(http:[^ ]*\).*/\1/p' "$_pt_log" | head -1)
+        [ -n "$PT_URL" ] && break
+        if ! kill -0 "$_pt_pid" 2>/dev/null; then
+            echo "harness: daemon exited before serving" >&2
+            cat "$_pt_log" >&2
+            exit 1
+        fi
+        sleep 0.1
+        _pt_i=$((_pt_i + 1))
+    done
+    if [ -z "$PT_URL" ]; then
+        echo "harness: no serving address in daemon log" >&2
+        cat "$_pt_log" >&2
+        exit 1
+    fi
+    PT_DAEMON_PID=$_pt_pid
+    PT_DAEMON_LOG=$_pt_log
+}
+
+pt_verdict() {
+    echo "$1: $2" | tee results/verdict.txt
+}
+
+pt_confirm() { pt_verdict CONFIRMED "$1"; }
+pt_refute() { pt_verdict REFUTED "$1"; }

@@ -60,6 +60,82 @@ func measuredSummary(assign [][]int32, truth []int64) *trace.Summary {
 	return s
 }
 
+// densityCosts models per-body cost on multi-center distributions:
+// proportional to local crowding (neighbors within a fixed radius), the
+// regime hierarchical clustering creates — many separated dense knots
+// rather than one central cusp, so a zone that lands on a sub-halo pays
+// far more than its body count suggests. O(n²), deterministic in seed.
+func densityCosts(b *phys.Bodies, radius float64) []int64 {
+	out := make([]int64, b.N())
+	r2 := radius * radius
+	for i := range out {
+		n := int64(0)
+		for j := 0; j < b.N(); j++ {
+			if b.Pos[i].Dist2(b.Pos[j]) < r2 {
+				n++
+			}
+		}
+		out[i] = n // counts itself, so ≥ 1
+	}
+	return out
+}
+
+// TestAdaptiveBeatsStaticOnHierarchical extends the gate to the
+// hierarchical clustering scenario (nested Plummer sub-halos): static
+// costzones splits by modeled-uniform counts and lands zones across
+// sub-halo boundaries; the measured-cost loop must cut the max/mean
+// skew strictly below it at p ∈ {4, 8} — deterministically, since the
+// "measured" times are synthesized from the density cost model.
+func TestAdaptiveBeatsStaticOnHierarchical(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		p      int
+		seed   int64
+		rounds int
+	}{
+		{"p4", 4000, 4, 7, 12},
+		{"p8", 4000, 8, 7, 12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := phys.Hierarchical(tc.n, tc.seed, phys.HierarchicalParams{})
+			truth := densityCosts(b, 0.2)
+			tr := octree.BuildSerial(b.Pos, 8)
+			d := octree.BodyData{Pos: b.Pos, Mass: b.Mass, Cost: b.Cost}
+			octree.ComputeMomentsSerial(tr, d)
+
+			static := partition.Costzones(tr, d, tc.p)
+			if err := partition.Validate(static, tc.n); err != nil {
+				t.Fatal(err)
+			}
+			staticSkew := zoneSkew(static, truth)
+			if staticSkew < 1.05 {
+				t.Fatalf("static skew %.4f is already near-perfect; the scenario is not stressing the partition", staticSkew)
+			}
+
+			ctrl := NewController(core.Config{P: tc.p, LeafCap: 8},
+				Options{Alpha: 0.5, DisableTuner: true})
+			assign := static
+			for r := 0; r < tc.rounds; r++ {
+				ctrl.Observe(assign, measuredSummary(assign, truth))
+				assign = ctrl.Partition(tr, d, tc.p)
+				if err := partition.Validate(assign, tc.n); err != nil {
+					t.Fatalf("round %d: %v", r, err)
+				}
+			}
+			adaptiveSkew := zoneSkew(assign, truth)
+
+			if adaptiveSkew >= staticSkew {
+				t.Fatalf("adaptive skew %.4f not strictly below static %.4f at p=%d", adaptiveSkew, staticSkew, tc.p)
+			}
+			if adaptiveSkew > 1.30 {
+				t.Fatalf("adaptive skew %.4f did not converge near 1 (static was %.4f)", adaptiveSkew, staticSkew)
+			}
+		})
+	}
+}
+
 // TestAdaptiveReducesSkew is the gate from the issue: on the skewed
 // Plummer distribution, the measured-cost feedback loop must cut the
 // max/mean phase-time skew strictly below what static costzones (cutting

@@ -211,7 +211,12 @@ func (e *Engine) wheelSlot(deadlineNanos int64) int {
 func (e *Engine) leaseJanitor() {
 	tk := time.NewTicker(e.opts.LeaseTick)
 	defer tk.Stop()
-	last := time.Now().UnixNano() / int64(e.opts.LeaseTick)
+	// Sweep only fully-elapsed tick quanta: bucket t is visited once
+	// now ≥ (t+1)·tick, so every deadline bucketed there has expired.
+	// Sweeping the still-running quantum would find deadlines a few ms
+	// in the future, fail to re-bucket them (same slot), and not come
+	// back until the wheel wraps — a full revolution late.
+	last := time.Now().UnixNano()/int64(e.opts.LeaseTick) - 1
 	for {
 		select {
 		case <-e.drainCh:
@@ -220,7 +225,7 @@ func (e *Engine) leaseJanitor() {
 			e.mu.Unlock()
 			return
 		case now := <-tk.C:
-			cur := now.UnixNano() / int64(e.opts.LeaseTick)
+			cur := now.UnixNano()/int64(e.opts.LeaseTick) - 1
 			var expired []*Lease
 			e.wheelMu.Lock()
 			for t := last + 1; t <= cur; t++ {

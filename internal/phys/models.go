@@ -22,6 +22,14 @@ const (
 	// the classic "galaxy collision" demo, and the worst case for a
 	// static spatial decomposition.
 	ModelTwoClusters
+	// ModelDisk is a rotating exponential disk galaxy (thin vertical
+	// profile, net angular momentum) — strong planar anisotropy that a
+	// cubical octree subdivides very unevenly. Default DiskParams.
+	ModelDisk
+	// ModelHierarchical nests Plummer sub-halos recursively, producing
+	// power-law density contrast at every scale — the distribution that
+	// stresses cost-blind partitions hardest. Default HierarchicalParams.
+	ModelHierarchical
 )
 
 // String names the model for CLI flags and reports.
@@ -33,19 +41,35 @@ func (m Model) String() string {
 		return "uniform"
 	case ModelTwoClusters:
 		return "twoclusters"
+	case ModelDisk:
+		return "disk"
+	case ModelHierarchical:
+		return "hierarchical"
 	}
 	return "unknown"
 }
 
+// Models lists every model in declaration order.
+func Models() []Model {
+	return []Model{ModelPlummer, ModelUniform, ModelTwoClusters, ModelDisk, ModelHierarchical}
+}
+
+// ModelNames lists the valid CLI names, for flag help and error text.
+func ModelNames() []string {
+	ms := Models()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}
+
 // ParseModel converts a CLI name into a Model.
 func ParseModel(s string) (Model, bool) {
-	switch s {
-	case "plummer":
-		return ModelPlummer, true
-	case "uniform":
-		return ModelUniform, true
-	case "twoclusters":
-		return ModelTwoClusters, true
+	for _, m := range Models() {
+		if s == m.String() {
+			return m, true
+		}
 	}
 	return 0, false
 }
@@ -54,14 +78,17 @@ func ParseModel(s string) (Model, bool) {
 // deterministic stream seeded by seed. Total mass is 1 in model units
 // (G=1), matching the standard N-body convention.
 func Generate(m Model, n int, seed int64) *Bodies {
-	r := rand.New(rand.NewSource(seed))
 	switch m {
 	case ModelUniform:
-		return uniformCube(n, r)
+		return uniformCube(n, rand.New(rand.NewSource(seed)))
 	case ModelTwoClusters:
-		return twoClusters(n, r)
+		return twoClusters(n, rand.New(rand.NewSource(seed)))
+	case ModelDisk:
+		return Disk(n, seed, DiskParams{})
+	case ModelHierarchical:
+		return Hierarchical(n, seed, HierarchicalParams{})
 	default:
-		return plummer(n, r, vec.V3{}, vec.V3{}, 1.0)
+		return plummer(n, rand.New(rand.NewSource(seed)), vec.V3{}, vec.V3{}, 1.0)
 	}
 }
 

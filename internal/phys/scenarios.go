@@ -1,0 +1,234 @@
+package phys
+
+import (
+	"math"
+	"math/rand"
+
+	"partree/internal/vec"
+)
+
+// Parameterized initial-condition generators beyond the classic SPLASH-2
+// trio. Uniform-or-Plummer inputs hide load-imbalance pathologies; the
+// distributions here are the ones the tree-building literature evaluates
+// on because they stress adaptive subdivision depth and partition
+// balance: a rotating exponential disk (strong planar anisotropy), two
+// clusters on an off-axis collision course (time-evolving bimodality),
+// and hierarchical clustering (power-law density contrast at every
+// scale). Each generator is a pure function of (n, seed, params), so a
+// fixed seed is byte-reproducible through Snapshot.
+
+// DiskParams tunes the disk-galaxy generator. Zero fields select the
+// documented defaults.
+type DiskParams struct {
+	// ScaleLength is the exponential surface-density scale R_d: the disk
+	// holds ~26% of its mass inside one scale length. Default 1.
+	ScaleLength float64
+	// ScaleHeight is the vertical double-exponential scale h. Default
+	// 0.1·ScaleLength — a thin disk, the worst case for octree depth
+	// because the distribution is two-dimensional at large scales.
+	ScaleHeight float64
+	// Dispersion is the random velocity fraction added on top of the
+	// circular rotation (0.1 = 10% of local v_circ). Default 0.1.
+	Dispersion float64
+}
+
+func (p DiskParams) withDefaults() DiskParams {
+	if p.ScaleLength <= 0 {
+		p.ScaleLength = 1
+	}
+	if p.ScaleHeight <= 0 {
+		p.ScaleHeight = 0.1 * p.ScaleLength
+	}
+	if p.Dispersion <= 0 {
+		p.Dispersion = 0.1
+	}
+	return p
+}
+
+// Disk samples an exponential disk galaxy with near-circular rotation:
+// surface density Σ(r) ∝ exp(-r/R_d), vertical profile ∝ exp(-|z|/h),
+// and tangential velocities set from the enclosed-mass circular speed
+// (spherical approximation, G=1) plus isotropic dispersion. Net angular
+// momentum points along +z.
+func Disk(n int, seed int64, p DiskParams) *Bodies {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	b := NewBodies(n)
+	mPer := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		// Radius from the cumulative mass profile M(<r) ∝ 1-(1+x)e^-x,
+		// x = r/R_d, inverted by bisection (montone, so exact to tol).
+		u := r.Float64()
+		rad := p.ScaleLength * diskRadius(u)
+		phi := 2 * math.Pi * r.Float64()
+		// Double-exponential vertical profile: |z| ~ Exp(h), random sign.
+		z := -p.ScaleHeight * math.Log(1-r.Float64())
+		if r.Float64() < 0.5 {
+			z = -z
+		}
+		cos, sin := math.Cos(phi), math.Sin(phi)
+		b.Pos[i] = vec.V3{X: rad * cos, Y: rad * sin, Z: z}
+
+		// Circular speed from the enclosed disk mass at this radius.
+		vc := math.Sqrt(diskMass(rad/p.ScaleLength) / math.Max(rad, 1e-6))
+		tangent := vec.V3{X: -sin, Y: cos}
+		b.Vel[i] = tangent.Scale(vc).Add(isotropic(r).Scale(p.Dispersion * vc * r.Float64()))
+		b.Mass[i] = mPer
+		b.Cost[i] = 1
+	}
+	return b
+}
+
+// diskMass is the normalized enclosed-mass profile of an exponential
+// disk: M(<x)/M_tot = 1-(1+x)e^-x for x = r/R_d.
+func diskMass(x float64) float64 { return 1 - (1+x)*math.Exp(-x) }
+
+// diskRadius inverts diskMass by bisection: returns x with
+// diskMass(x) = u, clamped to x ≤ 30 (u → 1 gives unbounded radii).
+func diskRadius(u float64) float64 {
+	if u >= diskMass(30) {
+		return 30
+	}
+	lo, hi := 0.0, 30.0
+	for k := 0; k < 60; k++ {
+		mid := (lo + hi) / 2
+		if diskMass(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// CollisionParams tunes the colliding-clusters generator.
+type CollisionParams struct {
+	// Separation is the initial center-to-center distance along x.
+	// Default 6 (the classic twoclusters setup).
+	Separation float64
+	// Impact is the impact parameter: the perpendicular (y) offset
+	// between the approach axes. 0 (the default) is a head-on collision;
+	// larger values make the clusters swing past each other, shearing
+	// the density field.
+	Impact float64
+	// Speed is the closing speed along x. Default 0.25.
+	Speed float64
+}
+
+func (p CollisionParams) withDefaults() CollisionParams {
+	if p.Separation <= 0 {
+		p.Separation = 6
+	}
+	if p.Impact < 0 {
+		p.Impact = 0 // head-on
+	}
+	if p.Speed <= 0 {
+		p.Speed = 0.25
+	}
+	return p
+}
+
+// Collision places two equal-mass Plummer spheres on a collision course
+// with a tunable impact parameter: cluster A starts at (+sep/2, +b/2),
+// cluster B at (-sep/2, -b/2), closing along x. The first ⌈n/2⌉ bodies
+// belong to cluster A, the rest to B, so diagnostics can track the two
+// centroids by index range.
+func Collision(n int, seed int64, p CollisionParams) *Bodies {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	n1 := n / 2
+	n2 := n - n1
+	offA := vec.V3{X: p.Separation / 2, Y: p.Impact / 2}
+	offB := vec.V3{X: -p.Separation / 2, Y: -p.Impact / 2}
+	vA := vec.V3{X: -p.Speed / 2}
+	vB := vec.V3{X: p.Speed / 2}
+	a := plummer(n1, r, offA, vA, 0.5)
+	c := plummer(n2, r, offB, vB, 0.5)
+	b := NewBodies(n)
+	copy(b.Pos, a.Pos)
+	copy(b.Pos[n1:], c.Pos)
+	copy(b.Vel, a.Vel)
+	copy(b.Vel[n1:], c.Vel)
+	copy(b.Mass, a.Mass)
+	copy(b.Mass[n1:], c.Mass)
+	copy(b.Cost, a.Cost)
+	copy(b.Cost[n1:], c.Cost)
+	return b
+}
+
+// HierarchicalParams tunes the nested-Plummer clustering generator.
+type HierarchicalParams struct {
+	// Levels is the nesting depth. Default 3.
+	Levels int
+	// Branch is the number of sub-halos per level. Default 8.
+	Branch int
+	// Contract is the scale ratio between a halo and its sub-halos
+	// (smaller = more contrast). Default 0.3.
+	Contract float64
+}
+
+func (p HierarchicalParams) withDefaults() HierarchicalParams {
+	if p.Levels <= 0 {
+		p.Levels = 3
+	}
+	if p.Branch <= 1 {
+		p.Branch = 8
+	}
+	if p.Contract <= 0 || p.Contract >= 1 {
+		p.Contract = 0.3
+	}
+	return p
+}
+
+// Hierarchical samples nested Plummer sub-halos: at each level the body
+// budget splits across Branch sub-halos whose centers are themselves
+// Plummer-distributed at the current scale, and each sub-halo recurses
+// with its scale contracted. The result has power-law density contrast
+// at every scale — the hardest case for a cost-blind spatial partition,
+// and the distribution hierarchical-clustering evaluations in the
+// literature use for exactly that reason.
+func Hierarchical(n int, seed int64, p HierarchicalParams) *Bodies {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	b := NewBodies(n)
+	mPer := 1.0 / float64(n)
+	i := 0
+	var place func(cnt, level int, center vec.V3, scale float64)
+	place = func(cnt, level int, center vec.V3, scale float64) {
+		if cnt <= 0 {
+			return
+		}
+		if level == 0 {
+			for k := 0; k < cnt; k++ {
+				b.Pos[i] = center.Add(isotropic(r).Scale(plummerRadius(r) * scale))
+				b.Vel[i] = isotropic(r).Scale(0.05 * math.Sqrt(scale) * r.Float64())
+				b.Mass[i] = mPer
+				b.Cost[i] = 1
+				i++
+			}
+			return
+		}
+		per := cnt / p.Branch
+		rem := cnt % p.Branch
+		for s := 0; s < p.Branch; s++ {
+			sub := per
+			if s < rem {
+				sub++
+			}
+			sc := center.Add(isotropic(r).Scale(plummerRadius(r) * scale))
+			place(sub, level-1, sc, scale*p.Contract)
+		}
+	}
+	place(n, p.Levels, vec.V3{}, 1.0)
+	return b
+}
+
+// plummerRadius samples a radius from the Plummer cumulative mass
+// profile at scale radius 1, clamped like the full generator.
+func plummerRadius(r *rand.Rand) float64 {
+	x := r.Float64()
+	if x > 0.999 {
+		x = 0.999
+	}
+	return 1 / math.Sqrt(math.Pow(x, -2.0/3.0)-1)
+}

@@ -10,6 +10,7 @@ import (
 
 	"partree/internal/core"
 	"partree/internal/obs"
+	"partree/internal/phys"
 )
 
 // SpecFlags binds the shared CLI surface — one flag per Spec field plus
@@ -52,7 +53,7 @@ func RegisterSpecFlags(fs *flag.FlagSet, def Spec, skip ...string) *SpecFlags {
 			"platform model: "+strings.Join(PlatformNames(), ", "))
 	}
 	if def.Backend == Native && !skipped["model"] {
-		sf.model = fs.String("model", def.Model, "mass model: plummer, uniform, twoclusters")
+		sf.model = fs.String("model", def.Model, "mass model: "+strings.Join(phys.ModelNames(), ", "))
 	}
 	if !skipped["n"] {
 		sf.n = fs.Int("n", def.Bodies, "number of bodies")

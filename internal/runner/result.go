@@ -43,8 +43,8 @@ type Result struct {
 	// excluding memoized body generation, which is reported separately as
 	// GenNs (the full generation time for this spec's body set, charged
 	// identically to every spec that shares it).
-	WallNs int64 `json:"wall_ns"`
-	GenNs  int64 `json:"gen_ns,omitempty"`
+	WallNs int64  `json:"wall_ns"`
+	GenNs  int64  `json:"gen_ns,omitempty"`
 	Err    string `json:"error,omitempty"`
 	// CheckFailure is the first tree-verification violation found when
 	// the spec ran with Check set (empty otherwise).

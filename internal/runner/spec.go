@@ -50,8 +50,9 @@ type Spec struct {
 	// Steps is measured time steps, or repetitions when BuildOnly is set.
 	Steps int   `json:"steps"`
 	Seed  int64 `json:"seed"`
-	// Model is the native backend's mass model (plummer, uniform,
-	// twoclusters). The simulated harness always uses plummer.
+	// Model is the native backend's mass model — any phys scenario
+	// model (plummer, uniform, twoclusters, disk, hierarchical). The
+	// simulated harness always uses plummer.
 	Model string `json:"model,omitempty"`
 	// Sequential runs the lock-free single-processor baseline (the
 	// paper's speedup denominator). Forces Procs = 1.
@@ -138,8 +139,8 @@ func (s Spec) Validate() error {
 		}
 	}
 	if _, ok := phys.ParseModel(s.Model); !ok {
-		return fmt.Errorf("runner: unknown mass model %q (valid: %s, %s, %s)",
-			s.Model, phys.ModelPlummer, phys.ModelUniform, phys.ModelTwoClusters)
+		return fmt.Errorf("runner: unknown mass model %q (valid: %s)",
+			s.Model, strings.Join(phys.ModelNames(), ", "))
 	}
 	if int(s.Alg) < 0 || int(s.Alg) >= core.NumAlgorithms {
 		return fmt.Errorf("runner: unknown algorithm %d", int(s.Alg))

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"partree/internal/force"
+	"partree/internal/octree"
+	"partree/internal/phys"
+)
+
+// Evolver advances a body set through leapfrog (kick-drift-kick) steps
+// using the serial octree and the Barnes-Hut force pass. It exists to
+// turn static initial conditions into time-evolving workloads: the
+// per-step position churn is what stresses UPDATE's incremental repair
+// and shifts the costzones load balance under a running session.
+//
+// Determinism: the serial build, moments, and per-body traversals are
+// all deterministic, and each body's acceleration is written to its own
+// slot, so the trajectory is a pure function of the initial bodies and
+// dt regardless of scheduling.
+type Evolver struct {
+	B       *phys.Bodies
+	Dt      float64
+	Par     force.Params
+	LeafCap int
+
+	primed bool
+	assign [][]int32
+}
+
+// NewEvolver wraps a body set (the caller keeps ownership; steps mutate
+// it in place) with the default force parameters.
+func NewEvolver(b *phys.Bodies, dt float64) *Evolver {
+	return &Evolver{B: b, Dt: dt, Par: force.DefaultParams(), LeafCap: 8}
+}
+
+// Step advances one leapfrog step: kick half, drift, re-evaluate
+// accelerations on the fresh tree, kick half.
+func (e *Evolver) Step() {
+	if !e.primed {
+		e.accel()
+		e.primed = true
+	}
+	n := e.B.N()
+	e.B.Kick(0, n, e.Dt)
+	e.B.Drift(0, n, e.Dt)
+	e.accel()
+	e.B.Kick(0, n, e.Dt)
+}
+
+func (e *Evolver) accel() {
+	n := e.B.N()
+	if e.assign == nil {
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		e.assign = [][]int32{all}
+	}
+	t := octree.BuildSerial(e.B.Pos, e.LeafCap)
+	d := octree.BodyData{Pos: e.B.Pos, Mass: e.B.Mass, Cost: e.B.Cost}
+	octree.ComputeMomentsSerial(t, d)
+	force.ComputeAll(t, e.B, e.assign, e.Par)
+}
+
+// Evolve advances b through steps leapfrog steps of dt in place.
+func Evolve(b *phys.Bodies, steps int, dt float64) {
+	e := NewEvolver(b, dt)
+	for i := 0; i < steps; i++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,267 @@
+// Package workload opens the scenario axis the evaluation was missing:
+// every sweep used to be uniform-or-Plummer at fixed n, which hides the
+// load-imbalance pathologies that skewed, time-evolving distributions
+// expose in tree builders. The package has two halves:
+//
+//   - Physical scenarios (this file + evolve.go): parameterized initial
+//     conditions layered on internal/phys — disk galaxy, colliding
+//     clusters with a tunable impact parameter, hierarchical clustering —
+//     plus a time-evolving wrapper that advances any scenario through
+//     leapfrog steps so churn profiles stress UPDATE's incremental path
+//     and SPACE/costzones load balance.
+//
+//   - Traffic arrival processes (arrival.go + trace.go): Poisson, bursty
+//     (on/off Markov), diurnal (multi-period sinusoid) streams scheduled
+//     in virtual time, and a replayable NDJSON trace format, driving a
+//     live partreed through cmd/loadgen.
+//
+// Everything is a pure function of (params, n, seed): a fixed seed is
+// byte-reproducible, which is what makes loadgen reports deterministic
+// and the hypothesis experiments replayable.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"partree/internal/phys"
+)
+
+// Scenario names one parameterized physical distribution, optionally
+// wrapped in leapfrog time evolution. The zero value of every option
+// selects the generator's documented default, so the canonical Name of
+// "disk" really is "disk".
+type Scenario struct {
+	// Kind is one of ScenarioNames(): plummer, uniform, twoclusters,
+	// disk, collision, hierarchical.
+	Kind string
+	// Opts holds the generator's numeric options (e.g. impact, zscale),
+	// in the generator's units. Unset keys select defaults.
+	Opts map[string]float64
+	// EvolveSteps > 0 wraps the scenario in time evolution: the
+	// generated bodies advance that many leapfrog steps of EvolveDt
+	// before being returned, so the distribution is the churned,
+	// dynamically relaxing one rather than the pristine initial state.
+	EvolveSteps int
+	EvolveDt    float64
+}
+
+// scenarioOpts lists the legal option keys per kind, for parse-time
+// validation (a typo must be an error, not a silently ignored knob).
+var scenarioOpts = map[string][]string{
+	"plummer":      {},
+	"uniform":      {},
+	"twoclusters":  {},
+	"disk":         {"rscale", "zscale", "dispersion"},
+	"collision":    {"sep", "impact", "speed"},
+	"hierarchical": {"levels", "branch", "contract"},
+}
+
+// ScenarioNames lists the valid scenario kinds.
+func ScenarioNames() []string {
+	out := make([]string, 0, len(scenarioOpts))
+	for k := range scenarioOpts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseScenario parses a CLI scenario spec: a kind, optionally followed
+// by colon-separated k=v options, e.g.
+//
+//	disk
+//	collision:impact=1.5,speed=0.4
+//	hierarchical:levels=3,branch=8,evolve=10,dt=0.02
+//
+// The pseudo-options evolve (step count) and dt (step size) wrap any
+// kind in leapfrog time evolution.
+func ParseScenario(s string) (Scenario, error) {
+	kind, rest, _ := strings.Cut(s, ":")
+	kind = strings.TrimSpace(kind)
+	legal, ok := scenarioOpts[kind]
+	if !ok {
+		return Scenario{}, fmt.Errorf("workload: unknown scenario %q (valid: %s)",
+			kind, strings.Join(ScenarioNames(), ", "))
+	}
+	sc := Scenario{Kind: kind}
+	if rest == "" {
+		return sc, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found {
+			return Scenario{}, fmt.Errorf("workload: scenario option %q is not k=v", kv)
+		}
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("workload: scenario option %s: %v", k, err)
+		}
+		switch k {
+		case "evolve":
+			sc.EvolveSteps = int(x)
+		case "dt":
+			sc.EvolveDt = x
+		default:
+			if !contains(legal, k) {
+				return Scenario{}, fmt.Errorf("workload: scenario %s has no option %q (valid: %s, evolve, dt)",
+					kind, k, strings.Join(append([]string{}, legal...), ", "))
+			}
+			if sc.Opts == nil {
+				sc.Opts = map[string]float64{}
+			}
+			sc.Opts[k] = x
+		}
+	}
+	return sc, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Name renders the scenario canonically (options sorted), so reports and
+// cache keys are stable regardless of how the spec was typed.
+func (sc Scenario) Name() string {
+	var b strings.Builder
+	b.WriteString(sc.Kind)
+	keys := make([]string, 0, len(sc.Opts))
+	for k := range sc.Opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sep := ":"
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s%s=%g", sep, k, sc.Opts[k])
+		sep = ","
+	}
+	if sc.EvolveSteps > 0 {
+		fmt.Fprintf(&b, "%sevolve=%d,dt=%g", sep, sc.EvolveSteps, sc.StepDt())
+	}
+	return b.String()
+}
+
+// StepDt returns the scenario's leapfrog timestep (the documented
+// default when EvolveDt is unset) — also the dt a client-motion loadgen
+// session advances by between streamed frames.
+func (sc Scenario) StepDt() float64 {
+	if sc.EvolveDt > 0 {
+		return sc.EvolveDt
+	}
+	return 0.025
+}
+
+func (sc Scenario) opt(key string, def float64) float64 {
+	if v, ok := sc.Opts[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Generate builds the scenario's n-body system, deterministic in seed.
+func (sc Scenario) Generate(n int, seed int64) (*phys.Bodies, error) {
+	var b *phys.Bodies
+	switch sc.Kind {
+	case "plummer":
+		b = phys.Generate(phys.ModelPlummer, n, seed)
+	case "uniform":
+		b = phys.Generate(phys.ModelUniform, n, seed)
+	case "twoclusters":
+		b = phys.Generate(phys.ModelTwoClusters, n, seed)
+	case "disk":
+		b = phys.Disk(n, seed, phys.DiskParams{
+			ScaleLength: sc.opt("rscale", 0),
+			ScaleHeight: sc.opt("zscale", 0),
+			Dispersion:  sc.opt("dispersion", 0),
+		})
+	case "collision":
+		b = phys.Collision(n, seed, phys.CollisionParams{
+			Separation: sc.opt("sep", 0),
+			Impact:     sc.opt("impact", 0),
+			Speed:      sc.opt("speed", 0),
+		})
+	case "hierarchical":
+		b = phys.Hierarchical(n, seed, phys.HierarchicalParams{
+			Levels:   int(sc.opt("levels", 0)),
+			Branch:   int(sc.opt("branch", 0)),
+			Contract: sc.opt("contract", 0),
+		})
+	default:
+		return nil, fmt.Errorf("workload: unknown scenario %q (valid: %s)",
+			sc.Kind, strings.Join(ScenarioNames(), ", "))
+	}
+	if sc.EvolveSteps > 0 {
+		Evolve(b, sc.EvolveSteps, sc.StepDt())
+	}
+	return b, nil
+}
+
+// ServerModel reports the phys model name when the scenario can be
+// regenerated server-side from (model, n, seed) alone — no non-default
+// options and no evolution. Scenarios that fail this test need their
+// positions streamed by the client (loadgen's client-motion path).
+func (sc Scenario) ServerModel() (string, bool) {
+	if len(sc.Opts) > 0 || sc.EvolveSteps > 0 {
+		return "", false
+	}
+	switch sc.Kind {
+	case "plummer", "uniform", "twoclusters", "disk", "hierarchical":
+		return sc.Kind, true
+	case "collision":
+		// Default collision is head-on at the twoclusters geometry, which
+		// the server knows by that name.
+		return "twoclusters", true
+	}
+	return "", false
+}
+
+// HalfCentroids returns the centroids of the first and second halves of
+// the body set — for Collision scenarios these are the two clusters, so
+// diagnostics (and the colliding-clusters test) can track their
+// approach over evolution steps.
+func HalfCentroids(b *phys.Bodies) (a, c [3]float64) {
+	n := b.N()
+	n1 := n / 2
+	if n1 == 0 {
+		return
+	}
+	var av, cv [3]float64
+	for i := 0; i < n1; i++ {
+		av[0] += b.Pos[i].X
+		av[1] += b.Pos[i].Y
+		av[2] += b.Pos[i].Z
+	}
+	for i := n1; i < n; i++ {
+		cv[0] += b.Pos[i].X
+		cv[1] += b.Pos[i].Y
+		cv[2] += b.Pos[i].Z
+	}
+	for k := 0; k < 3; k++ {
+		av[k] /= float64(n1)
+		cv[k] /= float64(n - n1)
+	}
+	return av, cv
+}
+
+// virtual-time pacing helper shared by loadgen and tests: Pace converts
+// a virtual schedule offset into the real delay to wait, compressing
+// virtual time by speedup (0 or negative = replay as fast as possible
+// while preserving order).
+func Pace(offset, elapsed time.Duration, speedup float64) time.Duration {
+	if speedup <= 0 {
+		return 0
+	}
+	target := time.Duration(float64(offset) / speedup)
+	if target <= elapsed {
+		return 0
+	}
+	return target - elapsed
+}
