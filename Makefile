@@ -19,10 +19,12 @@ test:
 # cache, the differential verifier's algorithm cross-product, the tracing
 # layer's emit path under all five builders, the adaptive feedback loop
 # driving traced steppers, the partreed daemon's concurrent HTTP
-# serving, streaming-session e2e, and drain, and the workload
-# generators' concurrent use from loadgen's per-arrival goroutines.
+# serving, streaming-session e2e, and drain, the workload
+# generators' concurrent use from loadgen's per-arrival goroutines, and
+# the request flight recorder's lock-free ring under concurrent
+# writers and readers.
 race:
-	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./internal/adapt ./internal/workload ./cmd/partreed
+	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./internal/adapt ./internal/workload ./internal/reqtrace ./cmd/partreed
 
 # smoke builds real trees with every algorithm and verifies each against
 # the sequential reference (-check), end to end through cmd/treebench.
@@ -55,8 +57,10 @@ repro:
 # the session serving modes (50 drift steps on one resident tree, UPDATE
 # repair vs rebuild-per-step vs measured-cost adaptive repair, ns per
 # step). Compare a fresh run against the committed file to spot
-# regressions.
+# regressions. The reqtrace gate re-asserts that a disabled request
+# recorder adds <2% to a bare build before timing anything.
 bench:
+	$(GO) test ./internal/reqtrace -run TestDisabledReqtraceOverhead -count 1
 	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -steps 50 -adaptive -scenario-cells disk,hierarchical -benchout BENCH_treebuild.json
 
 # benchcmp re-runs the committed baseline's sweep and fails if any cell's

@@ -7,6 +7,8 @@ package main
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,6 +31,11 @@ type arrivalResult struct {
 	ID      int    `json:"id"`
 	AtNs    int64  `json:"at_ns"`
 	Outcome string `json:"outcome"`
+	// RequestID is the server's X-Request-Id for this arrival. loadgen
+	// mints a deterministic traceparent per (seed, arrival), so the
+	// honored ID is a pure function of the flags — byte-stable in the
+	// report, and a direct key into the daemon's /debug/requests.
+	RequestID string `json:"request_id,omitempty"`
 	// Session aggregates (session mode, ok outcomes).
 	Steps     int     `json:"steps,omitempty"`
 	Fallbacks int     `json:"fallbacks,omitempty"`
@@ -38,6 +45,42 @@ type arrivalResult struct {
 	Closed    string  `json:"closed,omitempty"`
 
 	latency time.Duration
+	// Measured server-side breakdowns (never in the report): the
+	// Server-Timing header's queue/build milliseconds for builds, the
+	// summed per-step "timing" records for sessions, and each step's
+	// total for the p99-step pointer.
+	serverQueueMs float64
+	serverBuildMs float64
+	stepTotalsMs  []float64
+}
+
+// traceparentFor deterministically derives this arrival's trace
+// context from (seed, id): the request ID the server will honor is a
+// pure function of the run's flags, keeping the report byte-stable.
+func traceparentFor(seed int64, id int) (rid, header string) {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("loadgen|%d|%d", seed, id)))
+	rid = hex.EncodeToString(sum[:16])
+	return rid, "00-" + rid + "-" + hex.EncodeToString(sum[16:24]) + "-01"
+}
+
+// parseServerTiming extracts the dur= values from a Server-Timing
+// header ("queue;dur=0.012, build;dur=1.5, ...") as metric→ms.
+func parseServerTiming(v string) map[string]float64 {
+	out := map[string]float64{}
+	for _, part := range strings.Split(v, ",") {
+		name, attrs, ok := strings.Cut(strings.TrimSpace(part), ";")
+		if !ok {
+			continue
+		}
+		for _, attr := range strings.Split(attrs, ";") {
+			if ms, found := strings.CutPrefix(strings.TrimSpace(attr), "dur="); found {
+				if f, err := strconv.ParseFloat(ms, 64); err == nil {
+					out[name] = f
+				}
+			}
+		}
+	}
+	return out
 }
 
 // sessionWire is the union of the daemon's session stream records.
@@ -53,6 +96,12 @@ type sessionWire struct {
 	Steps     int     `json:"steps"`
 	Fallbacks int     `json:"fallbacks"`
 	Reason    string  `json:"reason"`
+	Timing    *struct {
+		QueueMs   float64 `json:"queue_ms"`
+		BuildMs   float64 `json:"build_ms"`
+		MomentsMs float64 `json:"moments_ms"`
+		TotalMs   float64 `json:"total_ms"`
+	} `json:"timing"`
 }
 
 type sessionOpenWire struct {
@@ -105,6 +154,8 @@ func runSession(ctx context.Context, cfg config, id int, at time.Duration) arriv
 		return res
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	rid, tp := traceparentFor(cfg.seed, id)
+	req.Header.Set("traceparent", tp)
 	enc := json.NewEncoder(pw)
 	go enc.Encode(open)
 	resp, err := http.DefaultClient.Do(req)
@@ -113,6 +164,10 @@ func runSession(ctx context.Context, cfg config, id int, at time.Duration) arriv
 	}
 	defer resp.Body.Close()
 	defer pw.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "" {
+		rid = got
+	}
+	res.RequestID = rid
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		res.Outcome = "rejected"
 		res.latency = time.Since(start)
@@ -158,6 +213,11 @@ func runSession(ctx context.Context, cfg config, id int, at time.Duration) arriv
 		}
 		if r.Mode == "rebuild" {
 			res.Rebuilds++
+		}
+		if r.Timing != nil {
+			res.serverQueueMs += r.Timing.QueueMs
+			res.serverBuildMs += r.Timing.BuildMs
+			res.stepTotalsMs = append(res.stepTotalsMs, r.Timing.TotalMs)
 		}
 	}
 	if cfg.linger {
@@ -216,12 +276,22 @@ func runBuild(ctx context.Context, cfg config, id int, at time.Duration) arrival
 		return res
 	}
 	req.Header.Set("Content-Type", "application/json")
+	rid, tp := traceparentFor(cfg.seed, id)
+	req.Header.Set("traceparent", tp)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return res
 	}
 	defer resp.Body.Close()
 	res.latency = time.Since(start)
+	if got := resp.Header.Get("X-Request-Id"); got != "" {
+		rid = got
+	}
+	res.RequestID = rid
+	if st := parseServerTiming(resp.Header.Get("Server-Timing")); len(st) > 0 {
+		res.serverQueueMs = st["queue"]
+		res.serverBuildMs = st["build"]
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var out runner.Result

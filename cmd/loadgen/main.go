@@ -20,8 +20,12 @@
 //     fixed (scenario, arrival, seed, flags) as long as the server
 //     rejects nothing and sessions are non-adaptive: run config, the
 //     schedule digest, outcome counts, per-session server-reported
-//     step aggregates, and /metrics counter deltas. Two identical runs
-//     produce identical bytes — the replay contract.
+//     step aggregates (including each arrival's request ID, which
+//     loadgen mints deterministically via traceparent), and /metrics
+//     counter deltas. Two identical runs produce identical bytes — the
+//     replay contract. The one exception is the "slow" section: the
+//     p99_* request-ID pointers name whichever request *measured*
+//     slowest, so determinism comparisons strip lines matching "p99_.
 //   - The timings CSV (-timings, optional) holds everything measured:
 //     latency percentiles (p50/p95/p99), queue-depth samples. Never
 //     byte-stable, by design.

@@ -158,7 +158,20 @@ func TestSessionRunDeterministicReport(t *testing.T) {
 	}
 	r1, tim := runOnce("a")
 	r2, _ := runOnce("b")
-	if r1 != r2 {
+	// The "slow" p99_* pointers name whichever request measured
+	// slowest — the report's one deliberately non-deterministic
+	// section. Everything else must be byte-identical.
+	stripMeasured := func(s string) string {
+		lines := strings.Split(s, "\n")
+		out := lines[:0]
+		for _, line := range lines {
+			if !strings.Contains(line, `"p99_`) {
+				out = append(out, line)
+			}
+		}
+		return strings.Join(out, "\n")
+	}
+	if stripMeasured(r1) != stripMeasured(r2) {
 		t.Errorf("two identical runs produced different report bytes:\n--- a ---\n%s\n--- b ---\n%s", r1, r2)
 	}
 
@@ -172,10 +185,21 @@ func TestSessionRunDeterministicReport(t *testing.T) {
 	if got := rep.Metrics.SessionsOpened; got != int64(rep.Outcomes.OK) {
 		t.Errorf("sessions_opened delta = %d, want %d", got, rep.Outcomes.OK)
 	}
+	rids := map[string]bool{}
 	for _, s := range rep.Sessions {
 		if s.Steps != 4 || s.Closed != "close" {
 			t.Errorf("session %d: steps=%d closed=%q, want 4 steps closed cleanly", s.ID, s.Steps, s.Closed)
 		}
+		if len(s.RequestID) != 32 {
+			t.Errorf("session %d: request_id = %q, want the 32-hex traceparent trace-id", s.ID, s.RequestID)
+		}
+		rids[s.RequestID] = true
+	}
+	if len(rids) != len(rep.Sessions) {
+		t.Errorf("request IDs are not unique per arrival: %d ids over %d sessions", len(rids), len(rep.Sessions))
+	}
+	if rep.Slow == nil || !rids[rep.Slow.P99StepRequestID] {
+		t.Errorf("slow = %+v, want a p99 step pointer naming one of the run's request IDs", rep.Slow)
 	}
 	if tim["completed"] != float64(rep.Outcomes.OK) {
 		t.Errorf("timings completed = %g, want %d", tim["completed"], rep.Outcomes.OK)

@@ -19,7 +19,27 @@ type report struct {
 	Schedule scheduleInfo   `json:"schedule"`
 	Outcomes outcomeCounts  `json:"outcomes"`
 	Sessions []sessionEntry `json:"sessions,omitempty"`
-	Metrics  metricsDelta   `json:"metrics_delta"`
+	// Slow points at the run's tail: the request IDs behind the
+	// p99-slowest build / session step. The IDs are deterministic
+	// (loadgen mints them), but *which* request was slowest is
+	// measured — the one deliberate exception to the byte-stable
+	// contract, so determinism comparisons strip lines matching "p99_
+	// (loadgen_smoke.sh and the report test both do).
+	Slow    *slowPointers `json:"slow,omitempty"`
+	Metrics metricsDelta  `json:"metrics_delta"`
+}
+
+// slowPointers keys a slow loadgen run straight into the daemon's
+// flight recorder: GET /debug/requests/<id> on the serving host.
+type slowPointers struct {
+	// P99BuildRequestID is the request ID of the p99-slowest ok build
+	// by client-observed latency (build mode).
+	P99BuildRequestID string `json:"p99_build_request_id,omitempty"`
+	// P99StepRequestID/P99Step name the session (request ID) and step
+	// index of the p99-slowest step by server-reported total (session
+	// mode).
+	P99StepRequestID string `json:"p99_step_request_id,omitempty"`
+	P99Step          int    `json:"p99_step,omitempty"`
 }
 
 type runConfig struct {
@@ -57,6 +77,7 @@ type outcomeCounts struct {
 type sessionEntry struct {
 	ID        int     `json:"id"`
 	AtNs      int64   `json:"at_ns"`
+	RequestID string  `json:"request_id,omitempty"`
 	Outcome   string  `json:"outcome"`
 	Steps     int     `json:"steps"`
 	Rebuilds  int     `json:"rebuilds"`
@@ -107,13 +128,15 @@ func buildReport(cfg config, schedule []time.Duration, traceBytes []byte,
 		}
 		if cfg.mode == "session" {
 			rep.Sessions = append(rep.Sessions, sessionEntry{
-				ID: r.ID, AtNs: r.AtNs, Outcome: r.Outcome, Steps: r.Steps,
+				ID: r.ID, AtNs: r.AtNs, RequestID: r.RequestID,
+				Outcome: r.Outcome, Steps: r.Steps,
 				Rebuilds: r.Rebuilds, Fallbacks: r.Fallbacks,
 				Moved: r.Moved, ChurnSum: r.ChurnSum, Closed: r.Closed,
 			})
 		}
 	}
 	sort.Slice(rep.Sessions, func(i, j int) bool { return rep.Sessions[i].ID < rep.Sessions[j].ID })
+	rep.Slow = slowPointersFor(cfg.mode, results)
 
 	d := func(name string) int64 { return int64(after.sum(name) - before.sum(name)) }
 	rep.Metrics = metricsDelta{
@@ -129,6 +152,77 @@ func buildReport(cfg config, schedule []time.Duration, traceBytes []byte,
 		SessionFallbacks: d("partree_session_fallbacks_total"),
 	}
 	return rep
+}
+
+// slowPointersFor finds the p99-slowest ok build (client latency) or
+// session step (server-reported total), nearest-rank. Ties break toward
+// the lower arrival ID / step index so reruns with equal measurements
+// stay stable.
+func slowPointersFor(mode string, results []arrivalResult) *slowPointers {
+	if mode == "build" {
+		type cand struct {
+			id  int
+			rid string
+			lat time.Duration
+		}
+		var cands []cand
+		for _, r := range results {
+			if r.Outcome == "ok" && r.RequestID != "" {
+				cands = append(cands, cand{r.ID, r.RequestID, r.latency})
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].lat != cands[j].lat {
+				return cands[i].lat < cands[j].lat
+			}
+			return cands[i].id < cands[j].id
+		})
+		return &slowPointers{P99BuildRequestID: cands[nearestRank(len(cands), 99)].rid}
+	}
+	type cand struct {
+		id   int
+		rid  string
+		step int
+		ms   float64
+	}
+	var cands []cand
+	for _, r := range results {
+		if r.Outcome != "ok" || r.RequestID == "" {
+			continue
+		}
+		for i, ms := range r.stepTotalsMs {
+			cands = append(cands, cand{r.ID, r.RequestID, i, ms})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ms != cands[j].ms {
+			return cands[i].ms < cands[j].ms
+		}
+		if cands[i].id != cands[j].id {
+			return cands[i].id < cands[j].id
+		}
+		return cands[i].step < cands[j].step
+	})
+	c := cands[nearestRank(len(cands), 99)]
+	return &slowPointers{P99StepRequestID: c.rid, P99Step: c.step}
+}
+
+// nearestRank is the nearest-rank percentile index for n sorted items.
+func nearestRank(n int, p float64) int {
+	i := int(p/100*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
 }
 
 func writeReport(path string, rep report) error {
@@ -173,5 +267,20 @@ func writeTimings(path string, results []arrivalResult, depths []float64, wall t
 	add("queue_depth_mean", meanDepth)
 	add("queue_depth_samples", float64(len(depths)))
 	add("wall_ms", ms(wall))
+	// Server-reported breakdown tails (Server-Timing / per-step timing
+	// records): where the time went on the daemon, not on the wire.
+	var sq, sb []float64
+	for _, r := range results {
+		if r.Outcome == "ok" {
+			sq = append(sq, r.serverQueueMs)
+			sb = append(sb, r.serverBuildMs)
+		}
+	}
+	sort.Float64s(sq)
+	sort.Float64s(sb)
+	if len(sq) > 0 {
+		add("server_queue_ms_p99", sq[nearestRank(len(sq), 99)])
+		add("server_build_ms_p99", sb[nearestRank(len(sb), 99)])
+	}
 	return os.WriteFile(path, b, 0o644)
 }

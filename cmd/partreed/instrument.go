@@ -1,0 +1,100 @@
+// Request instrumentation for the daemon: the middleware that gives
+// every API request an ID (honoring an inbound W3C traceparent),
+// threads a reqtrace span context through the handler, emits the
+// structured access log, and answers with X-Request-Id — plus the
+// Server-Timing rendering /v1/build uses.
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"partree/internal/reqtrace"
+)
+
+// requestID resolves the request ID: the traceparent trace-id when the
+// client sent a valid one (so partreed joins the caller's distributed
+// trace), a freshly minted one otherwise.
+func requestID(h http.Header) string {
+	if id, ok := reqtrace.ParseTraceparent(h.Get("traceparent")); ok {
+		return id
+	}
+	return reqtrace.MintID()
+}
+
+// countingWriter observes the status and body bytes a handler writes.
+// Unwrap keeps http.NewResponseController working through it — the
+// session handler needs EnableFullDuplex and Flush on the underlying
+// writer.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	n, err := c.ResponseWriter.Write(p)
+	c.bytes += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) Unwrap() http.ResponseWriter { return c.ResponseWriter }
+
+func (c *countingWriter) Status() int {
+	if c.status == 0 {
+		return http.StatusOK
+	}
+	return c.status
+}
+
+// instrument wraps an API handler with the request envelope: ID,
+// X-Request-Id header (set before the handler so error bodies and
+// streams can reference it), span context, flight-recorder entry, and
+// one access-log line per request. With the recorder disabled the
+// request still gets an ID and a log line; the span context is simply
+// never created (nil-handle no-op downstream).
+func (d *daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		id := requestID(req.Header)
+		w.Header().Set("X-Request-Id", id)
+		rq := d.rec.Start(id, route)
+		if rq != nil {
+			req = req.WithContext(reqtrace.NewContext(req.Context(), rq))
+		}
+		cw := &countingWriter{ResponseWriter: w}
+		start := time.Now()
+		h(cw, req)
+		dur := time.Since(start)
+		queue, _, _, _ := rq.Breakdown()
+		rq.Finish(cw.Status(), cw.bytes)
+		slog.Info("request",
+			"id", id, "route", route, "status", cw.Status(), "bytes", cw.bytes,
+			"dur_ms", durMs(dur), "queue_ms", durMs(queue))
+	}
+}
+
+// durMs renders a duration as fractional milliseconds (3 decimals, the
+// Server-Timing precision).
+func durMs(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1e3
+}
+
+// serverTiming renders a request's station breakdown as a Server-Timing
+// header value: queue wait, tree build (bounds+insert), moments pass,
+// and total elapsed, all in milliseconds.
+func serverTiming(queue, build, moments, total time.Duration) string {
+	return fmt.Sprintf("queue;dur=%.3f, build;dur=%.3f, moments;dur=%.3f, total;dur=%.3f",
+		durMs(queue), durMs(build), durMs(moments), durMs(total))
+}

@@ -1,0 +1,334 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"partree/internal/reqtrace"
+	"partree/internal/trace"
+)
+
+// flightEntry mirrors the /debug/requests/<id> document the e2e
+// assertions need.
+type flightEntry struct {
+	ID          string           `json:"id"`
+	Route       string           `json:"route"`
+	Status      int              `json:"status"`
+	Bytes       int64            `json:"bytes"`
+	DurNs       int64            `json:"dur_ns"`
+	QueueNs     int64            `json:"queue_ns"`
+	BuildWallNs int64            `json:"build_wall_ns"`
+	Phases      reqtrace.Phases  `json:"phases"`
+	Spans       []reqtrace.Span  `json:"spans"`
+	TracePhase  map[string]int64 `json:"trace_phase_ns"`
+	Trace       *trace.Summary   `json:"trace"`
+}
+
+// fetchFlightEntry polls /debug/requests/<id> until the request's entry
+// is published (Finish runs just after the handler's response, so the
+// client can observe the response before the recorder does).
+func fetchFlightEntry(t *testing.T, url, id string) flightEntry {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/debug/requests/" + id)
+		if err != nil {
+			t.Fatalf("GET /debug/requests/%s: %v", id, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			var e flightEntry
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("parsing flight entry: %v\n%s", err, body)
+			}
+			return e
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("request %s never appeared in the flight recorder (last: %d %s)",
+				id, resp.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBuildRequestObservability is the tentpole acceptance path: POST a
+// build with a W3C traceparent, and the response's X-Request-Id keys
+// the full request timeline out of /debug/requests — with the queue and
+// build spans summing to within the recorded total, the phase breakdown
+// within the build wall time, a Server-Timing header agreeing with the
+// entry, and the partree_req_* families moved.
+func TestBuildRequestObservability(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, maxQueue: 8, drainTimeout: 10 * time.Second})
+	url := d.srv.URL()
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+	buf, _ := json.Marshal(buildSpec(1777, 2))
+	req, _ := http.NewRequest(http.MethodPost, url+"/v1/build", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/build: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: status %d\n%s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != traceID {
+		t.Fatalf("X-Request-Id = %q, want the traceparent trace-id %q", got, traceID)
+	}
+	st := resp.Header.Get("Server-Timing")
+	for _, station := range []string{"queue;dur=", "build;dur=", "moments;dur=", "total;dur="} {
+		if !strings.Contains(st, station) {
+			t.Errorf("Server-Timing %q missing %q", st, station)
+		}
+	}
+
+	e := fetchFlightEntry(t, url, traceID)
+	if e.ID != traceID || e.Route != "/v1/build" || e.Status != http.StatusOK {
+		t.Fatalf("flight entry = %+v", e)
+	}
+	if e.Bytes != int64(len(body)) {
+		t.Errorf("entry bytes = %d, want the %d-byte response", e.Bytes, len(body))
+	}
+	if e.DurNs <= 0 {
+		t.Fatalf("entry dur_ns = %d", e.DurNs)
+	}
+	// The acceptance inequality: queue wait plus build wall time are
+	// disjoint stations inside the request, so they sum to within the
+	// recorded total.
+	if e.QueueNs+e.BuildWallNs > e.DurNs {
+		t.Errorf("queue(%d) + build(%d) spans exceed the recorded total %d ns",
+			e.QueueNs, e.BuildWallNs, e.DurNs)
+	}
+	// The core phase breakdown nests inside the build wall spans (the
+	// spec ran 2 in-process steps, all stamped onto this request).
+	phases := e.Phases.BoundsNs + e.Phases.InsertNs + e.Phases.MomentsNs
+	if phases <= 0 || phases > e.DurNs {
+		t.Errorf("phase breakdown %d ns outside (0, dur=%d]", phases, e.DurNs)
+	}
+	var hasBuild bool
+	for _, s := range e.Spans {
+		if s.Name == "build" {
+			hasBuild = true
+		}
+	}
+	if !hasBuild {
+		t.Errorf("entry spans %v carry no build wall span", e.Spans)
+	}
+
+	// The entry is also in the ring listing, and the metric families
+	// observed it.
+	code, _, page := httpGet(t, url+"/debug/requests")
+	if code != http.StatusOK || !strings.Contains(string(page), traceID) {
+		t.Errorf("/debug/requests (status %d) does not list %s", code, traceID)
+	}
+	code, _, page = httpGet(t, url+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	pg := string(page)
+	if v := metricValue(t, pg, "partree_req_duration_seconds_count"); v < 1 {
+		t.Errorf("partree_req_duration_seconds_count = %v, want >= 1", v)
+	}
+	if v := metricValue(t, pg, "partree_req_queue_wait_seconds_count"); v < 1 {
+		t.Errorf("partree_req_queue_wait_seconds_count = %v, want >= 1", v)
+	}
+	if v := metricValue(t, pg, "partree_req_in_flight"); v != 0 {
+		t.Errorf("partree_req_in_flight = %v at idle, want 0", v)
+	}
+	if !strings.Contains(pg, `partree_req_duration_max_seconds{request_id="`) {
+		t.Errorf("/metrics carries no request-ID exemplar series")
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+// TestRequestIDMintedAndInErrors pins the no-traceparent path (the
+// daemon mints a well-formed ID) and the error contract (the JSON error
+// document names the request ID the header assigned).
+func TestRequestIDMintedAndInErrors(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 1, maxQueue: 4, drainTimeout: 10 * time.Second})
+	url := d.srv.URL()
+
+	resp := postJSON(t, url+"/v1/build", buildSpec(1024, 1))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	minted := resp.Header.Get("X-Request-Id")
+	if _, ok := reqtrace.ParseTraceparent("00-" + minted + "-00f067aa0ba902b7-01"); !ok {
+		t.Fatalf("minted X-Request-Id %q is not a valid trace-id", minted)
+	}
+
+	// A method error still carries the ID in header and body.
+	resp, err := http.Get(url + "/v1/build")
+	if err != nil {
+		t.Fatalf("GET /v1/build: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/build: status %d, want 405", resp.StatusCode)
+	}
+	var doc map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding error document: %v", err)
+	}
+	id := resp.Header.Get("X-Request-Id")
+	if doc["request_id"] == "" || doc["request_id"] != id {
+		t.Errorf("error document request_id = %q, header = %q; want them equal and set", doc["request_id"], id)
+	}
+	if doc["error"] == "" {
+		t.Errorf("error document lost its message: %v", doc)
+	}
+}
+
+// TestSessionRequestObservability runs an adaptive streaming session
+// and checks the in-stream per-step timing records, then the whole
+// stream's single flight-recorder entry — including the bridged
+// internal/trace summary, whose per-phase totals must agree with the
+// rendered trace_phase_ns map and nest inside the recorded total.
+func TestSessionRequestObservability(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 2, maxQueue: 8, drainTimeout: 10 * time.Second})
+	url := d.srv.URL()
+	const traceID = "00f067aa0ba902b74bf92f3577b34da6"
+	const procs, steps = 2, 3
+
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequest(http.MethodPost, url+"/v1/session", pr)
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	enc := json.NewEncoder(pw)
+	go enc.Encode(sessionOpen{Procs: procs, Bodies: 1500, Seed: 11, Adaptive: true})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/session: %v", err)
+	}
+	defer resp.Body.Close()
+	defer pw.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != traceID {
+		t.Fatalf("X-Request-Id = %q, want %q", got, traceID)
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	var rec sessionRecord
+	if err := dec.Decode(&rec); err != nil || rec.Event != "opened" {
+		t.Fatalf("first record = %+v (%v), want opened", rec, err)
+	}
+	for i := 0; i < steps; i++ {
+		if err := enc.Encode(sessionStep{Drift: i > 0}); err != nil {
+			t.Fatalf("sending step %d: %v", i, err)
+		}
+		if err := dec.Decode(&rec); err != nil || rec.Event != "step" {
+			t.Fatalf("step %d record = %+v (%v)", i, rec, err)
+		}
+		// Every step record carries the in-stream breakdown — the NDJSON
+		// equivalent of /v1/build's Server-Timing header.
+		if rec.Timing == nil {
+			t.Fatalf("step %d carries no timing record", i)
+		}
+		if rec.Timing.TotalMs <= 0 || rec.Timing.BuildMs <= 0 {
+			t.Errorf("step %d timing = %+v, want positive build and total", i, rec.Timing)
+		}
+		if rec.Timing.BuildMs+rec.Timing.MomentsMs > rec.Timing.TotalMs+1 {
+			t.Errorf("step %d: build(%g)+moments(%g) ms exceed total %g ms", i,
+				rec.Timing.BuildMs, rec.Timing.MomentsMs, rec.Timing.TotalMs)
+		}
+	}
+	enc.Encode(sessionStep{Close: true})
+	if err := dec.Decode(&rec); err != nil || rec.Event != "closed" || rec.Steps != steps {
+		t.Fatalf("close record = %+v (%v)", rec, err)
+	}
+	pw.Close()
+
+	e := fetchFlightEntry(t, url, traceID)
+	if e.Route != "/v1/session" || e.Status != http.StatusOK {
+		t.Fatalf("flight entry = %+v", e)
+	}
+	if e.QueueNs+e.BuildWallNs > e.DurNs {
+		t.Errorf("queue(%d) + build(%d) exceed total %d ns", e.QueueNs, e.BuildWallNs, e.DurNs)
+	}
+	var builds int
+	for _, s := range e.Spans {
+		if s.Name == "build" {
+			builds++
+		}
+	}
+	if builds != steps {
+		t.Errorf("%d build spans recorded, want one per step (%d)", builds, steps)
+	}
+	if e.Phases.BoundsNs+e.Phases.InsertNs <= 0 {
+		t.Errorf("session entry accumulated no build phases: %+v", e.Phases)
+	}
+
+	// The adaptive session traces every step; the last step's summary is
+	// bridged verbatim, and the rendered trace_phase_ns must agree with
+	// it exactly.
+	if e.Trace == nil || len(e.Trace.PerProc) != procs {
+		t.Fatalf("bridged trace = %+v, want a %d-processor summary", e.Trace, procs)
+	}
+	totals := e.Trace.PhaseTotals()
+	if len(e.TracePhase) != trace.NumPhases {
+		t.Fatalf("trace_phase_ns has %d phases, want %d: %v", len(e.TracePhase), trace.NumPhases, e.TracePhase)
+	}
+	var traced int64
+	for i, ns := range totals {
+		name := trace.Phase(i).String()
+		if got, ok := e.TracePhase[name]; !ok || got != ns {
+			t.Errorf("trace_phase_ns[%s] = %d, want the summary's %d", name, got, ns)
+		}
+		traced += ns
+	}
+	if traced <= 0 {
+		t.Error("bridged per-processor summary recorded no phase time")
+	}
+}
+
+// TestFlightRecorderDisabled runs the daemon with request tracing off
+// (-flight < 0): requests still get an ID for the access log, but no
+// Server-Timing, no /debug/requests routes, no partree_req_* families —
+// and the serving path still works.
+func TestFlightRecorderDisabled(t *testing.T) {
+	d := startDaemon(t, daemonConfig{maxActive: 1, maxQueue: 4, flight: -1, drainTimeout: 10 * time.Second})
+	url := d.srv.URL()
+	resp := postJSON(t, url+"/v1/build", buildSpec(1024, 1))
+	res := decodeResult(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || res.Failed() {
+		t.Fatalf("disabled-mode build: status %d, failed %v", resp.StatusCode, res.Failed())
+	}
+	if id := resp.Header.Get("X-Request-Id"); len(id) != 32 {
+		t.Errorf("X-Request-Id = %q; the access log still needs an ID with tracing off", id)
+	}
+	if st := resp.Header.Get("Server-Timing"); st != "" {
+		t.Errorf("disabled daemon still answers Server-Timing %q", st)
+	}
+	code, _, _ := httpGet(t, url+"/debug/requests")
+	if code != http.StatusNotFound {
+		t.Errorf("/debug/requests on a disabled daemon: status %d, want 404", code)
+	}
+	code, _, page := httpGet(t, url+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if strings.Contains(string(page), "partree_req_") {
+		t.Errorf("disabled daemon still exports partree_req_* families")
+	}
+}

@@ -7,6 +7,7 @@
 //	partreed [-addr 127.0.0.1:9732] [-max-active 0] [-max-queue 0]
 //	         [-max-idle 32] [-result-cache 4096] [-bodies-cache 64]
 //	         [-session-model plummer] [-drain-timeout 30s] [-v info]
+//	         [-flight 256] [-slow-threshold 250ms] [-slow-k 16]
 //
 // Endpoints:
 //
@@ -16,9 +17,19 @@
 //	                 timestep against a resident tree (UPDATE per step,
 //	                 auto-fallback SPACE rebuilds); results stream back
 //	                 in-line. 503 only before the stream opens.
-//	GET  /metrics    Prometheus exposition (engine pool, runner, builds)
+//	GET  /metrics    Prometheus exposition (engine pool, runner, builds,
+//	                 partree_req_* request families)
 //	GET  /healthz    liveness (+ready:false once draining)
+//	GET  /debug/requests       flight recorder: last-N completed requests
+//	GET  /debug/requests/slow  top-K slowest (threshold-gated)
+//	GET  /debug/requests/<id>  one request's span timeline by ID
 //	     /debug/pprof, /debug/vars
+//
+// Every request is answered with an X-Request-Id header (the inbound
+// traceparent trace-id when one was sent, minted otherwise); /v1/build
+// additionally answers a Server-Timing header with the queue/build/
+// moments/total breakdown, and every request logs one structured
+// access-log line.
 //
 // Admission control is the engine's: at most max-active builds run, at
 // most max-queue more wait (honoring each request's context), and
@@ -46,6 +57,7 @@ import (
 	"partree/internal/engine"
 	"partree/internal/obs"
 	"partree/internal/phys"
+	"partree/internal/reqtrace"
 	"partree/internal/runner"
 )
 
@@ -67,6 +79,14 @@ type daemonConfig struct {
 	// sessionModel is the mass model for sessions whose open record
 	// leaves "model" empty — any phys scenario model name.
 	sessionModel string
+	// flight is the flight-recorder capacity (completed requests
+	// /debug/requests looks back on); negative disables request
+	// tracing entirely (nil-handle no-op on the serving path).
+	flight int
+	// slowThreshold gates /debug/requests/slow and the slow counter.
+	slowThreshold time.Duration
+	// slowK bounds the retained slowest requests.
+	slowK int
 }
 
 func (c daemonConfig) withDefaults() daemonConfig {
@@ -91,6 +111,15 @@ func (c daemonConfig) withDefaults() daemonConfig {
 	if c.sessionModel == "" {
 		c.sessionModel = "plummer"
 	}
+	if c.flight == 0 {
+		c.flight = 256
+	}
+	if c.slowThreshold <= 0 {
+		c.slowThreshold = 250 * time.Millisecond
+	}
+	if c.slowK == 0 {
+		c.slowK = 16
+	}
 	return c
 }
 
@@ -98,11 +127,14 @@ func (c daemonConfig) withDefaults() daemonConfig {
 // server. It is constructed directly by the e2e test, so everything the
 // handlers touch lives here rather than in package-level state.
 type daemon struct {
-	cfg      daemonConfig
-	eng      *engine.Engine
-	r        *runner.Runner
-	reg      *obs.Registry
-	srv      *obs.Server
+	cfg daemonConfig
+	eng *engine.Engine
+	r   *runner.Runner
+	reg *obs.Registry
+	srv *obs.Server
+	// rec is the request flight recorder; nil when -flight < 0, which
+	// every hook on the serving path treats as "do nothing".
+	rec      *reqtrace.Recorder
 	draining atomic.Bool
 }
 
@@ -133,7 +165,16 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	if err := eng.RegisterObs(reg); err != nil {
 		return nil, err
 	}
-	return &daemon{cfg: cfg, eng: eng, r: r, reg: reg}, nil
+	d := &daemon{cfg: cfg, eng: eng, r: r, reg: reg}
+	if cfg.flight > 0 {
+		d.rec = reqtrace.NewRecorder(reqtrace.Options{
+			Cap: cfg.flight, SlowThreshold: cfg.slowThreshold, SlowK: cfg.slowK,
+		})
+		if err := d.rec.RegisterObs(reg); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 // start binds addr and serves until drain/close. ":0" works for tests.
@@ -148,9 +189,10 @@ func (d *daemon) start(addr string) error {
 }
 
 func (d *daemon) mount(mux *http.ServeMux) {
-	mux.HandleFunc("/v1/build", d.handleBuild)
-	mux.HandleFunc("/v1/sweep", d.handleSweep)
-	mux.HandleFunc("/v1/session", d.handleSession)
+	mux.HandleFunc("/v1/build", d.instrument("/v1/build", d.handleBuild))
+	mux.HandleFunc("/v1/sweep", d.instrument("/v1/sweep", d.handleSweep))
+	mux.HandleFunc("/v1/session", d.instrument("/v1/session", d.handleSession))
+	d.rec.Mount(mux)
 }
 
 // drain stops admitting work, waits out in-flight builds (bounded by the
@@ -168,11 +210,18 @@ func (d *daemon) drain(ctx context.Context) error {
 	return err
 }
 
-// httpError answers with a one-field JSON error document.
+// httpError answers with a JSON error document carrying the request ID
+// (when the instrument middleware assigned one), so a 503 rejection in
+// a client log correlates with the daemon's access log and admission
+// counters.
 func httpError(w http.ResponseWriter, code int, msg string) {
+	doc := map[string]string{"error": msg}
+	if id := w.Header().Get("X-Request-Id"); id != "" {
+		doc["request_id"] = id
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	json.NewEncoder(w).Encode(doc)
 }
 
 // admissionRejected reports whether a result is an engine admission
@@ -210,7 +259,13 @@ func (d *daemon) handleBuild(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, engine.ErrDraining.Error())
 		return
 	}
+	rq := reqtrace.FromContext(req.Context())
+	var rstart time.Time
+	if rq != nil {
+		rstart = time.Now()
+	}
 	spec, err := decodeSpec(json.NewDecoder(req.Body))
+	rq.SpanSince("read", rstart)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -220,11 +275,23 @@ func (d *daemon) handleBuild(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, res.Err)
 		return
 	}
+	// The Server-Timing header carries the request's station breakdown
+	// (headers must precede the body, so this is the pre-write view;
+	// the flight-recorder entry additionally covers the write).
+	if rq != nil {
+		q, b, m, tot := rq.Breakdown()
+		w.Header().Set("Server-Timing", serverTiming(q, b, m, tot))
+	}
 	// Executed specs answer 200 with the Result; failures (timeout,
 	// check violation) travel in-band in its error fields, as in the
 	// CLI's -json output.
 	w.Header().Set("Content-Type", "application/json")
+	var wstart time.Time
+	if rq != nil {
+		wstart = time.Now()
+	}
 	json.NewEncoder(w).Encode(res)
+	rq.SpanSince("write", wstart)
 	slog.Debug("build served", "spec", spec.String(), "failed", res.Failed())
 }
 
@@ -284,6 +351,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight builds")
 		adaptive     = flag.Bool("adaptive", false, "measured-cost adaptive partitioning for every streaming session")
 		sessionModel = flag.String("session-model", "plummer", "default mass model for sessions that omit one: "+strings.Join(phys.ModelNames(), ", "))
+		flight       = flag.Int("flight", 256, "flight-recorder capacity (completed requests kept for /debug/requests; negative disables request tracing)")
+		slowThresh   = flag.Duration("slow-threshold", 250*time.Millisecond, "requests at least this slow are counted and kept in /debug/requests/slow")
+		slowK        = flag.Int("slow-k", 16, "slowest requests retained for /debug/requests/slow")
 		level        = flag.String("v", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
@@ -300,6 +370,7 @@ func main() {
 		maxSessions: *maxSessions, sessionIdle: *sessionIdle,
 		resultCache: *resultCache, bodiesCache: *bodiesCache,
 		drainTimeout: *drainTimeout, adaptive: *adaptive, sessionModel: *sessionModel,
+		flight: *flight, slowThreshold: *slowThresh, slowK: *slowK,
 	})
 	if err != nil {
 		slog.Error("building daemon", "err", err)

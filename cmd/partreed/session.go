@@ -24,6 +24,7 @@ import (
 	"partree/internal/engine"
 	"partree/internal/octree"
 	"partree/internal/phys"
+	"partree/internal/reqtrace"
 )
 
 // maxSessionBodies bounds a single session's body count; a streamed
@@ -105,6 +106,19 @@ type sessionStepResult struct {
 	Locks     int64   `json:"locks"`
 	BuildNs   int64   `json:"build_ns"`
 	Verified  bool    `json:"verified,omitempty"`
+	// Timing is this step's station breakdown — the in-stream
+	// equivalent of /v1/build's Server-Timing header.
+	Timing *stepTiming `json:"timing,omitempty"`
+}
+
+// stepTiming is one step's latency breakdown in fractional
+// milliseconds: build-slot queue wait, tree build (bounds+insert),
+// moments pass, and total wall time as the handler saw it.
+type stepTiming struct {
+	QueueMs   float64 `json:"queue_ms"`
+	BuildMs   float64 `json:"build_ms"`
+	MomentsMs float64 `json:"moments_ms"`
+	TotalMs   float64 `json:"total_ms"`
 }
 
 type sessionClosed struct {
@@ -200,6 +214,10 @@ func (d *daemon) handleSession(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	defer lease.Close()
+	// The request's span handle (nil when tracing is disabled): each
+	// step's slot wait and build land on it via lease.Step, and the
+	// whole stream finishes as one flight-recorder entry.
+	rq := reqtrace.FromContext(req.Context())
 
 	// From here on every outcome is an in-stream record on a 200.
 	rc := http.NewResponseController(w)
@@ -273,11 +291,19 @@ func (d *daemon) handleSession(w http.ResponseWriter, req *http.Request) {
 				return
 			}
 			applyStepMutation(bodies, s, open.Dt)
+			// Queue wait is measured as the request-level accumulator's
+			// delta across the step (the engine stamps slot waits onto
+			// the span context); zero when tracing is disabled.
+			q0, _, _, _ := rq.Breakdown()
+			stepStart := time.Now()
 			res, err := lease.Step(req.Context(), core.StepInput{Rebuild: s.Rebuild})
+			stepWall := time.Since(stepStart)
 			if err != nil {
 				emit(sessionError{Event: "error", Error: err.Error()})
 				return
 			}
+			q1, _, _, _ := rq.Breakdown()
+			t := res.Metrics.Timing
 			out := sessionStepResult{
 				Event:     "step",
 				Step:      res.Step,
@@ -290,6 +316,12 @@ func (d *daemon) handleSession(w http.ResponseWriter, req *http.Request) {
 				DepthSkew: res.DepthSkew,
 				Locks:     res.Metrics.TotalLocks(),
 				BuildNs:   res.Metrics.Timing.Total().Nanoseconds(),
+				Timing: &stepTiming{
+					QueueMs:   durMs(q1 - q0),
+					BuildMs:   durMs(t.Bounds + t.Insert),
+					MomentsMs: durMs(t.Moments),
+					TotalMs:   durMs(stepWall),
+				},
 			}
 			if res.Fresh {
 				out.Mode = "rebuild"

@@ -13,21 +13,22 @@ import (
 // sessionRecord is the union of every server stream record, for test
 // decoding.
 type sessionRecord struct {
-	Event     string  `json:"event"`
-	Error     string  `json:"error"`
-	N         int     `json:"n"`
-	Step      int     `json:"step"`
-	Mode      string  `json:"mode"`
-	Reason    string  `json:"reason"`
-	Fallback  bool    `json:"fallback"`
-	Moved     int64   `json:"moved"`
-	Churn     float64 `json:"churn"`
-	DepthSkew float64 `json:"depth_skew"`
-	Locks     int64   `json:"locks"`
-	BuildNs   int64   `json:"build_ns"`
-	Verified  bool    `json:"verified"`
-	Steps     int     `json:"steps"`
-	Fallbacks int     `json:"fallbacks"`
+	Event     string      `json:"event"`
+	Error     string      `json:"error"`
+	N         int         `json:"n"`
+	Step      int         `json:"step"`
+	Mode      string      `json:"mode"`
+	Reason    string      `json:"reason"`
+	Fallback  bool        `json:"fallback"`
+	Moved     int64       `json:"moved"`
+	Churn     float64     `json:"churn"`
+	DepthSkew float64     `json:"depth_skew"`
+	Locks     int64       `json:"locks"`
+	BuildNs   int64       `json:"build_ns"`
+	Verified  bool        `json:"verified"`
+	Steps     int         `json:"steps"`
+	Fallbacks int         `json:"fallbacks"`
+	Timing    *stepTiming `json:"timing"`
 }
 
 // sessionClient drives one /v1/session stream: requests go out through a

@@ -33,6 +33,7 @@ import (
 	"partree/internal/core"
 	"partree/internal/obs"
 	"partree/internal/octree"
+	"partree/internal/reqtrace"
 )
 
 // Rejection sentinels. They surface to HTTP callers as 503s, so their
@@ -240,9 +241,18 @@ func (e *Engine) Acquire(ctx context.Context, k Key) (*Session, error) {
 			e.rejectedFull.Add(1)
 			return nil, ErrQueueFull
 		}
+		// The admission queue is where a request's latency stops being
+		// its own fault; stamp the wait onto its span context (nil-safe
+		// no-op for untraced callers).
+		rq := reqtrace.FromContext(ctx)
+		var qstart time.Time
+		if rq != nil {
+			qstart = time.Now()
+		}
 		select {
 		case e.slots <- struct{}{}:
 			e.queued.Add(-1)
+			rq.SpanSince("queue", qstart)
 		case <-ctx.Done():
 			e.queued.Add(-1)
 			e.rejectedCancelled.Add(1)

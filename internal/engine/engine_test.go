@@ -219,9 +219,9 @@ func TestUpdateSessionServesFreshRequests(t *testing.T) {
 
 	s := mustAcquire(t, e, k)
 	inA := testInput(700, 2)
-	s.Build(inA)                // step 0: fresh build
+	s.Build(inA) // step 0: fresh build
 	inA.Step = 1
-	s.Build(inA)                // step 1: incremental repair
+	s.Build(inA) // step 1: incremental repair
 	s.Release()
 
 	s2 := mustAcquire(t, e, k)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"partree/internal/core"
+	"partree/internal/reqtrace"
 )
 
 // Lease sentinels. Like the acquire sentinels they surface to HTTP
@@ -124,6 +125,17 @@ func (l *Lease) Step(ctx context.Context, in core.StepInput) (*core.StepResult, 
 	res := l.st.Step(in)
 	dur := time.Since(t0)
 	<-e.slots
+
+	// Stamp the step onto the request's span context: the build wall
+	// span, the core phase breakdown (maintained by every build), and —
+	// when the stepper traces (adaptive sessions) — the per-processor
+	// phase summary, bridged verbatim.
+	if rq := reqtrace.FromContext(ctx); rq != nil {
+		rq.SpanAt("build", t0, t0.Add(dur))
+		t := res.Metrics.Timing
+		rq.AddBuildPhases(t.Bounds, t.Insert, t.Moments)
+		rq.BridgeTrace(res.Metrics.Trace)
+	}
 
 	mode := "update"
 	if res.Fresh {
@@ -283,8 +295,14 @@ func (e *Engine) acquireSlot(ctx context.Context) error {
 		return nil
 	default:
 	}
+	rq := reqtrace.FromContext(ctx)
+	var qstart time.Time
+	if rq != nil {
+		qstart = time.Now()
+	}
 	select {
 	case e.slots <- struct{}{}:
+		rq.SpanSince("queue", qstart)
 		return nil
 	case <-e.drainCh:
 		return ErrDraining

@@ -1,0 +1,146 @@
+// JSON exposition for the flight recorder: /debug/requests (the ring,
+// newest first), /debug/requests/slow (top-K by duration), and
+// /debug/requests/<id> (one request's full timeline). Rendering is a
+// pure function of the recorded requests — struct fields in fixed
+// order, spans in stamp order with offsets relative to the request
+// start, MarshalIndent — so identical recordings render identical
+// bytes (pinned by the golden test).
+package reqtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"partree/internal/trace"
+)
+
+// reqJSON is the rendered form of one completed request.
+type reqJSON struct {
+	ID     string `json:"id"`
+	Route  string `json:"route"`
+	Seq    uint64 `json:"seq"`
+	Status int    `json:"status"`
+	Bytes  int64  `json:"bytes"`
+	// StartUnixNs anchors the timeline in wall-clock time; span offsets
+	// are relative to it.
+	StartUnixNs int64 `json:"start_unix_ns"`
+	DurNs       int64 `json:"dur_ns"`
+	// QueueNs/BuildWallNs sum the "queue" and "build" spans (exact even
+	// when the span list saturated).
+	QueueNs     int64  `json:"queue_ns"`
+	BuildWallNs int64  `json:"build_wall_ns"`
+	Phases      Phases `json:"phases"`
+	Spans       []Span `json:"spans,omitempty"`
+	// DroppedSpans counts spans lost to the per-request cap.
+	DroppedSpans int64 `json:"dropped_spans,omitempty"`
+	// TracePhaseNs sums the bridged per-processor summary's time in
+	// each build sub-phase across processors (present only when a
+	// traced — e.g. adaptive — build ran under this request).
+	TracePhaseNs map[string]int64 `json:"trace_phase_ns,omitempty"`
+	// Trace is the bridged internal/trace summary, verbatim.
+	Trace *trace.Summary `json:"trace,omitempty"`
+}
+
+func renderReq(r *Req) reqJSON {
+	r.mu.Lock()
+	out := reqJSON{
+		ID:           r.id,
+		Route:        r.route,
+		Seq:          r.seq,
+		Status:       r.status,
+		Bytes:        r.bytes,
+		StartUnixNs:  r.start.UnixNano(),
+		DurNs:        r.durNs,
+		QueueNs:      r.queueNs,
+		BuildWallNs:  r.buildNs,
+		Phases:       r.phases,
+		DroppedSpans: r.dropped,
+		Trace:        r.bridged,
+	}
+	out.Spans = make([]Span, len(r.spans))
+	copy(out.Spans, r.spans)
+	r.mu.Unlock()
+	if out.Trace != nil {
+		totals := out.Trace.PhaseTotals()
+		out.TracePhaseNs = make(map[string]int64, len(totals))
+		for i, ns := range totals {
+			out.TracePhaseNs[trace.Phase(i).String()] = ns
+		}
+	}
+	return out
+}
+
+// ringDoc is the /debug/requests (and /slow) response envelope.
+type ringDoc struct {
+	Capacity int `json:"capacity"`
+	Count    int `json:"count"`
+	// SlowThresholdMs/SlowTotal render only on /debug/requests/slow.
+	SlowThresholdMs float64   `json:"slow_threshold_ms,omitempty"`
+	SlowTotal       int64     `json:"slow_total,omitempty"`
+	Requests        []reqJSON `json:"requests"`
+}
+
+func renderList(reqs []*Req) []reqJSON {
+	out := make([]reqJSON, len(reqs))
+	for i, r := range reqs {
+		out[i] = renderReq(r)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(out, '\n'))
+}
+
+// Mount registers the /debug/requests handlers on mux. Safe to skip
+// entirely when the recorder is disabled (nil).
+func (rec *Recorder) Mount(mux *http.ServeMux) {
+	if rec == nil {
+		return
+	}
+	mux.HandleFunc("/debug/requests", rec.handleRequests)
+	mux.HandleFunc("/debug/requests/slow", rec.handleSlow)
+	mux.HandleFunc("/debug/requests/", rec.handleByID)
+}
+
+func (rec *Recorder) handleRequests(w http.ResponseWriter, _ *http.Request) {
+	reqs := rec.Snapshot()
+	writeJSON(w, http.StatusOK, ringDoc{
+		Capacity: rec.opts.Cap,
+		Count:    len(reqs),
+		Requests: renderList(reqs),
+	})
+}
+
+func (rec *Recorder) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	reqs := rec.Slow()
+	writeJSON(w, http.StatusOK, ringDoc{
+		Capacity:        rec.opts.SlowK,
+		Count:           len(reqs),
+		SlowThresholdMs: float64(rec.opts.SlowThreshold.Nanoseconds()) / 1e6,
+		SlowTotal:       rec.SlowTotal(),
+		Requests:        renderList(reqs),
+	})
+}
+
+func (rec *Recorder) handleByID(w http.ResponseWriter, req *http.Request) {
+	id := strings.TrimPrefix(req.URL.Path, "/debug/requests/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not found"})
+		return
+	}
+	r := rec.Lookup(id)
+	if r == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown request id " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, renderReq(r))
+}

@@ -1,0 +1,333 @@
+// Package reqtrace is the request-scoped companion to internal/trace:
+// where trace attributes one build's time to phases per processor,
+// reqtrace attributes one *request*'s time to the stations it passed
+// through on the serving path — HTTP read, admission-queue wait, the
+// build itself (with the core phase breakdown bridged in), response
+// write. Every partreed request gets a request ID (the W3C traceparent
+// trace-id when the client sent one, minted otherwise), a *Req handle
+// travels in the context.Context from the HTTP handler through
+// internal/engine and internal/runner down to the core build, and each
+// layer stamps its span onto the handle as it goes.
+//
+// The design rules mirror internal/trace:
+//
+//   - Disabled is a nil-handle no-op. Every method on *Req is safe on a
+//     nil receiver and returns immediately, so a daemon running with
+//     the flight recorder off pays one pointer comparison per hook
+//     (guarded by the <2% regression gate in overhead_test.go).
+//   - Completed requests land in a fixed-capacity lock-free ring (the
+//     flight recorder, recorder.go) served over /debug/requests; the
+//     hot path is an atomic pointer store, never a lock.
+//   - Rendering is byte-deterministic for deterministic inputs: span
+//     offsets are relative to the request start, fields are structs
+//     (fixed order), and collections sort by sequence number.
+package reqtrace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"partree/internal/trace"
+)
+
+// maxSpans bounds one request's span list; a streaming session that
+// steps forever must not grow its flight-recorder entry without bound.
+// Past it, spans are dropped (counted) while the queue/build/phase
+// accumulators stay exact — the same wrap-but-keep-aggregates contract
+// as trace's ring buffers.
+const maxSpans = 512
+
+// Span is one named interval on a request's timeline. StartNs is
+// relative to the request's start, so rendered timelines are stable
+// across runs that do the same work.
+type Span struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// Phases is the core build-phase breakdown accumulated over every build
+// the request performed (one for /v1/build, one per step for a
+// session). It is fed from core.Metrics.Timing, which every build
+// maintains whether or not per-processor tracing ran.
+type Phases struct {
+	BoundsNs  int64 `json:"bounds_ns"`
+	InsertNs  int64 `json:"insert_ns"`
+	MomentsNs int64 `json:"moments_ns"`
+}
+
+// Req is one request's span context. Handlers create it via
+// Recorder.Start, thread it with NewContext, and lower layers recall it
+// with FromContext. A nil *Req is the disabled mode: every method is a
+// no-op.
+//
+// One Req is owned by one request's serving path; spans may be stamped
+// from the goroutines that path runs through (handler, runner worker),
+// serialized by mu. Readers (the /debug handlers) lock the same mutex,
+// but only for requests already published to the flight recorder.
+type Req struct {
+	rec   *Recorder
+	id    string
+	route string
+	start time.Time
+	seq   uint64 // assigned when the recorder publishes the finished Req
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int64
+	queueNs int64 // sum of "queue" spans: admission + slot waits
+	buildNs int64 // sum of "build" spans: wall time inside builders
+	phases  Phases
+	bridged *trace.Summary // last traced build's per-proc summary
+	status  int
+	bytes   int64
+	durNs   int64 // set by Finish; 0 while in flight
+}
+
+// ID returns the request ID ("" on nil).
+func (r *Req) ID() string {
+	if r == nil {
+		return ""
+	}
+	return r.id
+}
+
+// Route returns the route label ("" on nil).
+func (r *Req) Route() string {
+	if r == nil {
+		return ""
+	}
+	return r.route
+}
+
+// SpanSince stamps a span from start to now. The zero start time is
+// ignored, so callers can pair it with a guarded time.Now() capture:
+//
+//	var t0 time.Time
+//	if rq != nil { t0 = time.Now() }
+//	...wait...
+//	rq.SpanSince("queue", t0)
+func (r *Req) SpanSince(name string, start time.Time) {
+	if r == nil || start.IsZero() {
+		return
+	}
+	r.SpanAt(name, start, time.Now())
+}
+
+// SpanAt stamps a span covering [start, end). Spans named "queue" and
+// "build" additionally accumulate into the queue-wait and build totals
+// Breakdown reports, whether or not the span list is full.
+func (r *Req) SpanAt(name string, start, end time.Time) {
+	if r == nil || start.IsZero() {
+		return
+	}
+	dur := end.Sub(start).Nanoseconds()
+	if dur < 0 {
+		dur = 0
+	}
+	r.mu.Lock()
+	switch name {
+	case "queue":
+		r.queueNs += dur
+	case "build":
+		r.buildNs += dur
+	}
+	if len(r.spans) < maxSpans {
+		r.spans = append(r.spans, Span{Name: name, StartNs: start.Sub(r.start).Nanoseconds(), DurNs: dur})
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// AddBuildPhases accumulates one build's core phase breakdown
+// (core.Metrics.Timing) into the request.
+func (r *Req) AddBuildPhases(bounds, insert, moments time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.phases.BoundsNs += bounds.Nanoseconds()
+	r.phases.InsertNs += insert.Nanoseconds()
+	r.phases.MomentsNs += moments.Nanoseconds()
+	r.mu.Unlock()
+}
+
+// BridgeTrace attaches a per-processor phase summary from
+// internal/trace to the request (latest traced build wins — for a
+// session, the last step's). nil summaries are ignored, so callers pass
+// core.Metrics.Trace unconditionally.
+func (r *Req) BridgeTrace(s *trace.Summary) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.bridged = s
+	r.mu.Unlock()
+}
+
+// Breakdown reports the request's station totals so far: admission
+// queue wait, tree-build time (bounds + insert phases), moments time,
+// and total elapsed (final duration once finished, time since start
+// while in flight).
+func (r *Req) Breakdown() (queue, build, moments, total time.Duration) {
+	if r == nil {
+		return 0, 0, 0, 0
+	}
+	r.mu.Lock()
+	queue = time.Duration(r.queueNs)
+	build = time.Duration(r.phases.BoundsNs + r.phases.InsertNs)
+	moments = time.Duration(r.phases.MomentsNs)
+	if r.durNs > 0 {
+		total = time.Duration(r.durNs)
+	} else {
+		total = time.Since(r.start)
+	}
+	r.mu.Unlock()
+	return queue, build, moments, total
+}
+
+// Spans snapshots the stamped spans (for tests and rendering).
+func (r *Req) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	r.mu.Unlock()
+	return out
+}
+
+// Phases snapshots the accumulated build-phase breakdown.
+func (r *Req) Phases() Phases {
+	if r == nil {
+		return Phases{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phases
+}
+
+// TraceSummary returns the bridged per-processor summary (nil when no
+// traced build ran under this request).
+func (r *Req) TraceSummary() *trace.Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bridged
+}
+
+// Seq returns the flight-recorder sequence number (0 until finished).
+func (r *Req) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+// Duration returns the final duration (0 while in flight).
+func (r *Req) Duration() time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.durNs)
+}
+
+// Finish completes the request with its HTTP outcome and publishes it
+// to the flight recorder. Exactly once per Req; later spans are lost.
+func (r *Req) Finish(status int, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.FinishAt(status, bytes, time.Now())
+}
+
+// FinishAt is Finish with an explicit end time (deterministic tests).
+func (r *Req) FinishAt(status int, bytes int64, end time.Time) {
+	if r == nil {
+		return
+	}
+	dur := end.Sub(r.start)
+	if dur < 0 {
+		dur = 0
+	}
+	r.mu.Lock()
+	r.status = status
+	r.bytes = bytes
+	r.durNs = dur.Nanoseconds()
+	queue := time.Duration(r.queueNs)
+	r.mu.Unlock()
+	if r.rec != nil {
+		r.rec.record(r, dur, queue)
+	}
+}
+
+// ctxKey is the context key for the request's *Req.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying rq. A nil rq returns ctx unchanged,
+// so disabled mode threads no value at all.
+func NewContext(ctx context.Context, rq *Req) context.Context {
+	if rq == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, rq)
+}
+
+// FromContext recalls the request handle, nil when none is present.
+// This is the per-hook cost of disabled mode: one context lookup that
+// misses immediately (partreed threads no value when the recorder is
+// off).
+func FromContext(ctx context.Context) *Req {
+	rq, _ := ctx.Value(ctxKey{}).(*Req)
+	return rq
+}
+
+// ParseTraceparent extracts the trace-id from a W3C traceparent header
+// value (version-format "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex
+// flags>"). It reports false for malformed values and the all-zero
+// trace-id, which the spec reserves as invalid.
+func ParseTraceparent(v string) (string, bool) {
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return "", false
+	}
+	if v[0] != '0' || v[1] != '0' { // only version 00 is defined
+		return "", false
+	}
+	tid := v[3:35]
+	zero := true
+	for i := 0; i < len(tid); i++ {
+		c := tid[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	if zero {
+		return "", false
+	}
+	return tid, true
+}
+
+// MintID generates a fresh 32-hex-digit request ID (the shape of a
+// traceparent trace-id, so minted and inherited IDs are uniform).
+func MintID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// recognizable constant rather than crash the serving path.
+		return "00000000000000000000000000000bad"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,359 @@
+package reqtrace_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"partree/internal/reqtrace"
+	"partree/internal/trace"
+)
+
+// epoch anchors every deterministic timeline; the golden files bake in
+// its UnixNano, so it must never change.
+var epoch = time.Unix(1700000000, 0)
+
+func TestParseTraceparent(t *testing.T) {
+	const valid = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		in   string
+		id   string
+		want bool
+	}{
+		{valid, "4bf92f3577b34da6a3ce929d0e0e4736", true},
+		{"", "", false},
+		{valid[:54], "", false},       // truncated
+		{valid + "x", "", false},      // too long
+		{"01" + valid[2:], "", false}, // unknown version
+		{"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "", false}, // bad separator
+		{"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", "", false}, // uppercase hex
+		{"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", "", false}, // non-hex digit
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", "", false}, // reserved all-zero
+	}
+	for _, c := range cases {
+		id, ok := reqtrace.ParseTraceparent(c.in)
+		if ok != c.want || id != c.id {
+			t.Errorf("ParseTraceparent(%q) = (%q, %v), want (%q, %v)", c.in, id, ok, c.id, c.want)
+		}
+	}
+}
+
+func TestMintID(t *testing.T) {
+	a, b := reqtrace.MintID(), reqtrace.MintID()
+	for _, id := range []string{a, b} {
+		if _, ok := reqtrace.ParseTraceparent("00-" + id + "-00f067aa0ba902b7-01"); !ok {
+			t.Errorf("minted ID %q is not a valid traceparent trace-id", id)
+		}
+	}
+	if a == b {
+		t.Errorf("two minted IDs collide: %q", a)
+	}
+}
+
+// TestNilHandleNoOp pins the disabled mode: a nil Recorder yields a nil
+// *Req, and every method on both is callable and inert.
+func TestNilHandleNoOp(t *testing.T) {
+	var rec *reqtrace.Recorder
+	rq := rec.Start("id", "/v1/build")
+	if rq != nil {
+		t.Fatal("nil recorder handed out a non-nil Req")
+	}
+	rq.SpanSince("queue", time.Now())
+	rq.SpanAt("build", epoch, epoch.Add(time.Millisecond))
+	rq.AddBuildPhases(time.Millisecond, time.Millisecond, time.Millisecond)
+	rq.BridgeTrace(&trace.Summary{})
+	rq.Finish(200, 1)
+	if q, b, m, tot := rq.Breakdown(); q+b+m+tot != 0 {
+		t.Errorf("nil Req breakdown = %v %v %v %v, want zeros", q, b, m, tot)
+	}
+	if rq.ID() != "" || rq.Route() != "" || rq.Seq() != 0 || rq.Duration() != 0 {
+		t.Error("nil Req identity accessors returned non-zero values")
+	}
+	if rq.Spans() != nil || rq.TraceSummary() != nil || (rq.Phases() != reqtrace.Phases{}) {
+		t.Error("nil Req snapshots returned non-zero values")
+	}
+	if rec.Snapshot() != nil || rec.Slow() != nil || rec.Lookup("id") != nil {
+		t.Error("nil recorder snapshots returned non-nil values")
+	}
+	if rec.InFlight() != 0 || rec.SlowTotal() != 0 || rec.Cap() != 0 {
+		t.Error("nil recorder counters returned non-zero values")
+	}
+
+	// A context threads no value for a nil Req, and recalls nothing.
+	ctx := reqtrace.NewContext(context.Background(), nil)
+	if ctx != context.Background() {
+		t.Error("NewContext(nil) wrapped the context")
+	}
+	if reqtrace.FromContext(ctx) != nil {
+		t.Error("FromContext on an empty context returned a Req")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.Options{})
+	rq := rec.StartAt("aabbccddeeff00112233445566778899", "/v1/build", epoch)
+	ctx := reqtrace.NewContext(context.Background(), rq)
+	if got := reqtrace.FromContext(ctx); got != rq {
+		t.Fatalf("FromContext returned %p, want %p", got, rq)
+	}
+	rq.FinishAt(200, 0, epoch.Add(time.Millisecond))
+}
+
+// TestReqTimeline drives one request through the deterministic
+// constructors and checks every accumulator: span offsets relative to
+// the start, the queue/build station totals, the phase breakdown, the
+// bridged trace (latest wins), and the final duration.
+func TestReqTimeline(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.Options{})
+	rq := rec.StartAt("4bf92f3577b34da6a3ce929d0e0e4736", "/v1/build", epoch)
+	if rq.ID() != "4bf92f3577b34da6a3ce929d0e0e4736" || rq.Route() != "/v1/build" {
+		t.Fatalf("identity = (%q, %q)", rq.ID(), rq.Route())
+	}
+
+	ms := func(n int) time.Time { return epoch.Add(time.Duration(n) * time.Millisecond) }
+	rq.SpanAt("read", ms(0), ms(1))
+	rq.SpanAt("queue", ms(1), ms(3))
+	rq.SpanAt("build", ms(3), ms(13))
+	rq.SpanAt("queue", ms(13), ms(14)) // second slot wait accumulates
+	rq.SpanAt("write", ms(14), ms(15))
+	rq.AddBuildPhases(6*time.Millisecond, 3*time.Millisecond, time.Millisecond)
+
+	s1 := &trace.Summary{PerProc: make([]trace.ProcSummary, 1)}
+	s2 := &trace.Summary{PerProc: make([]trace.ProcSummary, 2)}
+	rq.BridgeTrace(s1)
+	rq.BridgeTrace(nil) // ignored: untraced builds pass nil unconditionally
+	rq.BridgeTrace(s2)  // latest traced build wins
+	if got := rq.TraceSummary(); got != s2 {
+		t.Errorf("TraceSummary = %p, want the last bridged summary %p", got, s2)
+	}
+
+	q, b, m, tot := rq.Breakdown()
+	if q != 3*time.Millisecond {
+		t.Errorf("queue = %v, want 3ms (two waits summed)", q)
+	}
+	if b != 9*time.Millisecond {
+		t.Errorf("build = %v, want 9ms (bounds+insert phases)", b)
+	}
+	if m != time.Millisecond {
+		t.Errorf("moments = %v, want 1ms", m)
+	}
+	if tot <= 0 {
+		t.Errorf("in-flight total = %v, want > 0 (time since start)", tot)
+	}
+
+	spans := rq.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	want := reqtrace.Span{Name: "build", StartNs: 3e6, DurNs: 10e6}
+	if spans[2] != want {
+		t.Errorf("span[2] = %+v, want %+v", spans[2], want)
+	}
+	if ph := rq.Phases(); ph != (reqtrace.Phases{BoundsNs: 6e6, InsertNs: 3e6, MomentsNs: 1e6}) {
+		t.Errorf("phases = %+v", ph)
+	}
+
+	rq.FinishAt(200, 4096, ms(15))
+	if rq.Duration() != 15*time.Millisecond {
+		t.Errorf("duration = %v, want 15ms", rq.Duration())
+	}
+	if _, _, _, tot := rq.Breakdown(); tot != 15*time.Millisecond {
+		t.Errorf("finished total = %v, want the recorded 15ms", tot)
+	}
+	if rq.Seq() != 1 {
+		t.Errorf("seq = %d, want 1 (first recorded request)", rq.Seq())
+	}
+	if got := rec.Lookup("4bf92f3577b34da6a3ce929d0e0e4736"); got != rq {
+		t.Errorf("Lookup returned %p, want %p", got, rq)
+	}
+}
+
+// TestSpanListCap stamps past the per-request span cap: the list stops
+// growing, the queue accumulator stays exact, and negative-duration
+// spans clamp to zero.
+func TestSpanListCap(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.Options{})
+	rq := rec.StartAt("00000000000000000000000000000001", "/v1/session", epoch)
+	const stamped = 600 // past the 512-span cap
+	for i := 0; i < stamped; i++ {
+		at := epoch.Add(time.Duration(i) * time.Microsecond)
+		rq.SpanAt("queue", at, at.Add(time.Microsecond))
+	}
+	rq.SpanAt("backwards", epoch.Add(time.Second), epoch) // end < start
+	spans := rq.Spans()
+	if len(spans) >= stamped {
+		t.Fatalf("span list grew to %d; the cap never engaged", len(spans))
+	}
+	if q, _, _, _ := rq.Breakdown(); q != stamped*time.Microsecond {
+		t.Errorf("queue total = %v, want exact %v despite dropped spans", q, stamped*time.Microsecond)
+	}
+	rq.FinishAt(200, 0, epoch.Add(time.Second))
+}
+
+// finishOne records one request with the given duration and returns it.
+func finishOne(rec *reqtrace.Recorder, id string, d time.Duration) *reqtrace.Req {
+	rq := rec.StartAt(id, "/v1/build", epoch)
+	rq.FinishAt(200, 1, epoch.Add(d))
+	return rq
+}
+
+func TestRingWrapAndSnapshot(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.Options{Cap: 4, SlowThreshold: time.Hour})
+	if rec.Cap() != 4 {
+		t.Fatalf("Cap = %d", rec.Cap())
+	}
+	for i := 1; i <= 10; i++ {
+		finishOne(rec, fmt.Sprintf("%032d", i), time.Duration(i)*time.Millisecond)
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d requests, want the ring's 4", len(snap))
+	}
+	for i, r := range snap {
+		if want := uint64(10 - i); r.Seq() != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d (newest first)", i, r.Seq(), want)
+		}
+	}
+	// The wrapped-away requests are gone; the retained ones resolve.
+	if rec.Lookup(fmt.Sprintf("%032d", 3)) != nil {
+		t.Error("Lookup found a request the ring wrapped away")
+	}
+	if r := rec.Lookup(fmt.Sprintf("%032d", 9)); r == nil || r.Seq() != 9 {
+		t.Errorf("Lookup(9) = %v", r)
+	}
+	// Duplicate IDs: the newest completion wins.
+	finishOne(rec, "duplicate-id", time.Millisecond)
+	dup2 := finishOne(rec, "duplicate-id", 2*time.Millisecond)
+	if got := rec.Lookup("duplicate-id"); got != dup2 {
+		t.Errorf("Lookup(duplicate) returned seq %d, want the newest %d", got.Seq(), dup2.Seq())
+	}
+}
+
+func TestSlowListThresholdAndEviction(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.Options{Cap: 8, SlowThreshold: 10 * time.Millisecond, SlowK: 2})
+	finishOne(rec, "00000000000000000000000000000aaa", 5*time.Millisecond) // under threshold
+	finishOne(rec, "00000000000000000000000000000bbb", 20*time.Millisecond)
+	finishOne(rec, "00000000000000000000000000000ccc", 30*time.Millisecond)
+	finishOne(rec, "00000000000000000000000000000ddd", 25*time.Millisecond) // evicts the 20ms entry
+	if got := rec.SlowTotal(); got != 3 {
+		t.Errorf("SlowTotal = %d, want 3 (every crossing counts, evicted or not)", got)
+	}
+	slow := rec.Slow()
+	if len(slow) != 2 {
+		t.Fatalf("slow list holds %d, want top-K 2", len(slow))
+	}
+	if slow[0].ID() != "00000000000000000000000000000ccc" || slow[1].ID() != "00000000000000000000000000000ddd" {
+		t.Errorf("slow = [%s %s], want [ccc ddd] (slowest first)", slow[0].ID(), slow[1].ID())
+	}
+}
+
+// TestLookupOutlivesRingViaSlowList wraps a slow request out of the
+// ring and checks Lookup still resolves it from the slow list — the
+// requests most worth debugging stay addressable longest.
+func TestLookupOutlivesRingViaSlowList(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.Options{Cap: 2, SlowThreshold: 10 * time.Millisecond, SlowK: 4})
+	slow := finishOne(rec, "00000000000000000000000000005105", 50*time.Millisecond)
+	finishOne(rec, "00000000000000000000000000000001", time.Millisecond)
+	finishOne(rec, "00000000000000000000000000000002", time.Millisecond)
+	for _, r := range rec.Snapshot() {
+		if r == slow {
+			t.Fatal("test setup: the slow request should have wrapped out of the ring")
+		}
+	}
+	if got := rec.Lookup(slow.ID()); got != slow {
+		t.Errorf("Lookup(%s) = %v, want the slow-list entry", slow.ID(), got)
+	}
+}
+
+func TestInFlightGauge(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.Options{})
+	a := rec.Start("00000000000000000000000000000001", "/v1/build")
+	b := rec.Start("00000000000000000000000000000002", "/v1/build")
+	if got := rec.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	a.Finish(200, 0)
+	b.Finish(500, 0)
+	if got := rec.InFlight(); got != 0 {
+		t.Fatalf("InFlight after finishes = %d, want 0", got)
+	}
+}
+
+// TestConcurrentWritersAndReaders is the race-detector workout: many
+// request lifecycles (spans from two goroutines each, as handler and
+// runner stamp concurrently) against readers of every snapshot surface.
+// Invariants checked after the storm: nothing in flight, sequence
+// numbers dense and unique, ring bounded at capacity.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	rec := reqtrace.NewRecorder(reqtrace.Options{Cap: 8, SlowThreshold: time.Nanosecond, SlowK: 4})
+	const writers, perWriter = 8, 50
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, r := range rec.Snapshot() {
+					r.Spans()
+					r.Breakdown()
+				}
+				rec.Slow()
+				rec.Lookup("00000000000000000000000000000007")
+				rec.InFlight()
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				rq := rec.Start(fmt.Sprintf("%031d%d", i, w), "/v1/build")
+				var inner sync.WaitGroup
+				inner.Add(1)
+				go func() { // the runner-goroutine stamping path
+					defer inner.Done()
+					rq.SpanAt("build", epoch, epoch.Add(time.Millisecond))
+					rq.AddBuildPhases(time.Microsecond, time.Microsecond, time.Microsecond)
+					rq.BridgeTrace(&trace.Summary{})
+				}()
+				rq.SpanAt("queue", epoch, epoch.Add(time.Microsecond))
+				rq.Breakdown()
+				inner.Wait()
+				rq.Finish(200, 128)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := rec.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after every request finished", got)
+	}
+	if got := rec.SlowTotal(); got != writers*perWriter {
+		t.Errorf("SlowTotal = %d, want %d (threshold 1ns catches all)", got, writers*perWriter)
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot holds %d, want the full ring 8", len(snap))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range snap {
+		if seen[r.Seq()] || r.Seq() == 0 || r.Seq() > writers*perWriter {
+			t.Errorf("bad sequence number %d in snapshot", r.Seq())
+		}
+		seen[r.Seq()] = true
+	}
+}

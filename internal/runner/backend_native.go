@@ -11,6 +11,7 @@ import (
 	"partree/internal/nbody"
 	"partree/internal/octree"
 	"partree/internal/phys"
+	"partree/internal/reqtrace"
 	"partree/internal/trace"
 	"partree/internal/verify"
 )
@@ -70,8 +71,14 @@ func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies, eng *engine.
 	}
 	sim := nbody.NewFromBodies(opts, bodies.Clone())
 
+	rq := reqtrace.FromContext(ctx)
+	var stepsStart time.Time
+	if rq != nil {
+		stepsStart = time.Now()
+	}
 	res := Result{Spec: spec, LocksPerProc: make([]int64, spec.Procs), rec: rec}
 	finalize := func() Result {
+		rq.SpanSince("steps", stepsStart)
 		res.TotalNs = res.TreeNs + res.PartNs + res.ForceNs + res.UpdateNs
 		if res.TotalNs > 0 {
 			res.TreeShare = res.TreeNs / res.TotalNs
@@ -84,6 +91,11 @@ func runNative(ctx context.Context, spec Spec, bodies *phys.Bodies, eng *engine.
 			return finalize()
 		}
 		st := sim.Step()
+		if rq != nil {
+			t := st.Build.Timing
+			rq.AddBuildPhases(t.Bounds, t.Insert, t.Moments)
+			rq.BridgeTrace(st.Build.Trace)
+		}
 		res.TreeNs += float64(st.TreeBuild)
 		res.PartNs += float64(st.Partition)
 		res.ForceNs += float64(st.Force)
@@ -134,6 +146,7 @@ func runNativeBuild(ctx context.Context, spec Spec, bodies *phys.Bodies, eng *en
 		assign = core.SpatialAssign(bodies, spec.Procs)
 	}
 	in := &core.Input{Bodies: bodies.Clone(), Assign: assign}
+	rq := reqtrace.FromContext(ctx)
 	res := Result{Spec: spec, rec: rec}
 	best := time.Duration(1 << 62)
 	for rep := 0; rep < spec.Steps; rep++ {
@@ -147,8 +160,19 @@ func runNativeBuild(ctx context.Context, spec Spec, bodies *phys.Bodies, eng *en
 		in.Step = rep
 		start := time.Now()
 		tree, metrics := bld.Build(in)
-		if el := time.Since(start); el < best {
+		el := time.Since(start)
+		if el < best {
 			best = el
+		}
+		// One "build" span per repetition; the phase breakdown
+		// accumulates across reps (total build work this request did),
+		// and the traced summary — recorded on the last rep only — is
+		// bridged verbatim.
+		if rq != nil {
+			rq.SpanAt("build", start, start.Add(el))
+			t := metrics.Timing
+			rq.AddBuildPhases(t.Bounds, t.Insert, t.Moments)
+			rq.BridgeTrace(metrics.Trace)
 		}
 		if spec.Check {
 			if err := verify.Build(spec.Alg, tree, metrics, in.Bodies, rep); err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"partree/internal/engine"
 	"partree/internal/phys"
+	"partree/internal/reqtrace"
 )
 
 // Runner executes specs with a bounded worker pool and a memoizing,
@@ -53,6 +54,11 @@ type entry struct {
 	done chan struct{}
 	res  Result
 	elem *list.Element
+	// rq is the initiating request's span context. execute runs on its
+	// own goroutine with a fresh context, so the request handle is
+	// carried through the entry; cache-hit followers share the entry
+	// (and the execution's spans belong to the request that caused it).
+	rq *reqtrace.Req
 	// transient marks a result that must not be memoized (an engine
 	// admission rejection): waiters still observe it, but the entry is
 	// dropped so a later identical request retries.
@@ -150,7 +156,7 @@ func (r *Runner) Run(ctx context.Context, spec Spec) Result {
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	if !ok {
-		e = &entry{key: key, spec: spec, done: make(chan struct{})}
+		e = &entry{key: key, spec: spec, done: make(chan struct{}), rq: reqtrace.FromContext(ctx)}
 		r.cache[key] = e
 		e.elem = r.cacheLRU.PushFront(e)
 		r.evictResultsLocked()
@@ -262,7 +268,12 @@ func (r *Runner) RunAllProgress(ctx context.Context, specs []Spec, done func(i i
 // shares it.
 func (r *Runner) execute(e *entry) {
 	r.obs.queueDepth.Add(1)
+	var qstart time.Time
+	if e.rq != nil {
+		qstart = time.Now()
+	}
 	r.sem <- struct{}{}
+	e.rq.SpanSince("queue", qstart)
 	r.obs.queueDepth.Add(-1)
 	r.obs.started.Add(1)
 	r.obs.inFlight.Add(1)
@@ -291,7 +302,10 @@ func (r *Runner) execute(e *entry) {
 		close(e.done)
 	}
 	atomic.AddInt64(&r.execs, 1)
-	ctx := context.Background()
+	// The execution context is fresh (memoized results outlive their
+	// initiating request) but carries the initiator's span handle so
+	// the engine and backend can stamp queue/build spans onto it.
+	ctx := reqtrace.NewContext(context.Background(), e.rq)
 	if e.spec.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.spec.Timeout)

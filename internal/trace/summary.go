@@ -74,6 +74,22 @@ func (s *Summary) LockEventsPerProc() []int64 {
 	return out
 }
 
+// PhaseTotals sums each phase's time across processors, aligned with
+// PhaseNames(). internal/reqtrace bridges these into a request's
+// flight-recorder timeline.
+func (s *Summary) PhaseTotals() [NumPhases]int64 {
+	var out [NumPhases]int64
+	if s == nil {
+		return out
+	}
+	for i := range s.PerProc {
+		for ph := 0; ph < NumPhases; ph++ {
+			out[ph] += s.PerProc[i].PhaseNs[ph]
+		}
+	}
+	return out
+}
+
 // ImbalanceRatio is max/mean of per-processor insert-phase time — the
 // load-imbalance figure of merit from the paper's Table 2. It returns 1
 // for a perfectly balanced build and 0 when no insert time was recorded

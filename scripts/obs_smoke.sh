@@ -144,9 +144,69 @@ grep -q '"event":"closed"' "$stream" || {
     exit 1
 }
 
+# --- request flight recorder ------------------------------------------
+# One traced build: send a W3C traceparent, expect the response to echo
+# its trace-id as X-Request-Id plus a Server-Timing breakdown, and the
+# full request timeline to be retrievable from /debug/requests by that
+# ID.
+hdrs="$tmp/build-headers.txt"
+entry="$tmp/flight-entry.json"
+want_rid="4bf92f3577b34da6a3ce929d0e0e4736"
+curl -fsS -D "$hdrs" -H "traceparent: 00-$want_rid-00f067aa0ba902b7-01" \
+    "$durl/v1/build" --data-binary \
+    '{"backend":"native","algorithm":"SPACE","procs":2,"bodies":4096,"steps":1,"build_only":true,"seed":7}' \
+    >/dev/null
+
+rid=$(tr -d '\r' <"$hdrs" | sed -n 's/^[Xx]-[Rr]equest-[Ii]d: *//p' | head -1)
+[ "$rid" = "$want_rid" ] || {
+    echo "obs-smoke: X-Request-Id '$rid', want the traceparent trace-id $want_rid" >&2
+    cat "$hdrs" >&2
+    exit 1
+}
+grep -qi '^server-timing: .*queue;dur=.*build;dur=.*moments;dur=.*total;dur=' "$hdrs" || {
+    echo "obs-smoke: /v1/build answered no Server-Timing breakdown" >&2
+    cat "$hdrs" >&2
+    exit 1
+}
+
+# The flight-recorder entry publishes right after the response; retry
+# briefly rather than race it.
+i=0
+while ! curl -fsS "$durl/debug/requests/$rid" >"$entry" 2>/dev/null; do
+    i=$((i + 1))
+    [ $i -ge 50 ] && {
+        echo "obs-smoke: request $rid never appeared in /debug/requests" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+grep -q '"route": "/v1/build"' "$entry" || {
+    echo "obs-smoke: flight entry has the wrong route" >&2
+    cat "$entry" >&2
+    exit 1
+}
+grep -q '"name": "build"' "$entry" || {
+    echo "obs-smoke: flight entry recorded no build span" >&2
+    cat "$entry" >&2
+    exit 1
+}
+curl -fsS "$durl/debug/requests" | grep -q "$rid" || {
+    echo "obs-smoke: /debug/requests ring does not list $rid" >&2
+    exit 1
+}
+curl -fsS "$durl/debug/requests/slow" | grep -q '"capacity"' || {
+    echo "obs-smoke: /debug/requests/slow did not render" >&2
+    exit 1
+}
+
 curl -fsS "$durl/metrics" >"$metrics"
 missing=
 for series in \
+    partree_req_duration_seconds_bucket \
+    partree_req_queue_wait_seconds_bucket \
+    partree_req_in_flight \
+    partree_req_slow_total \
+    partree_req_duration_max_seconds \
     partree_session_opened_total \
     partree_session_closed_total \
     partree_session_evicted_total \
