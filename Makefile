@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke loadgen-smoke check repro bench benchcmp
+.PHONY: all build vet test race smoke obs-smoke loadgen-smoke cluster-smoke check repro bench benchcmp
 
 all: build
 
@@ -22,9 +22,10 @@ test:
 # serving, streaming-session e2e, and drain, the workload
 # generators' concurrent use from loadgen's per-arrival goroutines, and
 # the request flight recorder's lock-free ring under concurrent
-# writers and readers.
+# writers and readers, and the cluster tier's fan-out/merge router and
+# shard servers under concurrent builds, moves, and metric rollups.
 race:
-	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./internal/adapt ./internal/workload ./internal/reqtrace ./cmd/partreed
+	$(GO) test -race ./internal/core ./internal/engine ./internal/runner ./internal/verify ./internal/trace ./internal/adapt ./internal/workload ./internal/reqtrace ./internal/cluster ./cmd/partreed
 
 # smoke builds real trees with every algorithm and verifies each against
 # the sequential reference (-check), end to end through cmd/treebench.
@@ -44,8 +45,17 @@ obs-smoke:
 loadgen-smoke:
 	sh scripts/loadgen_smoke.sh
 
+# cluster-smoke stands up the real sharded serving tier — two partreed
+# shard daemons plus a partree-router fronting them — and asserts a
+# fan-out build conserves bodies across shards, a boundary-crossing
+# move hands the body off to exactly one owner, a stale map version is
+# refused with 409, and the router's partree_cluster_* rollup reflects
+# the fleet.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # check is the tier-1+ gate: everything must pass before a PR lands.
-check: build vet test race smoke obs-smoke loadgen-smoke
+check: build vet test race smoke obs-smoke loadgen-smoke cluster-smoke
 
 # repro regenerates the paper's tables and figures into ./results.
 repro:
@@ -56,12 +66,13 @@ repro:
 # builds on the disk-galaxy and hierarchical-clustering scenarios, plus
 # the session serving modes (50 drift steps on one resident tree, UPDATE
 # repair vs rebuild-per-step vs measured-cost adaptive repair, ns per
-# step). Compare a fresh run against the committed file to spot
-# regressions. The reqtrace gate re-asserts that a disabled request
-# recorder adds <2% to a bare build before timing anything.
+# step), and the router-fronted cluster cells (2-shard fan-out vs a
+# single-shard control). Compare a fresh run against the committed file
+# to spot regressions. The reqtrace gate re-asserts that a disabled
+# request recorder adds <2% to a bare build before timing anything.
 bench:
 	$(GO) test ./internal/reqtrace -run TestDisabledReqtraceOverhead -count 1
-	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -steps 50 -adaptive -scenario-cells disk,hierarchical -benchout BENCH_treebuild.json
+	$(GO) run ./cmd/treebench -n 10000 -p 1,4,8 -reps 3 -steps 50 -adaptive -scenario-cells disk,hierarchical -cluster -benchout BENCH_treebuild.json
 
 # benchcmp re-runs the committed baseline's sweep and fails if any cell's
 # ns-per-build regressed more than 30%. Timings are machine-relative:

@@ -149,7 +149,7 @@ func runSession(ctx context.Context, cfg config, id int, at time.Duration) arriv
 
 	start := time.Now()
 	pr, pw := io.Pipe()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.url+"/v1/session", pr)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.target(id)+"/v1/session", pr)
 	if err != nil {
 		return res
 	}
@@ -271,7 +271,7 @@ func runBuild(ctx context.Context, cfg config, id int, at time.Duration) arrival
 		return res
 	}
 	start := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.url+"/v1/build", strings.NewReader(string(body)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.target(id)+"/v1/build", strings.NewReader(string(body)))
 	if err != nil {
 		return res
 	}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	loadgen -url http://127.0.0.1:9732 [-mode session|build]
+//	loadgen -url http://127.0.0.1:9732 [-targets u1,u2,...] [-mode session|build]
 //	        [-scenario disk] [-arrival bursty:rate=60,on=250ms,off=250ms]
 //	        [-horizon 5s] [-speedup 0] [-n 2048] [-procs 2] [-steps 8]
 //	        [-seed 1998] [-timeout 60s] [-adaptive] [-idle-ms 0] [-linger]
@@ -29,6 +29,11 @@
 //   - The timings CSV (-timings, optional) holds everything measured:
 //     latency percentiles (p50/p95/p99), queue-depth samples. Never
 //     byte-stable, by design.
+//
+// With -targets, arrivals round-robin across several daemons (or
+// routers) by arrival ID — a pure function of the schedule, so the
+// determinism contract holds — and the report gains a per-target
+// outcome section; counter deltas are summed across the fleet.
 //
 // The -timeout bound is mandatory: a load run that can hang is worse
 // than no run, so loadgen refuses to start without one and exits 1 if
@@ -51,7 +56,7 @@ import (
 )
 
 type config struct {
-	url      string
+	targets  []string
 	mode     string
 	scenario workload.Scenario
 	arrival  workload.Process
@@ -67,9 +72,17 @@ type config struct {
 	linger   bool
 }
 
+// target picks the base URL arrival id fires at: round-robin by ID, so
+// the target assignment is a pure function of the schedule and stays
+// byte-deterministic in the report.
+func (c config) target(id int) string {
+	return c.targets[id%len(c.targets)]
+}
+
 func main() {
 	var (
-		url      = flag.String("url", "", "base URL of a running partreed (required)")
+		url      = flag.String("url", "", "base URL of a running partreed (required unless -targets is given)")
+		targets  = flag.String("targets", "", "comma-separated base URLs; arrivals round-robin across them (overrides -url)")
 		mode     = flag.String("mode", "session", "what each arrival does: session (streaming /v1/session) or build (one-shot /v1/build)")
 		scenario = flag.String("scenario", "plummer", "physical scenario spec, e.g. disk, collision:impact=1.5, hierarchical:evolve=4")
 		arrival  = flag.String("arrival", "poisson:rate=20", "arrival process spec, e.g. bursty:rate=60,on=250ms,off=250ms,period=1s,depth=0.6")
@@ -90,7 +103,11 @@ func main() {
 	)
 	flag.Parse()
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)).With("bin", "loadgen"))
-	if err := run(*url, *mode, *scenario, *arrival, *horizon, *speedup, *n, *procs,
+	urls := *targets
+	if urls == "" {
+		urls = *url
+	}
+	if err := run(urls, *mode, *scenario, *arrival, *horizon, *speedup, *n, *procs,
 		*steps, *seed, *timeout, *adaptive, *idleMs, *linger,
 		*traceIn, *traceOut, *report, *timings); err != nil {
 		slog.Error("loadgen failed", "err", err)
@@ -98,13 +115,21 @@ func main() {
 	}
 }
 
-func run(url, mode, scenarioSpec, arrivalSpec string, horizon time.Duration,
+func run(urls, mode, scenarioSpec, arrivalSpec string, horizon time.Duration,
 	speedup float64, n, procs, steps int, seed int64, timeout time.Duration,
 	adaptive bool, idleMs int64, linger bool,
 	traceIn, traceOut, reportPath, timingsPath string) error {
 
-	if url == "" {
-		return fmt.Errorf("-url is required (a running partreed)")
+	// urls is -targets (or the lone -url): comma-separated base URLs the
+	// arrivals round-robin across.
+	var tg []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			tg = append(tg, u)
+		}
+	}
+	if len(tg) == 0 {
+		return fmt.Errorf("-url or -targets is required (running partreed/router base URLs)")
 	}
 	if timeout <= 0 {
 		return fmt.Errorf("a positive -timeout is mandatory: a load run must not be able to hang")
@@ -117,7 +142,7 @@ func run(url, mode, scenarioSpec, arrivalSpec string, horizon time.Duration,
 		return err
 	}
 	cfg := config{
-		url: strings.TrimRight(url, "/"), mode: mode, scenario: sc,
+		targets: tg, mode: mode, scenario: sc,
 		horizon: horizon, speedup: speedup, n: n, procs: procs, steps: steps,
 		seed: seed, timeout: timeout, adaptive: adaptive, idleMs: idleMs, linger: linger,
 	}
@@ -164,11 +189,16 @@ func run(url, mode, scenarioSpec, arrivalSpec string, horizon time.Duration,
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
-	before, err := scrapeMetrics(ctx, cfg.url)
-	if err != nil {
-		return fmt.Errorf("scraping /metrics before the run: %w", err)
+	// Counter deltas are accounted per target and summed in the report;
+	// the queue sampler watches the first target only (the measured CSV
+	// is not byte-stable anyway, and one depth series keeps it readable).
+	before := make([]metricsSnapshot, len(cfg.targets))
+	for ti, u := range cfg.targets {
+		if before[ti], err = scrapeMetrics(ctx, u); err != nil {
+			return fmt.Errorf("scraping %s/metrics before the run: %w", u, err)
+		}
 	}
-	sampler := startQueueSampler(ctx, cfg.url)
+	sampler := startQueueSampler(ctx, cfg.targets[0])
 
 	// Fire the schedule. Each arrival runs on its own goroutine; pacing
 	// happens here on the launch path so ordering is the schedule's.
@@ -203,9 +233,11 @@ func run(url, mode, scenarioSpec, arrivalSpec string, horizon time.Duration,
 	wall := time.Since(start)
 	depths := sampler.stop()
 
-	after, err := scrapeMetrics(context.Background(), cfg.url)
-	if err != nil {
-		return fmt.Errorf("scraping /metrics after the run: %w", err)
+	after := make([]metricsSnapshot, len(cfg.targets))
+	for ti, u := range cfg.targets {
+		if after[ti], err = scrapeMetrics(context.Background(), u); err != nil {
+			return fmt.Errorf("scraping %s/metrics after the run: %w", u, err)
+		}
 	}
 
 	rep := buildReport(cfg, schedule, traceBytes.Bytes(), results, before, after)

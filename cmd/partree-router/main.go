@@ -1,0 +1,127 @@
+// Command partree-router fronts a fleet of partreed shard daemons: it
+// loads the addressed Morton-order shard map, fans /v1/build and
+// /v1/sweep out to every shard, merges the per-shard results under the
+// tree-metric conservation laws, routes cross-shard body moves through
+// the handoff protocol, and serves the aggregated partree_cluster_*
+// metrics rolled up from each shard's /metrics page.
+//
+// Usage:
+//
+//	partree-router -map cluster.json [-addr 127.0.0.1:9733]
+//	partree-router -shards 127.0.0.1:9732,127.0.0.1:9742 [-domain-size 4]
+//
+// Exactly one of -map (an addressed map file, the deployment's source
+// of truth) or -shards (a comma-separated address list, from which a
+// uniform map is derived) must be given. The shard daemons must run the
+// same map version — the router surfaces their 409s verbatim.
+//
+// Endpoints:
+//
+//	POST /v1/build  one runner.Spec (JSON) → merged ClusterResult (JSON)
+//	POST /v1/sweep  a JSON array of specs → NDJSON stream of merged
+//	                results, strictly in input order
+//	POST /v1/move   {"body": N, "pos": [x,y,z]} → routed move/handoff
+//	GET  /v1/map    the addressed shard map
+//	GET  /metrics   router counters + partree_cluster_* fleet rollup
+//	GET  /healthz   liveness
+//
+// A shard's admission 503 becomes the cluster's 503 (the slowest
+// rejecting shard's reason); a dead shard turns its
+// partree_cluster_shard_up gauge to 0 and fails builds with 502.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"partree/internal/cluster"
+	"partree/internal/obs"
+)
+
+func buildMap(mapFile, shards string, version int, domainSize float64) (cluster.Map, error) {
+	switch {
+	case mapFile != "" && shards != "":
+		return cluster.Map{}, fmt.Errorf("give -map or -shards, not both")
+	case mapFile != "":
+		return cluster.ReadMap(mapFile)
+	case shards != "":
+		addrs := strings.Split(shards, ",")
+		m := cluster.UniformMap(version, cluster.Domain{Size: domainSize}, len(addrs))
+		for i, a := range addrs {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return cluster.Map{}, fmt.Errorf("-shards entry %d is empty", i)
+			}
+			m.Shards[i].Addr = a
+		}
+		return m, nil
+	default:
+		return cluster.Map{}, fmt.Errorf("one of -map or -shards is required")
+	}
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9733", "listen address for the API and observability endpoints")
+		mapFile    = flag.String("map", "", "addressed shard map file (JSON; see internal/cluster)")
+		shards     = flag.String("shards", "", "comma-separated shard addresses; derives a uniform map instead of -map")
+		version    = flag.Int("map-version", 1, "map version stamped on a -shards derived map")
+		domainSize = flag.Float64("domain-size", 4, "domain cube edge for a -shards derived map (centered at the origin)")
+		timeout    = flag.Duration("shard-timeout", 30*time.Second, "per-attempt timeout for shard calls")
+		retries    = flag.Int("shard-retries", 1, "transport-failure retries per shard call (HTTP errors are never retried)")
+		sweepC     = flag.Int("sweep-concurrency", 4, "cluster builds a sweep runs concurrently")
+		scrapeT    = flag.Duration("scrape-timeout", 2*time.Second, "per-shard /metrics scrape timeout for the rollup")
+		level      = flag.String("v", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*level)); err != nil {
+		fmt.Fprintf(os.Stderr, "partree-router: bad -v level %q\n", *level)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})).
+		With("bin", "partree-router"))
+
+	m, err := buildMap(*mapFile, *shards, *version, *domainSize)
+	if err != nil {
+		slog.Error("building shard map", "err", err)
+		os.Exit(2)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Map:              m,
+		Client:           cluster.ClientOptions{Timeout: *timeout, Retries: *retries},
+		SweepConcurrency: *sweepC,
+		ScrapeTimeout:    *scrapeT,
+	})
+	if err != nil {
+		slog.Error("building router", "err", err)
+		os.Exit(1)
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	if err := rt.RegisterObs(reg); err != nil {
+		slog.Error("registering metrics", "err", err)
+		os.Exit(1)
+	}
+	srv, err := obs.ServeWith(*addr, "partree-router", reg,
+		func() bool { return true }, func(mux *http.ServeMux) { rt.Mount(mux, nil) })
+	if err != nil {
+		slog.Error("starting server", "err", err)
+		os.Exit(1)
+	}
+	slog.Info("serving", "addr", srv.Addr(), "url", srv.URL(),
+		"map_version", m.Version, "shards", len(m.Shards))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	slog.Info("shutting down", "signal", s.String())
+	srv.Close()
+}

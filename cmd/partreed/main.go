@@ -17,6 +17,10 @@
 //	                 timestep against a resident tree (UPDATE per step,
 //	                 auto-fallback SPACE rebuilds); results stream back
 //	                 in-line. 503 only before the stream opens.
+//	     /v1/shard/* cluster shard surface (with -shard-map and -shard):
+//	                 this daemon owns one Morton range of a shard map and
+//	                 serves shard-level builds, moves, and handoffs for
+//	                 cmd/partree-router (see internal/cluster)
 //	GET  /metrics    Prometheus exposition (engine pool, runner, builds,
 //	                 partree_req_* request families)
 //	GET  /healthz    liveness (+ready:false once draining)
@@ -54,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"partree/internal/cluster"
 	"partree/internal/engine"
 	"partree/internal/obs"
 	"partree/internal/phys"
@@ -87,6 +92,12 @@ type daemonConfig struct {
 	slowThreshold time.Duration
 	// slowK bounds the retained slowest requests.
 	slowK int
+	// shardMap/shardID, when both set, additionally mount the cluster
+	// shard surface (/v1/shard/*): this daemon owns the named shard's
+	// Morton range of the map file and serves shard-level builds through
+	// the same engine — admission control composes per shard.
+	shardMap string
+	shardID  string
 }
 
 func (c daemonConfig) withDefaults() daemonConfig {
@@ -134,7 +145,10 @@ type daemon struct {
 	srv *obs.Server
 	// rec is the request flight recorder; nil when -flight < 0, which
 	// every hook on the serving path treats as "do nothing".
-	rec      *reqtrace.Recorder
+	rec *reqtrace.Recorder
+	// shard is the cluster shard surface; nil unless -shard-map/-shard
+	// were given.
+	shard    *cluster.ShardServer
 	draining atomic.Bool
 }
 
@@ -166,6 +180,27 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		return nil, err
 	}
 	d := &daemon{cfg: cfg, eng: eng, r: r, reg: reg}
+	if cfg.shardMap != "" || cfg.shardID != "" {
+		if cfg.shardMap == "" || cfg.shardID == "" {
+			return nil, fmt.Errorf("-shard-map and -shard must be given together")
+		}
+		m, err := cluster.ReadMap(cfg.shardMap)
+		if err != nil {
+			return nil, err
+		}
+		idx := m.ShardByID(cfg.shardID)
+		if idx < 0 {
+			return nil, fmt.Errorf("shard %q is not in map %s", cfg.shardID, cfg.shardMap)
+		}
+		ss, err := cluster.NewShardServer(m, idx, eng)
+		if err != nil {
+			return nil, err
+		}
+		if err := ss.RegisterObs(reg); err != nil {
+			return nil, err
+		}
+		d.shard = ss
+	}
 	if cfg.flight > 0 {
 		d.rec = reqtrace.NewRecorder(reqtrace.Options{
 			Cap: cfg.flight, SlowThreshold: cfg.slowThreshold, SlowK: cfg.slowK,
@@ -192,6 +227,9 @@ func (d *daemon) mount(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/build", d.instrument("/v1/build", d.handleBuild))
 	mux.HandleFunc("/v1/sweep", d.instrument("/v1/sweep", d.handleSweep))
 	mux.HandleFunc("/v1/session", d.instrument("/v1/session", d.handleSession))
+	if d.shard != nil {
+		d.shard.Mount(mux, d.instrument)
+	}
 	d.rec.Mount(mux)
 }
 
@@ -351,6 +389,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight builds")
 		adaptive     = flag.Bool("adaptive", false, "measured-cost adaptive partitioning for every streaming session")
 		sessionModel = flag.String("session-model", "plummer", "default mass model for sessions that omit one: "+strings.Join(phys.ModelNames(), ", "))
+		shardMap     = flag.String("shard-map", "", "cluster shard map file; mounts /v1/shard/* (requires -shard)")
+		shardID      = flag.String("shard", "", "this daemon's shard ID within -shard-map")
 		flight       = flag.Int("flight", 256, "flight-recorder capacity (completed requests kept for /debug/requests; negative disables request tracing)")
 		slowThresh   = flag.Duration("slow-threshold", 250*time.Millisecond, "requests at least this slow are counted and kept in /debug/requests/slow")
 		slowK        = flag.Int("slow-k", 16, "slowest requests retained for /debug/requests/slow")
@@ -371,6 +411,7 @@ func main() {
 		resultCache: *resultCache, bodiesCache: *bodiesCache,
 		drainTimeout: *drainTimeout, adaptive: *adaptive, sessionModel: *sessionModel,
 		flight: *flight, slowThreshold: *slowThresh, slowK: *slowK,
+		shardMap: *shardMap, shardID: *shardID,
 	})
 	if err != nil {
 		slog.Error("building daemon", "err", err)

@@ -9,6 +9,7 @@
 //	treebench [-alg all] [-n 65536] [-p 1,2,4,8] [-reps 5] [-leafcap 8]
 //	          [-model plummer] [-timeout 0] [-check] [-trace out.json]
 //	          [-steps 0] [-adaptive] [-scenario-cells disk,hierarchical]
+//	          [-cluster]
 //	          [-benchout BENCH_treebuild.json]
 //	          [-benchcmp BENCH_treebuild.json] [-benchthreshold 0.30]
 //	          [-http :9090] [-v info] [-json]
@@ -27,6 +28,13 @@
 // measured-cost adaptive partitioning (internal/adapt) closing the
 // feedback path each step.
 //
+// With -cluster the sweep appends router-fronted cells per processor
+// count: the same SPACE build served through an in-process
+// internal/cluster fixture (router + 2 shards, plus a single-shard
+// control), reporting the merged tree_ns — the slowest shard's best
+// build — so sharded serving reads directly against the single-process
+// space row.
+//
 // With -benchcmp the sweep is taken from the named baseline file instead
 // of the flags, fresh timings are diffed against it, and the exit status
 // is non-zero if any cell regressed past -benchthreshold (make benchcmp).
@@ -34,11 +42,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -46,6 +57,7 @@ import (
 	"time"
 
 	"partree/internal/adapt"
+	"partree/internal/cluster"
 	"partree/internal/core"
 	"partree/internal/phys"
 	"partree/internal/runner"
@@ -90,6 +102,14 @@ const (
 	// each step's traced phase times correct the next step's costzones
 	// cut through an adapt.Controller (the daemon's -adaptive path).
 	modeAdaptive = "session-adaptive"
+	// Cluster cells (-cluster) run the same SPACE build through an
+	// in-process router-fronted fixture (internal/cluster): modeCluster
+	// fans out over two shards, modeClusterSingle puts the whole domain
+	// on one shard — the router-overhead control. NsPerBuild is the
+	// merged tree_ns (the slowest shard's best build), so the pair reads
+	// directly against the single-process space cell at the same p.
+	modeCluster       = "cluster"
+	modeClusterSingle = "cluster-single"
 )
 
 // sessionModes lists the session cells a sweep produces; the adaptive
@@ -174,6 +194,75 @@ func runSessionCell(base runner.Spec, p, steps, reps int, mode string) (nsPerSte
 	return best, bestLocks
 }
 
+// clusterShards maps a cluster cell mode to its shard count.
+func clusterShards(mode string) int {
+	if mode == modeClusterSingle {
+		return 1
+	}
+	return 2
+}
+
+// runClusterCell benchmarks one router-fronted build: an in-process
+// fixture (router + shards on loopback), one /v1/build carrying the
+// same build-only spec the grid uses, best-of-reps inside the request
+// (the shard engines report their best build). The merged tree_ns is
+// the cluster's critical path — its slowest shard's best build — and
+// locks sum across shards under the conservation laws.
+func runClusterCell(base runner.Spec, p, shards, reps int) (benchCell, error) {
+	f, err := cluster.StartLocal(cluster.FixtureOptions{Shards: shards})
+	if err != nil {
+		return benchCell{}, fmt.Errorf("starting cluster fixture: %w", err)
+	}
+	defer f.Close()
+	sp := base
+	sp.Alg = core.SPACE
+	sp.Procs = p
+	sp.Steps = reps
+	sp.Trace = ""
+	buf, err := json.Marshal(sp)
+	if err != nil {
+		return benchCell{}, err
+	}
+	runtime.GC()
+	resp, err := http.Post(f.RouterURL()+"/v1/build", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return benchCell{}, fmt.Errorf("cluster build: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return benchCell{}, fmt.Errorf("cluster build: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out cluster.ClusterResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return benchCell{}, fmt.Errorf("decoding cluster result: %w", err)
+	}
+	if out.Failed() {
+		return benchCell{}, fmt.Errorf("cluster build failed: %s%s", out.Err, out.CheckFailure)
+	}
+	mode := modeCluster
+	if shards == 1 {
+		mode = modeClusterSingle
+	}
+	return benchCell{Mode: mode, P: p, NsPerBuild: int64(out.TreeNs), Locks: out.LocksTotal}, nil
+}
+
+// runClusterCells produces the router-fronted cells: per processor
+// count, the two-shard fan-out and the single-shard control.
+func runClusterCells(base runner.Spec, ps []int, reps int) ([]benchCell, error) {
+	var cells []benchCell
+	for _, p := range ps {
+		for _, mode := range []string{modeCluster, modeClusterSingle} {
+			c, err := runClusterCell(base, p, clusterShards(mode), reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s p=%d: %w", mode, p, err)
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
 // scenarioCellDef pairs a canonical workload scenario name with the
 // phys model that regenerates it, for the -scenario-cells sweep.
 type scenarioCellDef struct {
@@ -251,6 +340,7 @@ func main() {
 		steps     = flag.Int("steps", 0, "session-mode benchmark: drift timesteps per resident session, update vs rebuild-per-step (0 = off, min 2)")
 		adaptive  = flag.Bool("adaptive", false, "add a session-adaptive cell (measured-cost adaptive partitioning) to the session sweep")
 		scenarios = flag.String("scenario-cells", "", "comma-separated workload scenarios benchmarked as extra SPACE build cells, e.g. disk,hierarchical (valid kinds: "+strings.Join(workload.ScenarioNames(), ", ")+"; each must resolve to a server-side mass model)")
+		clusterF  = flag.Bool("cluster", false, "add router-fronted cluster cells: an in-process router + 2 shards fan-out and a single-shard control, per processor count")
 		benchout  = flag.String("benchout", "", "write a machine-readable ns-per-build baseline to this JSON file")
 		benchcmp  = flag.String("benchcmp", "", "diff a fresh run against this baseline JSON and fail past -benchthreshold")
 		benchthr  = flag.Float64("benchthreshold", 0.30, "allowed fractional ns-per-build regression for -benchcmp (0.30 = 30%)")
@@ -340,6 +430,14 @@ func main() {
 		sessionCells = runSessionCells(base, ps, *steps, *reps, modes)
 	}
 
+	var clusterCells []benchCell
+	if *clusterF {
+		if clusterCells, err = runClusterCells(base, ps, *reps); err != nil {
+			slog.Error("cluster cells failed", "err", err)
+			os.Exit(1)
+		}
+	}
+
 	if *benchout != "" {
 		bf := benchFile{Bodies: base.Bodies, LeafCap: base.LeafCap, Reps: base.Steps, Steps: *steps, Spatial: base.Spatial}
 		for _, res := range results {
@@ -368,6 +466,7 @@ func main() {
 			}
 		}
 		bf.Cells = append(bf.Cells, sessionCells...)
+		bf.Cells = append(bf.Cells, clusterCells...)
 		buf, err := json.MarshalIndent(bf, "", "  ")
 		if err != nil {
 			slog.Error("encoding baseline", "err", err)
@@ -472,6 +571,28 @@ func main() {
 		}
 		ts.Write(os.Stdout)
 	}
+
+	if len(clusterCells) > 0 {
+		fmt.Printf("\ncluster mode: router-fronted SPACE build, merged tree_ns (slowest shard's best)\n\n")
+		sh := []string{"mode"}
+		for _, p := range ps {
+			sh = append(sh, fmt.Sprintf("%dp", p))
+		}
+		sh = append(sh, "locks")
+		ts := stats.NewTable(sh...)
+		cmodes := []string{modeCluster, modeClusterSingle}
+		for mi, mode := range cmodes {
+			row := []any{mode}
+			var locks int64
+			for pi := range ps {
+				c := clusterCells[pi*len(cmodes)+mi]
+				row = append(row, time.Duration(c.NsPerBuild).Round(10*time.Microsecond).String())
+				locks = c.Locks
+			}
+			ts.Row(append(row, locks)...)
+		}
+		ts.Write(os.Stdout)
+	}
 }
 
 // runBenchcmp re-runs the sweep recorded in the baseline file and diffs
@@ -502,12 +623,16 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 	var specs []runner.Spec
 	for i, c := range bf.Cells {
 		if c.Mode != "" {
-			if c.Mode != modeUpdate && c.Mode != modeRebuild && c.Mode != modeAdaptive {
-				slog.Error("baseline names unknown session mode", "path", path, "mode", c.Mode)
-				return 2
-			}
-			if bf.Steps < 2 {
-				slog.Error("baseline has session cells but no steps count", "path", path)
+			switch c.Mode {
+			case modeUpdate, modeRebuild, modeAdaptive:
+				if bf.Steps < 2 {
+					slog.Error("baseline has session cells but no steps count", "path", path)
+					return 2
+				}
+			case modeCluster, modeClusterSingle:
+				// Re-run through the in-process fixture, not the runner.
+			default:
+				slog.Error("baseline names unknown mode", "path", path, "mode", c.Mode)
 				return 2
 			}
 			specIdx[i] = -1
@@ -567,6 +692,16 @@ func runBenchcmp(r *runner.Runner, base runner.Spec, path string, threshold floa
 				continue
 			}
 			fresh = int64(res.TreeNs)
+		} else if c.Mode == modeCluster || c.Mode == modeClusterSingle {
+			name = c.Mode
+			cc, err := runClusterCell(sessBase, c.P, clusterShards(c.Mode), bf.Reps)
+			if err != nil {
+				slog.Error("cluster cell failed", "mode", c.Mode, "p", c.P, "err", err)
+				exit = 1
+				t.Row(name, c.P, time.Duration(c.NsPerBuild).String(), "-", "FAILED")
+				continue
+			}
+			fresh = cc.NsPerBuild
 		} else {
 			name = c.Mode
 			fresh, _ = runSessionCell(sessBase, c.P, bf.Steps, bf.Reps, c.Mode)

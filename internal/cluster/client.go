@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ClientOptions tune one shard client. The zero value selects the
+// defaults below.
+type ClientOptions struct {
+	// Timeout bounds each attempt (not the whole call); a retried call
+	// restarts the clock.
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a transport failure.
+	// HTTP-level errors (4xx/5xx) are answers, not failures, and are
+	// never retried: a 503 means the shard chose to reject, and retrying
+	// would defeat its admission control.
+	Retries int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	return o
+}
+
+// StatusError is a non-2xx answer from a shard: the status code plus the
+// error text from its JSON error document (or raw body). It is a
+// deliberate response, carried as an error so callers can branch on the
+// code (409 version conflict, 421 misdirect, 503 admission) without
+// string matching.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("shard answered %d: %s", e.Code, e.Msg)
+}
+
+// Client speaks to one shard with per-attempt timeouts, transport-only
+// retries, and a consecutive-failure health count the router exports per
+// shard.
+type Client struct {
+	id    string
+	base  string // http://host:port
+	hc    *http.Client
+	opts  ClientOptions
+	fails atomic.Int64 // consecutive transport failures; 0 = healthy
+}
+
+// NewClient builds a client for one shard address.
+func NewClient(id, addr string, o ClientOptions) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{id: id, base: strings.TrimSuffix(base, "/"), hc: &http.Client{}, opts: o.withDefaults()}
+}
+
+// ID returns the shard ID this client fronts.
+func (c *Client) ID() string { return c.id }
+
+// Healthy reports whether the last attempt reached the shard.
+func (c *Client) Healthy() bool { return c.fails.Load() == 0 }
+
+// ConsecutiveFailures returns the current transport-failure streak.
+func (c *Client) ConsecutiveFailures() int64 { return c.fails.Load() }
+
+// Call POSTs (or GETs, with nil in) a JSON document and decodes the JSON
+// answer into out (skipped when out is nil). Transport failures are
+// retried up to Retries times with a fresh per-attempt timeout; a non-2xx
+// status returns a *StatusError carrying the shard's error text.
+func (c *Client) Call(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("shard %s: encoding request: %w", c.id, err)
+		}
+	}
+	var last error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("shard %s: %w", c.id, err)
+		}
+		err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			c.fails.Store(0)
+			return nil
+		}
+		var se *StatusError
+		if isStatus := asStatusError(err, &se); isStatus {
+			// An HTTP answer means the shard is reachable and chose this
+			// response; it is final and counts as healthy transport.
+			c.fails.Store(0)
+			return err
+		}
+		c.fails.Add(1)
+		last = err
+	}
+	return fmt.Errorf("shard %s: %w", c.id, last)
+}
+
+func asStatusError(err error, out **StatusError) bool {
+	se, ok := err.(*StatusError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return &StatusError{Code: resp.StatusCode, Msg: errorText(resp.Body)}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// errorText extracts the "error" field of a JSON error document, falling
+// back to the raw (truncated) body.
+func errorText(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &doc) == nil && doc.Error != "" {
+		return doc.Error
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// Metrics scrapes the shard's Prometheus exposition page into a flat
+// series-line → value view (labels kept verbatim in the key), the form
+// the router's rollup collector sums.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.fails.Add(1)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard %s: GET /metrics: %s", c.id, resp.Status)
+	}
+	c.fails.Store(0)
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,432 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/engine"
+	"partree/internal/runner"
+)
+
+func startFixture(t *testing.T, o FixtureOptions) *Fixture {
+	t.Helper()
+	f, err := StartLocal(o)
+	if err != nil {
+		t.Fatalf("starting fixture: %v", err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// postJSON posts a document and returns the status code and body.
+func postJSON(t *testing.T, url string, in any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func buildSpec(n int) runner.Spec {
+	return runner.Spec{Alg: core.PARTREE, Procs: 2, Bodies: n, Steps: 1, Seed: 7, Check: true}
+}
+
+// clusterBuild POSTs a build and fails the test on anything but a clean
+// 200.
+func clusterBuild(t *testing.T, f *Fixture, spec runner.Spec) ClusterResult {
+	res, _ := clusterBuildRaw(t, f, spec)
+	return res
+}
+
+func clusterBuildRaw(t *testing.T, f *Fixture, spec runner.Spec) (ClusterResult, []byte) {
+	t.Helper()
+	code, body := postJSON(t, f.RouterURL()+"/v1/build", spec)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/build: %d: %s", code, body)
+	}
+	var res ClusterResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decoding ClusterResult: %v", err)
+	}
+	return res, body
+}
+
+// TestClusterBuildConservation is the tier's acceptance test: a router
+// and two shard daemons complete a verified build whose merged metrics
+// satisfy the conservation audit — every body is built by exactly one
+// shard, so ΣN == ΣBodiesBuilt == spec.Bodies.
+func TestClusterBuildConservation(t *testing.T) {
+	f := startFixture(t, FixtureOptions{Shards: 2})
+	const n = 2000
+	res, raw := clusterBuildRaw(t, f, buildSpec(n))
+	if res.Failed() {
+		t.Fatalf("cluster build failed: err=%q check=%q", res.Err, res.CheckFailure)
+	}
+	if len(res.Shards) != 2 {
+		t.Fatalf("merged result has %d shard entries, want 2", len(res.Shards))
+	}
+	var sumN int64
+	for _, sr := range res.Shards {
+		if sr.Failed() {
+			t.Fatalf("shard %s failed: err=%q check=%q", sr.Shard, sr.Err, sr.CheckFailure)
+		}
+		if int64(sr.N) != sr.BodiesBuilt {
+			t.Fatalf("shard %s owns %d bodies but built %d", sr.Shard, sr.N, sr.BodiesBuilt)
+		}
+		if sr.N == 0 {
+			t.Fatalf("shard %s owns no bodies — uniform split should populate both halves", sr.Shard)
+		}
+		sumN += int64(sr.N)
+	}
+	if sumN != n || res.BodiesBuilt != n {
+		t.Fatalf("conservation: ΣN=%d ΣBodiesBuilt=%d, want %d", sumN, res.BodiesBuilt, n)
+	}
+	if res.TreeNs <= 0 {
+		t.Fatalf("merged TreeNs = %v, want > 0", res.TreeNs)
+	}
+	if got := f.Shards[0].Resident() + f.Shards[1].Resident(); got != n {
+		t.Fatalf("resident bodies across shards = %d, want %d", got, n)
+	}
+	// The merged document must decode as a runner.Result too — the field
+	// names are a compatibility contract for existing clients.
+	var rr runner.Result
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatalf("ClusterResult does not decode as runner.Result: %v", err)
+	}
+	if rr.TreeNs != res.TreeNs || rr.LocksTotal != res.LocksTotal || rr.Cells != res.Cells {
+		t.Fatalf("runner.Result view (%v, %d, %d) != cluster view (%v, %d, %d)",
+			rr.TreeNs, rr.LocksTotal, rr.Cells, res.TreeNs, res.LocksTotal, res.Cells)
+	}
+}
+
+// TestClusterBoundaryHandoff drives the handoff protocol end to end: a
+// resident body is moved across the shard boundary and must end up
+// resident in exactly one shard — the destination.
+func TestClusterBoundaryHandoff(t *testing.T) {
+	f := startFixture(t, FixtureOptions{Shards: 2})
+	const n = 500
+	res := clusterBuild(t, f, buildSpec(n))
+	if res.Failed() {
+		t.Fatalf("build failed: %v %v", res.Err, res.CheckFailure)
+	}
+
+	ids := f.Shards[0].ResidentIDs()
+	if len(ids) == 0 {
+		t.Fatal("shard 0 has no resident bodies")
+	}
+	body := ids[0]
+	// The uniform 2-shard cut splits on the Morton key's top bit, which
+	// is the z axis's top quantized bit: z > 0 keys into s1, z < 0 into
+	// s0 (for the default domain centered at the origin).
+	code, respBody := postJSON(t, f.RouterURL()+"/v1/move", map[string]any{
+		"body": body, "pos": [3]float64{0.1, 0.1, 1.5},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/move: %d: %s", code, respBody)
+	}
+	var mv ClusterMoveResult
+	if err := json.Unmarshal(respBody, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Status != "moved" || mv.From != "s0" || mv.To != "s1" {
+		t.Fatalf("move = %+v, want moved s0→s1", mv)
+	}
+
+	// Exactly one shard holds the body afterward — checked through the
+	// same HTTP surface the smoke script uses.
+	var d0, d1 BodyDoc
+	getJSON(t, fmt.Sprintf("%s/v1/shard/body?id=%d", f.ShardURL(0), body), &d0)
+	getJSON(t, fmt.Sprintf("%s/v1/shard/body?id=%d", f.ShardURL(1), body), &d1)
+	if d0.Present || !d1.Present {
+		t.Fatalf("after handoff: present in s0=%v s1=%v, want exactly s1", d0.Present, d1.Present)
+	}
+	if d1.State == nil || d1.State.Pos != [3]float64{0.1, 0.1, 1.5} {
+		t.Fatalf("handed-off state = %+v, want the moved position", d1.State)
+	}
+
+	// An intra-shard move keeps the body in place.
+	code, respBody = postJSON(t, f.RouterURL()+"/v1/move", map[string]any{
+		"body": body, "pos": [3]float64{-0.3, 0.2, 1.1},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("intra-shard move: %d: %s", code, respBody)
+	}
+	if err := json.Unmarshal(respBody, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Status != "ok" || mv.From != "s1" || mv.To != "s1" {
+		t.Fatalf("intra-shard move = %+v, want ok within s1", mv)
+	}
+
+	// A body nobody holds is 404.
+	if code, _ := postJSON(t, f.RouterURL()+"/v1/move", map[string]any{
+		"body": int32(n + 100), "pos": [3]float64{0, 0, 0},
+	}); code != http.StatusNotFound {
+		t.Fatalf("move of unknown body: %d, want 404", code)
+	}
+}
+
+// TestClusterVersionMismatch pins the consistency token: any map-version
+// disagreement must answer 409 — never a silent misroute on stale
+// ranges.
+func TestClusterVersionMismatch(t *testing.T) {
+	f := startFixture(t, FixtureOptions{Shards: 2})
+
+	// Shard level: a request stamped with a different version.
+	code, body := postJSON(t, f.ShardURL(0)+"/v1/shard/build",
+		ShardBuildRequest{MapVersion: 99, Spec: buildSpec(100)})
+	if code != http.StatusConflict {
+		t.Fatalf("stale build: %d (%s), want 409", code, body)
+	}
+	if code, _ := postJSON(t, f.ShardURL(0)+"/v1/shard/move",
+		MoveRequest{MapVersion: 99, Body: 1}); code != http.StatusConflict {
+		t.Fatalf("stale move: %d, want 409", code)
+	}
+
+	// Router level: a router whose map version moved on (addresses
+	// unchanged) must surface the fleet's 409, not merge partial results.
+	staleMap := f.Map
+	staleMap.Version = 2
+	rt, err := NewRouter(RouterOptions{Map: staleMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	rt.Mount(mux, nil)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	code, body = postJSON(t, srv.URL+"/v1/build", buildSpec(100))
+	if code != http.StatusConflict {
+		t.Fatalf("version-skewed router build: %d (%s), want 409", code, body)
+	}
+	if !strings.Contains(string(body), "version mismatch") {
+		t.Fatalf("409 body does not name the mismatch: %s", body)
+	}
+}
+
+// TestClusterEmptyShard covers the degenerate maps: a shard whose key
+// range holds no bodies must answer a clean zero-contribution result,
+// and a single-shard cluster must behave like one partreed.
+func TestClusterEmptyShard(t *testing.T) {
+	// s0 owns only key range [0,1) — one corner cell of the domain.
+	// The domain is oversized so no Plummer tail body clamps onto the
+	// low corner, leaving the cell genuinely empty.
+	f := startFixture(t, FixtureOptions{Cuts: []uint64{1}, Domain: Domain{Size: 64}})
+	const n = 300
+	res := clusterBuild(t, f, buildSpec(n))
+	if res.Failed() {
+		t.Fatalf("build with empty shard failed: %v %v", res.Err, res.CheckFailure)
+	}
+	if res.Shards[0].N != 0 || res.Shards[0].BodiesBuilt != 0 {
+		t.Fatalf("corner shard should be empty, got N=%d built=%d", res.Shards[0].N, res.Shards[0].BodiesBuilt)
+	}
+	if res.Shards[1].N != n {
+		t.Fatalf("s1 owns %d, want all %d", res.Shards[1].N, n)
+	}
+	if res.BodiesBuilt != n {
+		t.Fatalf("conservation with empty shard: built %d, want %d", res.BodiesBuilt, n)
+	}
+}
+
+func TestClusterSingleShard(t *testing.T) {
+	f := startFixture(t, FixtureOptions{Shards: 1})
+	const n = 400
+	res := clusterBuild(t, f, buildSpec(n))
+	if res.Failed() {
+		t.Fatalf("single-shard build failed: %v %v", res.Err, res.CheckFailure)
+	}
+	if len(res.Shards) != 1 || res.Shards[0].N != n || res.BodiesBuilt != n {
+		t.Fatalf("single-shard merge = %+v, want all %d bodies in one shard", res.Shards, n)
+	}
+}
+
+// TestClusterBackpressure checks that engine admission composes across
+// the tier: a draining shard's 503 becomes the cluster's 503, with the
+// shard's reason surfaced.
+func TestClusterBackpressure(t *testing.T) {
+	f := startFixture(t, FixtureOptions{Shards: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.Engines[1].Drain(ctx); err != nil {
+		t.Fatalf("draining shard 1 engine: %v", err)
+	}
+	code, body := postJSON(t, f.RouterURL()+"/v1/build", buildSpec(200))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("build against draining shard: %d (%s), want 503", code, body)
+	}
+	if !strings.Contains(string(body), engine.ErrDraining.Error()) {
+		t.Fatalf("503 does not carry the engine's reason: %s", body)
+	}
+	if !strings.Contains(string(body), "s1") {
+		t.Fatalf("503 does not name the rejecting shard: %s", body)
+	}
+}
+
+// TestClusterSweepOrder pins the deterministic NDJSON contract: results
+// stream strictly in input-spec order no matter which build finishes
+// first.
+func TestClusterSweepOrder(t *testing.T) {
+	f := startFixture(t, FixtureOptions{Shards: 2})
+	sizes := []int{600, 100, 300}
+	specs := make([]runner.Spec, len(sizes))
+	for i, n := range sizes {
+		specs[i] = buildSpec(n)
+	}
+	b, _ := json.Marshal(specs)
+	resp, err := http.Post(f.RouterURL()+"/v1/sweep", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var got []int
+	for sc.Scan() {
+		var res ClusterResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("decoding sweep record: %v", err)
+		}
+		if res.Failed() {
+			t.Fatalf("sweep record failed: %v %v", res.Err, res.CheckFailure)
+		}
+		if res.BodiesBuilt != int64(res.Spec.Bodies) {
+			t.Fatalf("sweep record n=%d built %d", res.Spec.Bodies, res.BodiesBuilt)
+		}
+		got = append(got, res.Spec.Bodies)
+	}
+	if len(got) != len(sizes) {
+		t.Fatalf("sweep answered %d records, want %d", len(got), len(sizes))
+	}
+	for i, n := range sizes {
+		if got[i] != n {
+			t.Fatalf("sweep order: record %d has n=%d, want %d (input order)", i, got[i], n)
+		}
+	}
+}
+
+// TestClusterSweepIsTransient pins the residency contract of sweeps: a
+// sweep's concurrent builds of *different* body sets must not replace
+// the shards' resident state (whichever spec finished last would win,
+// leaving shards holding subsets of different sets), so after a sweep
+// the fleet still holds exactly the last /v1/build's bodies and the
+// handoff protocol keeps working.
+func TestClusterSweepIsTransient(t *testing.T) {
+	f := startFixture(t, FixtureOptions{Shards: 2})
+	const n = 500
+	if res := clusterBuild(t, f, buildSpec(n)); res.Failed() {
+		t.Fatalf("build failed: %v %v", res.Err, res.CheckFailure)
+	}
+	r0, r1 := f.Shards[0].Resident(), f.Shards[1].Resident()
+	if r0+r1 != n {
+		t.Fatalf("resident after build = %d+%d, want %d", r0, r1, n)
+	}
+
+	specs := []runner.Spec{buildSpec(1200), buildSpec(300), buildSpec(700)}
+	b, _ := json.Marshal(specs)
+	resp, err := http.Post(f.RouterURL()+"/v1/sweep", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d", resp.StatusCode)
+	}
+
+	if g0, g1 := f.Shards[0].Resident(), f.Shards[1].Resident(); g0 != r0 || g1 != r1 {
+		t.Fatalf("sweep disturbed residency: %d+%d, want %d+%d unchanged", g0, g1, r0, r1)
+	}
+
+	// The single-residency invariant survived, so a boundary move still
+	// routes cleanly instead of tripping the router's double-residency
+	// detection.
+	ids := f.Shards[0].ResidentIDs()
+	if len(ids) == 0 {
+		t.Fatal("shard 0 has no resident bodies")
+	}
+	code, respBody := postJSON(t, f.RouterURL()+"/v1/move", map[string]any{
+		"body": ids[0], "pos": [3]float64{0.1, 0.1, 1.5},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("move after sweep: %d: %s", code, respBody)
+	}
+	var mv ClusterMoveResult
+	if err := json.Unmarshal(respBody, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Status != "moved" || mv.From != "s0" || mv.To != "s1" {
+		t.Fatalf("move after sweep = %+v, want moved s0→s1", mv)
+	}
+}
+
+// TestClusterRollupMetrics asserts the aggregated /metrics page: shard
+// health gauges and the summed per-instance shard families.
+func TestClusterRollupMetrics(t *testing.T) {
+	f := startFixture(t, FixtureOptions{Shards: 2})
+	const n = 800
+	if res := clusterBuild(t, f, buildSpec(n)); res.Failed() {
+		t.Fatalf("build failed: %v %v", res.Err, res.CheckFailure)
+	}
+	resp, err := http.Get(f.RouterURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, _ := io.ReadAll(resp.Body)
+	text := string(page)
+	for _, want := range []string{
+		`partree_cluster_shard_up{shard="s0"} 1`,
+		`partree_cluster_shard_up{shard="s1"} 1`,
+		fmt.Sprintf("partree_cluster_resident %d", n),
+		fmt.Sprintf("partree_cluster_bodies_built_total %d", n),
+		"partree_cluster_builds_total 2",
+		"partree_router_builds_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rollup page missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("page:\n%s", text)
+	}
+}

@@ -1,0 +1,558 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"partree/internal/obs"
+	"partree/internal/runner"
+)
+
+// RouterOptions configure a router over a shard map. The map must carry
+// an address for every shard.
+type RouterOptions struct {
+	Map    Map
+	Client ClientOptions
+	// SweepConcurrency bounds how many cluster builds a sweep runs at
+	// once (default 4). Each cluster build already fans out to every
+	// shard, so this bounds fan-out squared.
+	SweepConcurrency int
+	// ScrapeTimeout bounds the rollup collector's per-shard /metrics
+	// scrape (default 2s), keeping a dead shard from stalling the
+	// router's own /metrics page.
+	ScrapeTimeout time.Duration
+}
+
+// ClusterResult is a merged build: the same measurement fields as
+// runner.Result under the same JSON names (so existing clients decode
+// it unchanged), plus the per-shard breakdown. Sums and maxima follow
+// the conservation laws internal/verify audits within one process:
+// counters that partition across processors (bodies, locks, cells,
+// leaves) also partition across shards and are summed; depth and
+// build time are maxima (shards build concurrently, so the cluster's
+// build time is its slowest shard's).
+type ClusterResult struct {
+	Spec         runner.Spec        `json:"spec"`
+	TreeNs       float64            `json:"tree_ns"`
+	LocksTotal   int64              `json:"locks_total"`
+	Retries      int64              `json:"retries,omitempty"`
+	Cells        int64              `json:"cells,omitempty"`
+	Leaves       int64              `json:"leaves,omitempty"`
+	MaxDepth     int64              `json:"max_depth,omitempty"`
+	BodiesBuilt  int64              `json:"bodies_built"`
+	WallNs       int64              `json:"wall_ns"`
+	Err          string             `json:"error,omitempty"`
+	CheckFailure string             `json:"check_failure,omitempty"`
+	Shards       []ShardBuildResult `json:"shards"`
+}
+
+// Failed reports whether the merged build failed (in-band).
+func (r ClusterResult) Failed() bool { return r.Err != "" || r.CheckFailure != "" }
+
+// ClusterMoveResult is the router-level answer to a /v1/move: which
+// shard held the body and, after a handoff, which shard holds it now.
+type ClusterMoveResult struct {
+	Status string `json:"status"` // "ok" (stayed) or "moved" (handed off)
+	Body   int32  `json:"body"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Key    uint64 `json:"key"`
+}
+
+// Router fronts a partreed fleet: it owns the addressed map, a client
+// per shard, and the fan-out/merge logic for builds, sweeps, and
+// cross-shard body moves.
+type Router struct {
+	m       Map
+	clients []*Client
+	sweepC  int
+	scrapeT time.Duration
+
+	builds    *obs.Counter
+	sweeps    *obs.Counter
+	moves     *obs.Counter
+	handoffs  *obs.Counter
+	rejected  *obs.Counter
+	errors    *obs.Counter
+	conflicts *obs.Counter
+}
+
+// NewRouter validates the map (including addresses) and builds one
+// client per shard.
+func NewRouter(o RouterOptions) (*Router, error) {
+	if err := o.Map.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range o.Map.Shards {
+		if s.Addr == "" {
+			return nil, fmt.Errorf("cluster: router map shard %q has no address", s.ID)
+		}
+	}
+	if o.SweepConcurrency <= 0 {
+		o.SweepConcurrency = 4
+	}
+	if o.ScrapeTimeout <= 0 {
+		o.ScrapeTimeout = 2 * time.Second
+	}
+	rt := &Router{
+		m:         o.Map,
+		sweepC:    o.SweepConcurrency,
+		scrapeT:   o.ScrapeTimeout,
+		builds:    obs.NewCounter("partree_router_builds_total", "Cluster builds fanned out and merged."),
+		sweeps:    obs.NewCounter("partree_router_sweeps_total", "Cluster sweeps served."),
+		moves:     obs.NewCounter("partree_router_moves_total", "Cross-shard move requests served."),
+		handoffs:  obs.NewCounter("partree_router_handoffs_total", "Moves that crossed a shard boundary and were handed off."),
+		rejected:  obs.NewCounter("partree_router_rejected_total", "Cluster builds answered 503 because a shard's admission control rejected."),
+		errors:    obs.NewCounter("partree_router_shard_errors_total", "Shard calls that failed at transport level or with an unexpected status."),
+		conflicts: obs.NewCounter("partree_router_version_conflicts_total", "Shard calls refused with 409 (fleet running a different map version)."),
+	}
+	for _, s := range o.Map.Shards {
+		rt.clients = append(rt.clients, NewClient(s.ID, s.Addr, o.Client))
+	}
+	return rt, nil
+}
+
+// Map returns the router's addressed map.
+func (rt *Router) Map() Map { return rt.m }
+
+// RegisterObs registers the router's own families plus the cluster
+// rollup collector, which scrapes every shard's /metrics at gather time
+// and sums the build and admission families into partree_cluster_*.
+func (rt *Router) RegisterObs(reg *obs.Registry) error {
+	if err := reg.Register(rt.builds, rt.sweeps, rt.moves, rt.handoffs,
+		rt.rejected, rt.errors, rt.conflicts); err != nil {
+		return err
+	}
+	return reg.Register(&rollupCollector{rt: rt})
+}
+
+// Mount registers the router routes on mux. A nil wrap mounts them bare.
+func (rt *Router) Mount(mux *http.ServeMux, wrap Middleware) {
+	if wrap == nil {
+		wrap = func(_ string, h http.HandlerFunc) http.HandlerFunc { return h }
+	}
+	mux.HandleFunc("/v1/build", wrap("/v1/build", rt.handleBuild))
+	mux.HandleFunc("/v1/sweep", wrap("/v1/sweep", rt.handleSweep))
+	mux.HandleFunc("/v1/move", wrap("/v1/move", rt.handleMove))
+	mux.HandleFunc("/v1/map", wrap("/v1/map", rt.handleMap))
+}
+
+func (rt *Router) handleMap(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET the shard map")
+		return
+	}
+	b, err := rt.m.Encode()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// decodeClusterSpec vets a spec for cluster execution, mirroring
+// partreed's rules.
+func decodeClusterSpec(dec *json.Decoder) (runner.Spec, error) {
+	var spec runner.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("parsing spec: %w", err)
+	}
+	if spec.Trace != "" {
+		return spec, fmt.Errorf("trace is not supported over HTTP")
+	}
+	// Cluster builds are always native shard builds; see ShardServer.
+	spec.Backend = runner.Native
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// shardAnswer is one shard's build outcome in fan-out arrival order.
+type shardAnswer struct {
+	idx   int
+	order int // completion order, for "slowest shard's reason"
+	res   ShardBuildResult
+	err   error
+}
+
+// fanOutBuild sends the spec to every shard concurrently and returns
+// the answers indexed by shard, plus completion order for error
+// attribution. Transient builds (sweeps) do not establish residency on
+// the shards.
+func (rt *Router) fanOutBuild(ctx context.Context, spec runner.Spec, transient bool) []shardAnswer {
+	answers := make([]shardAnswer, len(rt.clients))
+	var mu sync.Mutex
+	order := 0
+	var wg sync.WaitGroup
+	for i, c := range rt.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			var res ShardBuildResult
+			err := c.Call(ctx, http.MethodPost, "/v1/shard/build",
+				ShardBuildRequest{MapVersion: rt.m.Version, Spec: spec, Transient: transient}, &res)
+			mu.Lock()
+			answers[i] = shardAnswer{idx: i, order: order, res: res, err: err}
+			order++
+			mu.Unlock()
+		}(i, c)
+	}
+	wg.Wait()
+	return answers
+}
+
+// mergeBuild folds per-shard results into one ClusterResult and audits
+// the cluster-level conservation law: the shards' owned subsets must
+// tile the body set exactly, so ΣN == ΣBodiesBuilt == spec.Bodies.
+func mergeBuild(spec runner.Spec, answers []shardAnswer) ClusterResult {
+	out := ClusterResult{Spec: spec, Shards: make([]ShardBuildResult, 0, len(answers))}
+	var sumN int64
+	for _, a := range answers {
+		r := a.res
+		out.Shards = append(out.Shards, r)
+		sumN += int64(r.N)
+		out.BodiesBuilt += r.BodiesBuilt
+		out.LocksTotal += r.LocksTotal
+		out.Retries += r.Retries
+		out.Cells += r.Cells
+		out.Leaves += r.Leaves
+		if r.MaxDepth > out.MaxDepth {
+			out.MaxDepth = r.MaxDepth
+		}
+		if r.TreeNs > out.TreeNs {
+			out.TreeNs = r.TreeNs
+		}
+		if r.WallNs > out.WallNs {
+			out.WallNs = r.WallNs
+		}
+		if r.CheckFailure != "" && out.CheckFailure == "" {
+			out.CheckFailure = r.CheckFailure
+		}
+		if r.Err != "" && out.Err == "" {
+			out.Err = fmt.Sprintf("shard %s: %s", r.Shard, r.Err)
+		}
+	}
+	if out.Err == "" && out.CheckFailure == "" {
+		if sumN != int64(spec.Bodies) {
+			out.CheckFailure = fmt.Sprintf(
+				"cluster conservation: shards own %d bodies, spec has %d (shard ranges do not tile the set)",
+				sumN, spec.Bodies)
+		} else if out.BodiesBuilt != int64(spec.Bodies) {
+			out.CheckFailure = fmt.Sprintf(
+				"cluster conservation: shards built %d bodies, spec has %d",
+				out.BodiesBuilt, spec.Bodies)
+		}
+	}
+	return out
+}
+
+// buildOnce runs one full fan-out/merge. The error return carries an
+// HTTP status to propagate (409/502/503); in-band failures travel
+// inside the ClusterResult.
+func (rt *Router) buildOnce(ctx context.Context, spec runner.Spec, transient bool) (ClusterResult, int, string) {
+	answers := rt.fanOutBuild(ctx, spec, transient)
+	// Transport failures and deliberate rejections are per-status; a 503
+	// surfaces the *slowest* rejecting shard's reason — the request was
+	// held until that shard answered, so its reason is what the caller
+	// actually waited on.
+	var reject *shardAnswer
+	for i := range answers {
+		a := &answers[i]
+		if a.err == nil {
+			continue
+		}
+		if se, ok := a.err.(*StatusError); ok {
+			switch se.Code {
+			case http.StatusServiceUnavailable:
+				rt.rejected.Inc()
+				if reject == nil || a.order > reject.order {
+					reject = a
+				}
+				continue
+			case http.StatusConflict:
+				rt.conflicts.Inc()
+				return ClusterResult{}, http.StatusConflict,
+					fmt.Sprintf("shard %s: %s", rt.m.Shards[a.idx].ID, se.Msg)
+			}
+		}
+		rt.errors.Inc()
+		return ClusterResult{}, http.StatusBadGateway,
+			fmt.Sprintf("shard %s: %v", rt.m.Shards[a.idx].ID, a.err)
+	}
+	if reject != nil {
+		se := reject.err.(*StatusError)
+		return ClusterResult{}, http.StatusServiceUnavailable,
+			fmt.Sprintf("shard %s: %s", rt.m.Shards[reject.idx].ID, se.Msg)
+	}
+	rt.builds.Inc()
+	return mergeBuild(spec, answers), 0, ""
+}
+
+func (rt *Router) handleBuild(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST a runner.Spec JSON document")
+		return
+	}
+	spec, err := decodeClusterSpec(json.NewDecoder(req.Body))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, code, msg := rt.buildOnce(req.Context(), spec, false)
+	if code != 0 {
+		jsonError(w, code, msg)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (rt *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST a JSON array of runner.Spec documents")
+		return
+	}
+	var specs []runner.Spec
+	if err := json.NewDecoder(req.Body).Decode(&specs); err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("parsing spec list: %v", err))
+		return
+	}
+	for i := range specs {
+		if specs[i].Trace != "" {
+			jsonError(w, http.StatusBadRequest, fmt.Sprintf("spec %d: trace is not supported over HTTP", i))
+			return
+		}
+		specs[i].Backend = runner.Native
+		specs[i] = specs[i].Normalized()
+		if err := specs[i].Validate(); err != nil {
+			jsonError(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
+			return
+		}
+	}
+	rt.sweeps.Inc()
+
+	// The NDJSON stream is deterministic in *order*: results are emitted
+	// strictly in input-spec order regardless of which cluster build
+	// finishes first, so interleaved per-shard timing can never reorder
+	// the stream. Failures travel in-band per record, like a sweep
+	// against a single partreed.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	results := make([]ClusterResult, len(specs))
+	done := make([]chan struct{}, len(specs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, rt.sweepC)
+	for i := range specs {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; close(done[i]) }()
+			res, code, msg := rt.buildOnce(req.Context(), specs[i], true)
+			if code != 0 {
+				res = ClusterResult{Spec: specs[i], Err: msg}
+			}
+			results[i] = res
+		}(i)
+	}
+	enc := json.NewEncoder(w)
+	for i := range specs {
+		<-done[i]
+		enc.Encode(results[i])
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleMove routes a body's position change: every shard is asked to
+// apply it (exactly one can hold the body), and a handoff answer is
+// delivered to the key's owner. The invariant this preserves is the
+// acceptance criterion of the tier: after a boundary-crossing move the
+// body is resident in exactly one shard.
+func (rt *Router) handleMove(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST {\"body\": N, \"pos\": [x,y,z]}")
+		return
+	}
+	var mr struct {
+		Body int32      `json:"body"`
+		Pos  [3]float64 `json:"pos"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&mr); err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
+		return
+	}
+	rt.moves.Inc()
+
+	// Broadcast: residency is the shards' truth, not the router's guess
+	// (the body may have been handed off before, so its key under the
+	// *old* position is not reliable routing).
+	type moveAnswer struct {
+		idx int
+		res MoveResponse
+		err error
+	}
+	answers := make([]moveAnswer, len(rt.clients))
+	var wg sync.WaitGroup
+	for i, c := range rt.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			var res MoveResponse
+			err := c.Call(req.Context(), http.MethodPost, "/v1/shard/move",
+				MoveRequest{MapVersion: rt.m.Version, Body: mr.Body, Pos: mr.Pos}, &res)
+			answers[i] = moveAnswer{idx: i, res: res, err: err}
+		}(i, c)
+	}
+	wg.Wait()
+
+	var holder *moveAnswer
+	for i := range answers {
+		a := &answers[i]
+		if a.err != nil {
+			if se, ok := a.err.(*StatusError); ok && se.Code == http.StatusConflict {
+				rt.conflicts.Inc()
+				jsonError(w, http.StatusConflict, fmt.Sprintf("shard %s: %s", rt.m.Shards[a.idx].ID, se.Msg))
+				return
+			}
+			rt.errors.Inc()
+			jsonError(w, http.StatusBadGateway, fmt.Sprintf("shard %s: %v", rt.m.Shards[a.idx].ID, a.err))
+			return
+		}
+		if a.res.Status != MoveAbsent {
+			if holder != nil {
+				jsonError(w, http.StatusInternalServerError,
+					fmt.Sprintf("body %d resident in both %s and %s", mr.Body,
+						rt.m.Shards[holder.idx].ID, rt.m.Shards[a.idx].ID))
+				return
+			}
+			holder = a
+		}
+	}
+	if holder == nil {
+		jsonError(w, http.StatusNotFound, fmt.Sprintf("body %d is not resident in any shard", mr.Body))
+		return
+	}
+	from := rt.m.Shards[holder.idx].ID
+	if holder.res.Status == MoveOK {
+		writeJSON(w, ClusterMoveResult{Status: "ok", Body: mr.Body, From: from, To: from, Key: holder.res.Key})
+		return
+	}
+
+	// Handoff: deliver the evicted state to the key's owner.
+	owner := rt.m.ShardFor(holder.res.Key)
+	if owner < 0 || holder.res.State == nil {
+		jsonError(w, http.StatusInternalServerError,
+			fmt.Sprintf("handoff of body %d has no owner for key %#x", mr.Body, holder.res.Key))
+		return
+	}
+	err := rt.clients[owner].Call(req.Context(), http.MethodPost, "/v1/shard/accept",
+		AcceptRequest{MapVersion: rt.m.Version, Body: mr.Body, State: *holder.res.State}, nil)
+	if err != nil {
+		// The body has already left the source; surface loudly rather
+		// than pretending the move completed.
+		rt.errors.Inc()
+		jsonError(w, http.StatusBadGateway,
+			fmt.Sprintf("handoff of body %d to shard %s failed: %v", mr.Body, rt.m.Shards[owner].ID, err))
+		return
+	}
+	rt.handoffs.Inc()
+	writeJSON(w, ClusterMoveResult{Status: "moved", Body: mr.Body, From: from,
+		To: rt.m.Shards[owner].ID, Key: holder.res.Key})
+}
+
+// rollupFamilies maps each aggregated partree_cluster_* family to the
+// shard-side prefix it sums (series names keep their labels, so a
+// labeled family like partree_engine_rejected_total{reason=...} sums
+// across reasons and shards alike).
+var rollupFamilies = []struct {
+	name, prefix, help string
+}{
+	{"partree_cluster_builds_total", "partree_shard_builds_total", "Shard-level builds served, summed across the fleet."},
+	{"partree_cluster_bodies_built_total", "partree_shard_bodies_built_total", "Bodies loaded into shard trees, summed across the fleet."},
+	{"partree_cluster_handoffs_total", "partree_shard_handoffs_total", "Boundary-crossing evictions, summed across the fleet."},
+	{"partree_cluster_accepts_total", "partree_shard_accepts_total", "Handoff acceptances, summed across the fleet."},
+	{"partree_cluster_resident", "partree_shard_resident", "Resident bodies, summed across the fleet."},
+	{"partree_cluster_build_total", "partree_build_total", "Process-level builds, summed across the fleet."},
+	{"partree_cluster_build_bodies_total", "partree_build_bodies_total", "Process-level bodies built, summed across the fleet."},
+	{"partree_cluster_build_locks_total", "partree_build_locks_total", "Process-level build lock acquisitions, summed across the fleet."},
+	{"partree_cluster_engine_rejected_total", "partree_engine_rejected_total", "Engine admission rejections, summed across reasons and the fleet."},
+}
+
+// rollupCollector aggregates the fleet's metrics at gather time: one
+// concurrent scrape per shard (bounded by ScrapeTimeout), summed into
+// partree_cluster_* families, plus a per-shard partree_cluster_shard_up
+// gauge from scrape success. A dead shard degrades to up=0 and drops
+// out of the sums instead of failing the router's page.
+type rollupCollector struct {
+	rt *Router
+}
+
+func (rc *rollupCollector) Collect(out []obs.Family) []obs.Family {
+	rt := rc.rt
+	ctx, cancel := context.WithTimeout(context.Background(), rt.scrapeT)
+	defer cancel()
+	snaps := make([]map[string]float64, len(rt.clients))
+	var wg sync.WaitGroup
+	for i, c := range rt.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			snaps[i], _ = c.Metrics(ctx)
+		}(i, c)
+	}
+	wg.Wait()
+
+	up := obs.Family{Name: "partree_cluster_shard_up", Type: obs.TypeGauge,
+		Help: "1 when the shard's last /metrics scrape succeeded."}
+	for i, s := range rt.m.Shards {
+		v := 0.0
+		if snaps[i] != nil {
+			v = 1
+		}
+		up.Series = append(up.Series, obs.Series{
+			Labels: []obs.Label{{Name: "shard", Value: s.ID}}, Value: v})
+	}
+	out = append(out, up)
+
+	for _, rf := range rollupFamilies {
+		var sum float64
+		seen := false
+		for _, snap := range snaps {
+			for k, v := range snap {
+				if metricMatches(k, rf.prefix) {
+					sum += v
+					seen = true
+				}
+			}
+		}
+		if !seen {
+			continue
+		}
+		typ := obs.TypeCounter
+		if !strings.HasSuffix(rf.name, "_total") {
+			typ = obs.TypeGauge
+		}
+		out = append(out, obs.Family{Name: rf.name, Type: typ, Help: rf.help,
+			Series: []obs.Series{{Value: sum}}})
+	}
+	return out
+}
+
+// metricMatches reports whether a scraped series line (name plus
+// optional label block) belongs to a family name: an exact match or the
+// name followed by '{'.
+func metricMatches(series, family string) bool {
+	if !strings.HasPrefix(series, family) {
+		return false
+	}
+	return len(series) == len(family) || series[len(family)] == '{'
+}

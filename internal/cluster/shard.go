@@ -1,0 +1,532 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"partree/internal/core"
+	"partree/internal/engine"
+	"partree/internal/obs"
+	"partree/internal/octree"
+	"partree/internal/phys"
+	"partree/internal/runner"
+	"partree/internal/vec"
+	"partree/internal/verify"
+)
+
+// BodyState is the per-body state a shard keeps resident and the
+// handoff protocol ships between shards when a body crosses a range
+// boundary. It is deliberately the minimal physical state: position
+// (which decides ownership), velocity, and mass.
+type BodyState struct {
+	Pos  [3]float64 `json:"pos"`
+	Vel  [3]float64 `json:"vel"`
+	Mass float64    `json:"mass"`
+}
+
+// ShardBuildRequest is the shard-level build call: the sender's map
+// version plus the full cluster spec. Every shard receives the same
+// spec; each deterministically regenerates the full body set, keys it
+// against the shared domain, and builds only its owned subset — the
+// cluster analogue of SPLASH's "all processors read the shared body
+// array, each builds its part".
+type ShardBuildRequest struct {
+	MapVersion int         `json:"map_version"`
+	Spec       runner.Spec `json:"spec"`
+	// Transient builds measure without establishing residency. Sweep
+	// builds set it: a sweep fans out many specs concurrently, and
+	// letting each build replace the resident set would leave shards
+	// holding subsets of *different* body sets — whichever spec's build
+	// finished last on each shard — breaking the single-residency
+	// invariant across the fleet.
+	Transient bool `json:"transient,omitempty"`
+}
+
+// ShardBuildResult is one shard's contribution to a merged build: the
+// owned body count, the last repetition's tree metrics, and the best-of
+// build time, with failures carried in-band like runner.Result.
+type ShardBuildResult struct {
+	Shard        string  `json:"shard"`
+	N            int     `json:"n"`
+	BodiesBuilt  int64   `json:"bodies_built"`
+	TreeNs       float64 `json:"tree_ns"`
+	LocksTotal   int64   `json:"locks_total"`
+	Retries      int64   `json:"retries,omitempty"`
+	Cells        int64   `json:"cells,omitempty"`
+	Leaves       int64   `json:"leaves,omitempty"`
+	MaxDepth     int64   `json:"max_depth,omitempty"`
+	WallNs       int64   `json:"wall_ns"`
+	Err          string  `json:"error,omitempty"`
+	CheckFailure string  `json:"check_failure,omitempty"`
+}
+
+// Failed reports whether the shard's build failed (in-band).
+func (r ShardBuildResult) Failed() bool { return r.Err != "" || r.CheckFailure != "" }
+
+// MoveRequest asks the shard to apply a new position to a resident
+// body. If the new position keys outside the shard's range, the shard
+// evicts the body and answers a handoff instead of keeping state it no
+// longer owns.
+type MoveRequest struct {
+	MapVersion int        `json:"map_version"`
+	Body       int32      `json:"body"`
+	Pos        [3]float64 `json:"pos"`
+}
+
+// Move statuses.
+const (
+	MoveOK      = "ok"      // body stayed; position updated in place
+	MoveAbsent  = "absent"  // body is not resident here
+	MoveHandoff = "handoff" // body evicted; State must be delivered to Key's owner
+)
+
+// MoveResponse is the shard's answer to a move (or accept).
+type MoveResponse struct {
+	Status string     `json:"status"`
+	Shard  string     `json:"shard"`
+	Body   int32      `json:"body"`
+	Key    uint64     `json:"key,omitempty"`
+	State  *BodyState `json:"state,omitempty"`
+}
+
+// AcceptRequest delivers an evicted body's state to its new owner. A
+// shard that is not the owner under its own map answers 421
+// (Misdirected Request) so a routing bug can never split a body across
+// two shards.
+type AcceptRequest struct {
+	MapVersion int       `json:"map_version"`
+	Body       int32     `json:"body"`
+	State      BodyState `json:"state"`
+}
+
+// ShardInfo is the GET /v1/shard document.
+type ShardInfo struct {
+	ID         string `json:"id"`
+	MapVersion int    `json:"map_version"`
+	Lo         uint64 `json:"lo"`
+	Hi         uint64 `json:"hi"`
+	Resident   int    `json:"resident"`
+}
+
+// BodyDoc is the GET /v1/shard/body answer, used by tests and the smoke
+// script to assert a handed-off body lives in exactly one shard.
+type BodyDoc struct {
+	Present bool       `json:"present"`
+	Shard   string     `json:"shard"`
+	Body    int32      `json:"body"`
+	State   *BodyState `json:"state,omitempty"`
+}
+
+// ShardServer owns one Morton range of the cluster: it serves shard-
+// level builds through the process's engine (so the engine's admission
+// control composes shard by shard), keeps the resident body states for
+// its range, and enforces the handoff protocol with the engine.Guard.
+type ShardServer struct {
+	m     Map
+	idx   int
+	guard engine.Guard
+	eng   *engine.Engine
+
+	mu       sync.Mutex
+	resident map[int32]BodyState
+	memoKey  string
+	memo     *phys.Bodies
+
+	builds    *obs.Counter
+	built     *obs.Counter
+	handoffs  *obs.Counter
+	accepts   *obs.Counter
+	conflicts *obs.Counter
+	redirects *obs.Counter
+}
+
+// NewShardServer builds the serving state for shard index idx of the
+// map. The map may be addr-less: a shard needs only the shared domain
+// and its own range.
+func NewShardServer(m Map, idx int, eng *engine.Engine) (*ShardServer, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(m.Shards) {
+		return nil, fmt.Errorf("cluster: shard index %d out of range for %d-shard map", idx, len(m.Shards))
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("cluster: shard server needs an engine")
+	}
+	s := &ShardServer{
+		m:   m,
+		idx: idx,
+		guard: engine.Guard{
+			Domain: m.Domain.Cube(),
+			Lo:     m.Shards[idx].Lo,
+			Hi:     m.Shards[idx].Hi,
+		},
+		eng:       eng,
+		resident:  make(map[int32]BodyState),
+		builds:    obs.NewCounter("partree_shard_builds_total", "Shard-level builds served."),
+		built:     obs.NewCounter("partree_shard_bodies_built_total", "Bodies loaded into trees by shard-level builds (last repetition of each)."),
+		handoffs:  obs.NewCounter("partree_shard_handoffs_total", "Bodies evicted because a move keyed them outside the owned range."),
+		accepts:   obs.NewCounter("partree_shard_accepts_total", "Bodies accepted into residency from a handoff."),
+		conflicts: obs.NewCounter("partree_shard_version_conflicts_total", "Requests refused with 409 for carrying a different map version."),
+		redirects: obs.NewCounter("partree_shard_misdirects_total", "Accepts refused with 421 because this shard does not own the body's key."),
+	}
+	return s, nil
+}
+
+// ID returns the shard's map ID.
+func (s *ShardServer) ID() string { return s.m.Shards[s.idx].ID }
+
+// Guard exposes the shard's ownership guard (tests key against it).
+func (s *ShardServer) Guard() engine.Guard { return s.guard }
+
+// Resident returns the number of resident bodies.
+func (s *ShardServer) Resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.resident)
+}
+
+// ResidentIDs returns the resident body ids in ascending order (tests
+// and debugging; the serving path never needs the full list).
+func (s *ShardServer) ResidentIDs() []int32 {
+	s.mu.Lock()
+	ids := make([]int32, 0, len(s.resident))
+	for id := range s.resident {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// RegisterObs registers the partree_shard_* families.
+func (s *ShardServer) RegisterObs(reg *obs.Registry) error {
+	return reg.Register(
+		s.builds, s.built, s.handoffs, s.accepts, s.conflicts, s.redirects,
+		obs.NewGaugeFunc("partree_shard_resident", "Bodies currently resident in this shard's range.",
+			func() float64 { return float64(s.Resident()) }),
+	)
+}
+
+// Middleware wraps one shard route; partreed passes its instrument
+// middleware so shard routes get request IDs, spans, and access logs
+// like every other endpoint.
+type Middleware func(route string, h http.HandlerFunc) http.HandlerFunc
+
+// Mount registers the shard routes on mux. A nil wrap mounts them bare.
+func (s *ShardServer) Mount(mux *http.ServeMux, wrap Middleware) {
+	if wrap == nil {
+		wrap = func(_ string, h http.HandlerFunc) http.HandlerFunc { return h }
+	}
+	mux.HandleFunc("/v1/shard", wrap("/v1/shard", s.handleInfo))
+	mux.HandleFunc("/v1/shard/build", wrap("/v1/shard/build", s.handleBuild))
+	mux.HandleFunc("/v1/shard/move", wrap("/v1/shard/move", s.handleMove))
+	mux.HandleFunc("/v1/shard/accept", wrap("/v1/shard/accept", s.handleAccept))
+	mux.HandleFunc("/v1/shard/body", wrap("/v1/shard/body", s.handleBody))
+}
+
+// jsonError mirrors partreed's error document shape (the instrument
+// middleware, when present, has already set X-Request-Id).
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	doc := map[string]string{"error": msg}
+	if id := w.Header().Get("X-Request-Id"); id != "" {
+		doc["request_id"] = id
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(doc)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// checkVersion enforces the map-version consistency token: any mismatch
+// is 409, never a silent misroute on stale ranges.
+func (s *ShardServer) checkVersion(w http.ResponseWriter, got int) bool {
+	if got != s.m.Version {
+		s.conflicts.Inc()
+		jsonError(w, http.StatusConflict,
+			fmt.Sprintf("map version mismatch: shard %s has %d, request carries %d", s.ID(), s.m.Version, got))
+		return false
+	}
+	return true
+}
+
+func (s *ShardServer) handleInfo(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET the shard info document")
+		return
+	}
+	sh := s.m.Shards[s.idx]
+	writeJSON(w, ShardInfo{ID: sh.ID, MapVersion: s.m.Version, Lo: sh.Lo, Hi: sh.Hi, Resident: s.Resident()})
+}
+
+func (s *ShardServer) handleBody(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET with ?id=<body>")
+		return
+	}
+	id, err := strconv.ParseInt(req.URL.Query().Get("id"), 10, 32)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "id must be a body index")
+		return
+	}
+	s.mu.Lock()
+	st, ok := s.resident[int32(id)]
+	s.mu.Unlock()
+	doc := BodyDoc{Present: ok, Shard: s.ID(), Body: int32(id)}
+	if ok {
+		doc.State = &st
+	}
+	writeJSON(w, doc)
+}
+
+// bodiesFor regenerates (or reuses) the deterministic full body set for
+// a spec. One memo entry suffices: cluster traffic repeats one spec
+// shape at a time, and regeneration is always correct.
+func (s *ShardServer) bodiesFor(spec runner.Spec) (*phys.Bodies, error) {
+	model, ok := phys.ParseModel(spec.Model)
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q", spec.Model)
+	}
+	key := fmt.Sprintf("%s|%d|%d", spec.Model, spec.Bodies, spec.Seed)
+	s.mu.Lock()
+	if s.memoKey == key {
+		b := s.memo
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.Unlock()
+	b := phys.Generate(model, spec.Bodies, spec.Seed)
+	s.mu.Lock()
+	s.memoKey, s.memo = key, b
+	s.mu.Unlock()
+	return b, nil
+}
+
+func (s *ShardServer) handleBuild(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST a ShardBuildRequest JSON document")
+		return
+	}
+	var br ShardBuildRequest
+	if err := json.NewDecoder(req.Body).Decode(&br); err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
+		return
+	}
+	if !s.checkVersion(w, br.MapVersion) {
+		return
+	}
+	// The cluster tier executes real shard-local builds; the simulated
+	// backend has no meaning here, so the field is pinned rather than
+	// silently defaulting to a simulation.
+	br.Spec.Backend = runner.Native
+	spec := br.Spec.Normalized()
+	if spec.Trace != "" {
+		jsonError(w, http.StatusBadRequest, "trace is not supported over HTTP")
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	all, err := s.bodiesFor(spec)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Key the full set against the *map's* domain — every shard computes
+	// identical keys, so the owned subsets tile the body set exactly.
+	owned := make([]int32, 0, all.N()/len(s.m.Shards)+1)
+	for i := 0; i < all.N(); i++ {
+		if s.guard.Owns(s.guard.Key(all.Pos[i])) {
+			owned = append(owned, int32(i))
+		}
+	}
+
+	res := ShardBuildResult{Shard: s.ID(), N: len(owned)}
+	start := time.Now()
+	if len(owned) > 0 {
+		s.runBuild(req.Context(), spec, all, owned, &res)
+	}
+	res.WallNs = time.Since(start).Nanoseconds()
+	if res.Err != "" && engineRejected(res.Err) {
+		jsonError(w, http.StatusServiceUnavailable, res.Err)
+		return
+	}
+	s.builds.Inc()
+	s.built.Add(float64(res.BodiesBuilt))
+
+	// A completed build establishes residency: the shard now holds the
+	// state of exactly the bodies it built. Transient builds (sweeps)
+	// skip this — concurrent specs would otherwise race to be the
+	// shard's resident set.
+	if !res.Failed() && !br.Transient {
+		states := make(map[int32]BodyState, len(owned))
+		for _, i := range owned {
+			states[i] = BodyState{
+				Pos:  [3]float64{all.Pos[i].X, all.Pos[i].Y, all.Pos[i].Z},
+				Vel:  [3]float64{all.Vel[i].X, all.Vel[i].Y, all.Vel[i].Z},
+				Mass: all.Mass[i],
+			}
+		}
+		s.mu.Lock()
+		s.resident = states
+		s.mu.Unlock()
+	}
+	writeJSON(w, res)
+}
+
+// engineRejected reports whether a shard-build error is an engine
+// admission rejection — the sentinel texts are the 503 contract, same
+// as partreed's.
+func engineRejected(msg string) bool {
+	return strings.Contains(msg, engine.ErrQueueFull.Error()) ||
+		strings.Contains(msg, engine.ErrDraining.Error())
+}
+
+// vecOf converts the JSON-stable triple into the geometric type.
+func vecOf(p [3]float64) vec.V3 {
+	return vec.V3{X: p[0], Y: p[1], Z: p[2]}
+}
+
+// runBuild executes the owned subset's build through the engine,
+// mirroring the single-process build-only path: best-of-Steps wall
+// time, last repetition's tree metrics, optional per-shard verification
+// under the same conservation laws.
+func (s *ShardServer) runBuild(ctx context.Context, spec runner.Spec, all *phys.Bodies, owned []int32, res *ShardBuildResult) {
+	sub := phys.NewBodies(len(owned))
+	for j, i := range owned {
+		sub.Pos[j] = all.Pos[i]
+		sub.Vel[j] = all.Vel[i]
+		sub.Acc[j] = all.Acc[i]
+		sub.Mass[j] = all.Mass[i]
+		sub.Cost[j] = all.Cost[i]
+	}
+
+	ses, err := s.eng.Acquire(ctx, engine.Key{Alg: spec.Alg, P: spec.Procs, LeafCap: spec.LeafCap})
+	if err != nil {
+		res.Err = fmt.Sprintf("shard %s build: %v", s.ID(), err)
+		return
+	}
+	defer ses.Release()
+
+	assign := core.EvenAssign(sub.N(), spec.Procs)
+	if spec.Spatial {
+		assign = core.SpatialAssign(sub, spec.Procs)
+	}
+	in := &core.Input{Bodies: sub, Assign: assign}
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < spec.Steps; rep++ {
+		if err := ctx.Err(); err != nil {
+			res.Err = fmt.Sprintf("shard %s build: %v after %d/%d reps", s.ID(), err, rep, spec.Steps)
+			return
+		}
+		in.Step = rep
+		t0 := time.Now()
+		tree, metrics := ses.Build(in)
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+		if spec.Check {
+			if err := verify.Build(spec.Alg, tree, metrics, sub, rep); err != nil {
+				res.CheckFailure = fmt.Sprintf("shard %s: %v", s.ID(), err)
+				return
+			}
+		}
+		st := octree.CollectStats(tree)
+		res.Cells = int64(st.Cells)
+		res.Leaves = int64(st.Leaves)
+		res.MaxDepth = int64(st.MaxDepth)
+		res.LocksTotal = metrics.TotalLocks()
+		res.Retries = metrics.TotalRetries()
+		res.BodiesBuilt = totalBodiesBuilt(metrics)
+	}
+	res.TreeNs = float64(best)
+}
+
+func totalBodiesBuilt(m *core.Metrics) int64 {
+	var t int64
+	for i := range m.PerP {
+		t += m.PerP[i].BodiesBuilt
+	}
+	return t
+}
+
+func (s *ShardServer) handleMove(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST a MoveRequest JSON document")
+		return
+	}
+	var mr MoveRequest
+	if err := json.NewDecoder(req.Body).Decode(&mr); err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
+		return
+	}
+	if !s.checkVersion(w, mr.MapVersion) {
+		return
+	}
+	pos := vecOf(mr.Pos)
+
+	s.mu.Lock()
+	st, ok := s.resident[mr.Body]
+	if !ok {
+		s.mu.Unlock()
+		writeJSON(w, MoveResponse{Status: MoveAbsent, Shard: s.ID(), Body: mr.Body})
+		return
+	}
+	st.Pos = mr.Pos
+	err := s.guard.Check(mr.Body, pos)
+	if err == nil {
+		s.resident[mr.Body] = st
+		s.mu.Unlock()
+		writeJSON(w, MoveResponse{Status: MoveOK, Shard: s.ID(), Body: mr.Body, Key: s.guard.Key(pos)})
+		return
+	}
+	// The new position keys outside our range: evict now — keeping state
+	// we no longer own is how a body ends up in two shards — and hand the
+	// state back for delivery to the key's owner.
+	delete(s.resident, mr.Body)
+	s.mu.Unlock()
+	s.handoffs.Inc()
+	var re *engine.RedirectError
+	errors.As(err, &re)
+	writeJSON(w, MoveResponse{Status: MoveHandoff, Shard: s.ID(), Body: mr.Body, Key: re.Key, State: &st})
+}
+
+func (s *ShardServer) handleAccept(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST an AcceptRequest JSON document")
+		return
+	}
+	var ar AcceptRequest
+	if err := json.NewDecoder(req.Body).Decode(&ar); err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
+		return
+	}
+	if !s.checkVersion(w, ar.MapVersion) {
+		return
+	}
+	if err := s.guard.Check(ar.Body, vecOf(ar.State.Pos)); err != nil {
+		// Misdirected: accepting would claim a key another shard owns.
+		s.redirects.Inc()
+		jsonError(w, http.StatusMisdirectedRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.resident[ar.Body] = ar.State
+	s.mu.Unlock()
+	s.accepts.Inc()
+	writeJSON(w, MoveResponse{Status: MoveOK, Shard: s.ID(), Body: ar.Body, Key: s.guard.Key(vecOf(ar.State.Pos))})
+}

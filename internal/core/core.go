@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"partree/internal/octree"
+	"partree/internal/partition"
 	"partree/internal/phys"
 	"partree/internal/trace"
 	"partree/internal/vec"
@@ -234,7 +235,7 @@ func SpatialAssign(b *phys.Bodies, p int) [][]int32 {
 	keys := make([]uint64, n)
 	for i := 0; i < n; i++ {
 		idx[i] = int32(i)
-		keys[i] = cube.Morton(b.Pos[i])
+		keys[i] = partition.MortonKey(cube, b.Pos[i])
 	}
 	sort.Slice(idx, func(a, c int) bool {
 		if keys[idx[a]] != keys[idx[c]] {

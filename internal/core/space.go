@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"partree/internal/octree"
+	"partree/internal/partition"
 	"partree/internal/trace"
 	"partree/internal/vec"
 )
@@ -276,8 +277,8 @@ func assignSubspaces(root vec.Cube, subs []subspace, p int) {
 		total += subs[i].count
 	}
 	sort.Slice(order, func(a, b int) bool {
-		ka := root.Morton(subs[order[a]].cube.Center)
-		kb := root.Morton(subs[order[b]].cube.Center)
+		ka := partition.MortonKey(root, subs[order[a]].cube.Center)
+		kb := partition.MortonKey(root, subs[order[b]].cube.Center)
 		if ka != kb {
 			return ka < kb
 		}

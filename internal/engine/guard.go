@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+
+	"partree/internal/partition"
+	"partree/internal/vec"
+)
+
+// Guard is the admission boundary a sharded engine places in front of
+// body state: a shard owns the half-open Morton key range [Lo, Hi) of a
+// shared domain cube, and every body whose position keys outside that
+// range must be refused with a typed *RedirectError instead of being
+// absorbed. The router uses the error's key to find the body's rightful
+// owner, so a body crossing a shard boundary between steps is handed
+// off consistently — it leaves the source shard and enters exactly one
+// destination, never both and never neither.
+//
+// The zero Guard owns nothing; a single-shard deployment uses
+// [0, partition.KeySpace) and never redirects.
+type Guard struct {
+	Domain vec.Cube // the cluster-wide domain every shard keys against
+	Lo, Hi uint64   // owned key range, half-open [Lo, Hi)
+}
+
+// Key returns the Morton key of a position under the guard's domain.
+// All shards of one map share the domain cube, so a key computed on any
+// shard names the same spatial cell on every other.
+func (g Guard) Key(p vec.V3) uint64 {
+	return partition.MortonKey(g.Domain, p)
+}
+
+// Owns reports whether a key falls inside the guard's range.
+func (g Guard) Owns(key uint64) bool {
+	return key >= g.Lo && key < g.Hi
+}
+
+// Check admits a body position or rejects it with a *RedirectError
+// carrying the body id and its Morton key. A nil error means the body
+// belongs here.
+func (g Guard) Check(body int32, p vec.V3) error {
+	if key := g.Key(p); !g.Owns(key) {
+		return &RedirectError{Body: body, Key: key, Lo: g.Lo, Hi: g.Hi}
+	}
+	return nil
+}
+
+// RedirectError reports a body whose position keys outside the shard's
+// owned range. It is the handoff currency between a shard and the
+// router: the shard refuses (or evicts) the body and returns this error,
+// and the router resolves Key against the shard map to deliver the body
+// to its owner. Callers match it with errors.As.
+type RedirectError struct {
+	Body   int32  // body id that missed the range
+	Key    uint64 // the body's Morton key under the shared domain
+	Lo, Hi uint64 // the range that refused it
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("engine: body %d key %#x outside shard range [%#x, %#x)",
+		e.Body, e.Key, e.Lo, e.Hi)
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"partree/internal/partition"
+	"partree/internal/vec"
+)
+
+func TestGuardCheck(t *testing.T) {
+	domain := vec.Cube{Size: 2}
+	full := Guard{Domain: domain, Lo: 0, Hi: partition.KeySpace}
+	if err := full.Check(7, vec.V3{X: 0.9, Y: -0.9, Z: 0.3}); err != nil {
+		t.Fatalf("full-range guard rejected an in-domain body: %v", err)
+	}
+	// Out-of-domain positions clamp to a face key, which the full range
+	// still owns: a single-shard deployment never redirects.
+	if err := full.Check(8, vec.V3{X: 50, Y: 50, Z: 50}); err != nil {
+		t.Fatalf("full-range guard rejected a clamped body: %v", err)
+	}
+
+	half := Guard{Domain: domain, Lo: 0, Hi: partition.KeySpace / 2}
+	lowBody := vec.V3{X: -0.9, Y: -0.9, Z: -0.9}
+	highBody := vec.V3{X: 0.9, Y: 0.9, Z: 0.9}
+	if err := half.Check(1, lowBody); err != nil {
+		t.Fatalf("low-half guard rejected a low body: %v", err)
+	}
+	err := half.Check(2, highBody)
+	if err == nil {
+		t.Fatalf("low-half guard admitted a high body")
+	}
+	var re *RedirectError
+	if !errors.As(err, &re) {
+		t.Fatalf("guard rejection is %T, want *RedirectError", err)
+	}
+	if re.Body != 2 {
+		t.Fatalf("redirect names body %d, want 2", re.Body)
+	}
+	if re.Key != half.Key(highBody) {
+		t.Fatalf("redirect key %#x != guard key %#x", re.Key, half.Key(highBody))
+	}
+	if re.Key < partition.KeySpace/2 || re.Key >= partition.KeySpace {
+		t.Fatalf("redirect key %#x not in the complementary range", re.Key)
+	}
+	if re.Lo != half.Lo || re.Hi != half.Hi {
+		t.Fatalf("redirect range [%#x, %#x) != guard range [%#x, %#x)", re.Lo, re.Hi, half.Lo, half.Hi)
+	}
+}
+
+// TestGuardBoundaryKey pins the half-open convention: a key equal to Hi
+// belongs to the next shard, a key equal to Lo belongs to this one.
+func TestGuardBoundaryKey(t *testing.T) {
+	cut := partition.KeySpace / 2
+	low := Guard{Lo: 0, Hi: cut}
+	high := Guard{Lo: cut, Hi: partition.KeySpace}
+	if low.Owns(cut) {
+		t.Fatalf("low shard owns its exclusive upper bound %#x", cut)
+	}
+	if !high.Owns(cut) {
+		t.Fatalf("high shard does not own its inclusive lower bound %#x", cut)
+	}
+	if !low.Owns(0) || !low.Owns(cut-1) {
+		t.Fatalf("low shard missing interior keys")
+	}
+	if high.Owns(partition.KeySpace) {
+		t.Fatalf("high shard owns KeySpace, which no key reaches")
+	}
+}

@@ -1,0 +1,60 @@
+package partition
+
+import "partree/internal/vec"
+
+// The Morton keying below is the one spatial-ordering primitive every
+// layer shares: SPACE's subspace-to-processor assignment, the spatially
+// compact body partitions core.SpatialAssign fakes a settled costzones
+// cut with, the simulated SPACE replay, and — at the cluster level — the
+// shard map that splits the domain into spatially contiguous key ranges
+// for a partreed fleet. It used to live as an unexported detail of the
+// build path (vec.Cube.Morton called ad hoc from three places); exporting
+// one canonical function here makes the keying a contract rather than a
+// coincidence. vec.Cube.Morton remains as the low-level geometric
+// primitive; TestMortonKeyMatchesCube pins the two byte-for-byte equal so
+// they can never drift apart silently.
+
+const (
+	// KeyBits is the number of bits quantized per axis; a full key
+	// interleaves three axes into 3*KeyBits bits.
+	KeyBits = 16
+	// KeySpace is one past the largest possible Morton key: keys lie in
+	// [0, KeySpace). Shard maps partition exactly this interval.
+	KeySpace = uint64(1) << (3 * KeyBits)
+)
+
+// MortonKey returns the Z-order (Morton) key of p within the domain
+// cube, using KeyBits bits per axis. Sorting spatial positions by their
+// Morton key recovers the octree's depth-first order, so contiguous key
+// ranges are spatially compact — the property that makes both SPACE's
+// subspace grouping (paper Figure 5) and a cluster's Morton-range shard
+// map locality-preserving. Positions outside the domain clamp to its
+// faces, so every position maps to some key and key comparisons stay
+// total.
+//
+// Two positions compare equal once they quantize to the same cell of the
+// 2^KeyBits-per-axis grid; callers that need a deterministic total order
+// (the assignment sorts) break ties on index.
+func MortonKey(domain vec.Cube, p vec.V3) uint64 {
+	scale := float64(uint64(1)<<KeyBits) / domain.Size
+	min := domain.Min()
+	qx := quantizeKey((p.X - min.X) * scale)
+	qy := quantizeKey((p.Y - min.Y) * scale)
+	qz := quantizeKey((p.Z - min.Z) * scale)
+	var key uint64
+	for i := 0; i < KeyBits; i++ {
+		key |= (qx>>i&1)<<(3*i) | (qy>>i&1)<<(3*i+1) | (qz>>i&1)<<(3*i+2)
+	}
+	return key
+}
+
+// quantizeKey clamps a scaled coordinate into [0, 2^KeyBits).
+func quantizeKey(x float64) uint64 {
+	if x < 0 {
+		return 0
+	}
+	if max := float64(uint64(1)<<KeyBits - 1); x > max {
+		return uint64(max)
+	}
+	return uint64(x)
+}

@@ -1,0 +1,75 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/vec"
+)
+
+// TestMortonKeyMatchesCube is the differential gate behind the
+// MortonKey unification: the exported partition.MortonKey must agree
+// bit-for-bit with the geometric primitive vec.Cube.Morton it
+// canonicalizes, over random domains and positions including points
+// outside the domain (which clamp to its faces).
+func TestMortonKeyMatchesCube(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		domain := vec.Cube{
+			Center: vec.V3{X: r.NormFloat64(), Y: r.NormFloat64(), Z: r.NormFloat64()},
+			Size:   math.Ldexp(1+r.Float64(), r.Intn(10)-5),
+		}
+		for i := 0; i < 2000; i++ {
+			// Span inside, on, and well outside the cube.
+			h := domain.Size * 1.5
+			p := vec.V3{
+				X: domain.Center.X + (r.Float64()-0.5)*h,
+				Y: domain.Center.Y + (r.Float64()-0.5)*h,
+				Z: domain.Center.Z + (r.Float64()-0.5)*h,
+			}
+			if got, want := MortonKey(domain, p), domain.Morton(p); got != want {
+				t.Fatalf("trial %d: MortonKey(%v, %v) = %#x, cube.Morton = %#x",
+					trial, domain, p, got, want)
+			}
+		}
+	}
+}
+
+func TestMortonKeyRange(t *testing.T) {
+	domain := vec.Cube{Size: 2}
+	corners := []vec.V3{
+		{X: -1, Y: -1, Z: -1}, {X: 1, Y: 1, Z: 1},
+		{X: -100, Y: -100, Z: -100}, {X: 100, Y: 100, Z: 100},
+	}
+	for _, p := range corners {
+		k := MortonKey(domain, p)
+		if k >= KeySpace {
+			t.Fatalf("MortonKey(%v) = %#x escapes [0, KeySpace)", p, k)
+		}
+	}
+	if lo := MortonKey(domain, vec.V3{X: -100, Y: -100, Z: -100}); lo != 0 {
+		t.Fatalf("far low corner should clamp to key 0, got %#x", lo)
+	}
+	if hi := MortonKey(domain, vec.V3{X: 100, Y: 100, Z: 100}); hi != KeySpace-1 {
+		t.Fatalf("far high corner should clamp to KeySpace-1, got %#x", hi)
+	}
+}
+
+// TestMortonKeyOrderIsSpatial pins the property the shard map depends
+// on: along each axis, keys are monotone in the quantized coordinate, so
+// contiguous key ranges are spatially contiguous.
+func TestMortonKeyOrderIsSpatial(t *testing.T) {
+	domain := vec.Cube{Size: 1}
+	prev := uint64(0)
+	for i := 0; i < 16; i++ {
+		// March along the main diagonal: Morton order visits diagonal
+		// cells in increasing key order.
+		f := (float64(i)+0.5)/16 - 0.5
+		k := MortonKey(domain, vec.V3{X: f, Y: f, Z: f})
+		if i > 0 && k <= prev {
+			t.Fatalf("diagonal step %d: key %#x not past %#x", i, k, prev)
+		}
+		prev = k
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"partree/internal/octree"
+	"partree/internal/partition"
 	"partree/internal/trace"
 	"partree/internal/vec"
 )
@@ -386,8 +387,8 @@ func assignSpaceSubs(root vec.Cube, subs []spaceSub, p int) {
 		total += subs[i].count
 	}
 	sort.Slice(order, func(a, b int) bool {
-		ka := root.Morton(subs[order[a]].cube.Center)
-		kb := root.Morton(subs[order[b]].cube.Center)
+		ka := partition.MortonKey(root, subs[order[a]].cube.Center)
+		kb := partition.MortonKey(root, subs[order[b]].cube.Center)
 		if ka != kb {
 			return ka < kb
 		}
